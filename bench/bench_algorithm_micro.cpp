@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) of the control-plane hot paths: the
+// PAM decision procedure vs chain length, border identification, the
+// analytic model, and — for context — data-plane primitives (AC matching,
+// consistent hashing, header parsing).
+//
+// The paper's controller runs the selection algorithm on every periodic
+// load query, so its cost bounds how fine-grained the control loop can be.
+//
+//   $ ./build/bench/bench_algorithm_micro
+
+#include <benchmark/benchmark.h>
+
+#include "chain/border.hpp"
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "common/rng.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+#include "nf/dpi.hpp"
+#include "nf/load_balancer.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace {
+
+using namespace pam;
+using namespace pam::literals;
+
+/// A chain of `n` NFs, mostly on the SmartNIC, overloaded at 2 Gbps.
+ServiceChain synthetic_chain(std::size_t n) {
+  Rng rng{n * 2654435761ull};
+  const NfType types[] = {NfType::kFirewall, NfType::kLogger, NfType::kMonitor,
+                          NfType::kLoadBalancer, NfType::kNat, NfType::kDpi,
+                          NfType::kRateLimiter, NfType::kEncryptor};
+  ChainBuilder builder{"synthetic"};
+  builder.egress(Attachment::kHost);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(types[rng.bounded(8)], "nf" + std::to_string(i),
+                rng.chance(0.75) ? Location::kSmartNic : Location::kCpu);
+  }
+  return builder.build();
+}
+
+void BM_PamPlan(benchmark::State& state) {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const PamPolicy policy;
+  const auto chain = synthetic_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.plan(chain, analyzer, 2.0_gbps));
+  }
+}
+BENCHMARK(BM_PamPlan)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_NaivePlan(benchmark::State& state) {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const NaiveBottleneckPolicy policy;
+  const auto chain = synthetic_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.plan(chain, analyzer, 2.0_gbps));
+  }
+}
+BENCHMARK(BM_NaivePlan)->Arg(8)->Arg(32);
+
+void BM_FindBorders(benchmark::State& state) {
+  const auto chain = synthetic_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_borders(chain));
+  }
+}
+BENCHMARK(BM_FindBorders)->Arg(8)->Arg(64);
+
+void BM_AnalyzerUtilization(benchmark::State& state) {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const auto chain = synthetic_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.utilization(chain, 2.0_gbps));
+  }
+}
+BENCHMARK(BM_AnalyzerUtilization)->Arg(8)->Arg(64);
+
+void BM_HeaderParseFiveTuple(benchmark::State& state) {
+  Packet pkt;
+  PacketBuilder{}
+      .size(512)
+      .flow(FiveTuple{0x0a000001, 0xc0000202, 40000, 443, IpProto::kTcp})
+      .build_into(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.five_tuple());
+  }
+}
+BENCHMARK(BM_HeaderParseFiveTuple);
+
+void BM_AhoCorasickScan(benchmark::State& state) {
+  AhoCorasick ac;
+  ac.add_pattern("MALWARE");
+  ac.add_pattern("EXPLOIT");
+  ac.add_pattern("BEACON-X9");
+  ac.compile();
+  Packet pkt;
+  PacketBuilder{}
+      .size(static_cast<std::size_t>(state.range(0)))
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_seed(5)
+      .build_into(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.contains_any(pkt.payload()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AhoCorasickScan)->Arg(64)->Arg(512)->Arg(1500);
+
+void BM_ConsistentHashPick(benchmark::State& state) {
+  ConsistentHashRing ring{64};
+  for (std::uint32_t b = 1; b <= 8; ++b) {
+    ring.add(Backend{0xc6336400u | b, 8080, "b"});
+  }
+  Rng rng{1};
+  FiveTuple t{0x0a000001, 0xc0000202, 1000, 443, IpProto::kTcp};
+  for (auto _ : state) {
+    t.src_port = static_cast<std::uint16_t>(rng.next_u64());
+    benchmark::DoNotOptimize(ring.pick(t));
+  }
+}
+BENCHMARK(BM_ConsistentHashPick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Companion to Figure 2(a): per-hop decomposition of where each layout's
+// latency goes — the naive migration's penalty shows up as two extra PCIe
+// line items, nothing else changes materially.
+//
+//   $ ./build/bench/bench_latency_breakdown
+
+#include <cstdio>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "chain/latency_breakdown.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+
+int main() {
+  using namespace pam;
+
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const ServiceChain original = paper_figure1_chain();
+  const Gbps overload = paper_overload_rate();
+  const Bytes probe{512};
+
+  const ServiceChain after_naive =
+      NaiveBottleneckPolicy{}.plan(original, analyzer, overload).apply_to(original);
+  const ServiceChain after_pam =
+      PamPolicy{}.plan(original, analyzer, overload).apply_to(original);
+
+  const struct {
+    const char* label;
+    const ServiceChain* chain;
+  } rows[] = {{"Original (Fig 1a)", &original},
+              {"Naive (Fig 1b)", &after_naive},
+              {"PAM (Fig 1c)", &after_pam}};
+
+  std::printf("=== structural latency breakdown @512B ===\n");
+  for (const auto& row : rows) {
+    const auto breakdown = breakdown_latency(*row.chain, server, probe);
+    std::printf("\n%s   %s\n", row.label, row.chain->describe().c_str());
+    std::printf("%s", breakdown.render().c_str());
+    std::printf("  PCIe share of total: %.1f%%\n", breakdown.crossing_share() * 100.0);
+  }
+
+  const auto naive_bd = breakdown_latency(after_naive, server, probe);
+  const auto pam_bd = breakdown_latency(after_pam, server, probe);
+  std::printf("\nPAM saves %s vs naive; %.0f%% of the gap is PCIe crossings.\n",
+              (naive_bd.total - pam_bd.total).to_string().c_str(),
+              (2.0 * server.pcie().crossing_latency(probe).us()) /
+                  (naive_bd.total - pam_bd.total).us() * 100.0);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Load sweep: latency and goodput vs offered rate for the three Figure-1
+// layouts — the underlying curves whose endpoints the poster's Figure 2
+// bars summarise.  Shows the crossover structure: below ~1.5 Gbps all three
+// configurations carry the load (Original wins on latency because the
+// Logger still enjoys SmartNIC-cheap processing... actually ties with PAM);
+// past Original's knee only the migrated layouts keep up, and PAM tracks
+// ~65-90 us under Naive at every operating point.
+//
+//   $ ./build/bench/bench_load_sweep
+
+#include <cstdio>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+#include "sim/chain_simulator.hpp"
+
+namespace {
+
+using namespace pam;
+
+struct Point {
+  Gbps goodput;
+  SimTime mean_latency;
+  std::uint64_t drops;
+};
+
+Point measure(const ServiceChain& chain, Gbps rate) {
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.rate = RateProfile::constant(rate);
+  cfg.sizes = PacketSizeDistribution::fixed(512);
+  cfg.seed = 5150;
+  ChainSimulator sim{chain, server, cfg};
+  const SimReport report =
+      sim.run(SimTime::milliseconds(60), SimTime::milliseconds(12));
+  return Point{report.egress_goodput, report.latency.mean(), report.dropped_total()};
+}
+
+}  // namespace
+
+int main() {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const ServiceChain original = paper_figure1_chain();
+  const Gbps overload = paper_overload_rate();
+  const ServiceChain after_naive =
+      NaiveBottleneckPolicy{}.plan(original, analyzer, overload).apply_to(original);
+  const ServiceChain after_pam =
+      PamPolicy{}.plan(original, analyzer, overload).apply_to(original);
+
+  std::printf("=== load sweep @512B: goodput (Gbps) / mean latency (us) ===\n\n");
+  std::printf("%-8s | %-22s | %-22s | %-22s\n", "offered", "Original", "Naive", "PAM");
+  std::printf("---------+------------------------+------------------------+-----------------------\n");
+  for (const double rate : {0.4, 0.8, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4}) {
+    const Point o = measure(original, Gbps{rate});
+    const Point n = measure(after_naive, Gbps{rate});
+    const Point p = measure(after_pam, Gbps{rate});
+    std::printf("%5.1f G  | %5.2f / %8.1f%s | %5.2f / %8.1f%s | %5.2f / %8.1f%s\n",
+                rate,
+                o.goodput.value(), o.mean_latency.us(), o.drops ? " *" : "  ",
+                n.goodput.value(), n.mean_latency.us(), n.drops ? " *" : "  ",
+                p.goodput.value(), p.mean_latency.us(), p.drops ? " *" : "  ");
+  }
+  std::printf("\n('*' marks operating points with drops; latency there measures a\n"
+              " saturated drop-tail queue, not the chain)\n");
+  std::printf("\nknees (analytic): original %.2f Gbps, naive %.2f, PAM %.2f\n",
+              analyzer.max_sustainable_rate(original).value(),
+              analyzer.max_sustainable_rate(after_naive).value(),
+              analyzer.max_sustainable_rate(after_pam).value());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation A — "analyze PCIe transmissions in detail" (the paper's stated
+// future work).  Three studies:
+//
+//   1. Sweep the per-crossing fixed cost: how the naive-vs-PAM latency gap
+//      scales with PCIe cost (the gap is exactly 2 crossings wide).
+//   2. Simple vs Detailed link model at the calibration point.
+//   3. DMA batch-size sweep under the detailed model: interrupt coalescing
+//      amortises doorbells but adds queueing delay.
+//
+//   $ ./build/bench/bench_pcie_ablation
+
+#include <cstdio>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+
+namespace {
+
+using namespace pam;
+using namespace pam::literals;
+
+struct Layouts {
+  ServiceChain original = paper_figure1_chain();
+  ServiceChain naive{"x"};
+  ServiceChain pam{"x"};
+};
+
+Layouts make_layouts(const Server& server) {
+  const ChainAnalyzer analyzer{server};
+  Layouts l;
+  l.naive = NaiveBottleneckPolicy{}
+                .plan(l.original, analyzer, paper_overload_rate())
+                .apply_to(l.original);
+  l.pam = PamPolicy{}
+              .plan(l.original, analyzer, paper_overload_rate())
+              .apply_to(l.original);
+  return l;
+}
+
+}  // namespace
+
+int main() {
+  const Bytes probe{512};
+
+  std::printf("=== Ablation A1: naive-vs-PAM latency gap vs PCIe crossing cost ===\n");
+  std::printf("(structural latency at 512B; gap = naive - PAM = 2 crossings)\n\n");
+  std::printf("%-18s | %-12s | %-12s | %-12s | %s\n", "pcie fixed cost",
+              "original", "PAM", "naive", "PAM saving");
+  std::printf("-------------------+--------------+--------------+--------------+-----------\n");
+  for (const double fixed_us : {0.0, 5.0, 10.0, 20.0, 32.0, 50.0, 80.0}) {
+    Server server{SmartNic::agilio_cx(), CpuSocket::xeon_e5_2620_v2_pair(),
+                  PcieLink{32.0_gbps, SimTime::microseconds(fixed_us), 40.0_gbps}};
+    const Layouts l = make_layouts(server);
+    const ChainAnalyzer analyzer{server};
+    const double orig = analyzer.structural_latency(l.original, probe).us();
+    const double pam_lat = analyzer.structural_latency(l.pam, probe).us();
+    const double naive_lat = analyzer.structural_latency(l.naive, probe).us();
+    std::printf("%13.0f us   | %9.1f us | %9.1f us | %9.1f us | %8.1f%%\n",
+                fixed_us, orig, pam_lat, naive_lat,
+                (naive_lat - pam_lat) / naive_lat * 100.0);
+  }
+
+  std::printf("\n=== Ablation A2: simple vs detailed link model ===\n\n");
+  {
+    Server server = Server::paper_testbed();
+    std::printf("simple model:   %s -> crossing(512B) = %s\n",
+                server.pcie().describe().c_str(),
+                server.pcie().crossing_latency(probe).to_string().c_str());
+    server.pcie().use_detailed_model(PcieDetailedParams{});
+    std::printf("detailed model: %s -> crossing(512B) = %s\n",
+                server.pcie().describe().c_str(),
+                server.pcie().crossing_latency(probe).to_string().c_str());
+    const Layouts l = make_layouts(server);
+    const ChainAnalyzer analyzer{server};
+    std::printf("latency under detailed model: original %s | PAM %s | naive %s\n",
+                analyzer.structural_latency(l.original, probe).to_string().c_str(),
+                analyzer.structural_latency(l.pam, probe).to_string().c_str(),
+                analyzer.structural_latency(l.naive, probe).to_string().c_str());
+  }
+
+  std::printf("\n=== Ablation A3: DMA batch-size sweep (detailed model) ===\n\n");
+  std::printf("%-10s | %-18s | %-22s\n", "batch", "per-crossing cost",
+              "naive chain latency @512B");
+  std::printf("-----------+--------------------+-----------------------\n");
+  for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    Server server = Server::paper_testbed();
+    PcieDetailedParams params;
+    params.batch_size = batch;
+    server.pcie().use_detailed_model(params);
+    const Layouts l = make_layouts(server);
+    const ChainAnalyzer analyzer{server};
+    std::printf("%-10u | %-18s | %s\n", batch,
+                server.pcie().fixed_cost().to_string().c_str(),
+                analyzer.structural_latency(l.naive, probe).to_string().c_str());
+  }
+  std::printf("\ntakeaway: the PAM advantage is exactly proportional to the\n"
+              "per-crossing cost; no calibration choice flips the ordering.\n");
+  return 0;
+}

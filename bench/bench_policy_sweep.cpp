@@ -1,0 +1,128 @@
+// Ablation B — policy robustness beyond the paper's single chain: 10,000
+// randomised (chain, placement, load) scenarios with an overloaded
+// SmartNIC, comparing PAM against both naive variants on:
+//
+//   - alleviation success rate (hot spot resolved under Eq. 2/3),
+//   - PCIe crossings added per alleviation,
+//   - structural latency delta of the resulting layout,
+//   - NFs migrated per alleviation.
+//
+//   $ ./build/bench/bench_policy_sweep
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "common/rng.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+
+namespace {
+
+using namespace pam;
+
+struct Tally {
+  std::size_t attempts = 0;
+  std::size_t alleviated = 0;
+  long crossings_added = 0;
+  long migrations = 0;
+  double latency_delta_us = 0.0;
+};
+
+ServiceChain random_overloaded_chain(Rng& rng, const ChainAnalyzer& analyzer,
+                                     Gbps& rate_out) {
+  const NfType types[] = {NfType::kFirewall, NfType::kLogger, NfType::kMonitor,
+                          NfType::kLoadBalancer, NfType::kNat, NfType::kDpi,
+                          NfType::kRateLimiter, NfType::kEncryptor};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ChainBuilder builder{"rand"};
+    builder.ingress(Attachment::kWire);
+    builder.egress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+    const std::size_t n = 3 + rng.bounded(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.add(types[rng.bounded(8)], "nf" + std::to_string(i),
+                  rng.chance(0.7) ? Location::kSmartNic : Location::kCpu,
+                  rng.chance(0.25) ? rng.uniform(0.3, 1.0) : 1.0);
+    }
+    const auto chain = builder.build();
+    const Gbps rate{rng.uniform(0.5, 3.0)};
+    const auto util = analyzer.utilization(chain, rate);
+    // Keep scenarios where the SmartNIC is hot but the CPU has headroom —
+    // the regime PAM is designed for.
+    if (util.smartnic >= 1.0 && util.cpu < 0.85) {
+      rate_out = rate;
+      return chain;
+    }
+  }
+  rate_out = Gbps{0.0};
+  return ServiceChain{"none"};
+}
+
+}  // namespace
+
+int main() {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const Bytes probe{512};
+
+  std::vector<std::pair<std::string, std::unique_ptr<MigrationPolicy>>> policies;
+  policies.emplace_back("PAM", std::make_unique<PamPolicy>());
+  policies.emplace_back("NaiveBottleneck", std::make_unique<NaiveBottleneckPolicy>());
+  policies.emplace_back("NaiveMinCapacity", std::make_unique<NaiveMinCapacityPolicy>());
+
+  std::vector<Tally> tallies(policies.size());
+  constexpr int kScenarios = 10000;
+  Rng rng{20180820};  // SIGCOMM'18 poster session date
+
+  int generated = 0;
+  for (int s = 0; s < kScenarios; ++s) {
+    Gbps rate;
+    const ServiceChain chain = random_overloaded_chain(rng, analyzer, rate);
+    if (rate.value() == 0.0) {
+      continue;
+    }
+    ++generated;
+    const double base_latency = analyzer.structural_latency(chain, probe).us();
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      Tally& tally = tallies[p];
+      ++tally.attempts;
+      const auto plan = policies[p].second->plan(chain, analyzer, rate);
+      if (!plan.feasible) {
+        continue;
+      }
+      const auto after = plan.apply_to(chain);
+      const auto util = analyzer.utilization(after, rate);
+      if (util.smartnic < 1.0 && util.cpu < 1.0) {
+        ++tally.alleviated;
+        tally.crossings_added += static_cast<long>(after.pcie_crossings()) -
+                                 static_cast<long>(chain.pcie_crossings());
+        tally.migrations += static_cast<long>(plan.steps.size());
+        tally.latency_delta_us +=
+            analyzer.structural_latency(after, probe).us() - base_latency;
+      }
+    }
+  }
+
+  std::printf("=== Ablation B: policy robustness over %d random overload scenarios ===\n\n",
+              generated);
+  std::printf("%-18s | %-10s | %-14s | %-12s | %-16s\n", "policy", "alleviated",
+              "crossings/fix", "moves/fix", "latency delta/fix");
+  std::printf("-------------------+------------+----------------+--------------+-----------------\n");
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const Tally& t = tallies[p];
+    const double fixes = t.alleviated > 0 ? static_cast<double>(t.alleviated) : 1.0;
+    std::printf("%-18s | %8.1f%%  | %+14.3f | %12.2f | %+13.1f us\n",
+                policies[p].first.c_str(),
+                static_cast<double>(t.alleviated) /
+                    static_cast<double>(t.attempts) * 100.0,
+                static_cast<double>(t.crossings_added) / fixes,
+                static_cast<double>(t.migrations) / fixes,
+                t.latency_delta_us / fixes);
+  }
+  std::printf("\nexpected shape: PAM alleviates with ~zero (or negative) added\n"
+              "crossings and the smallest latency delta; the bottleneck-driven\n"
+              "naive policy pays ~+2 crossings per fix.\n");
+  return 0;
+}

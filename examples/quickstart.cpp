@@ -1,0 +1,61 @@
+// Quickstart: build a SmartNIC/CPU service chain, overload it, and let PAM
+// pick the migration.  ~40 lines of library use, heavily commented.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "chain/chain_builder.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+#include "device/server.hpp"
+
+int main() {
+  using namespace pam;
+  using namespace pam::literals;
+
+  // 1. The hardware: one SmartNIC + one CPU complex joined by PCIe
+  //    (the paper's testbed, with the calibrated link model).
+  Server server = Server::paper_testbed();
+  std::printf("hardware: %s\n\n", server.describe().c_str());
+
+  // 2. The service chain from the paper's Figure 1 — Firewall, Monitor and
+  //    a sampling Logger offloaded to the SmartNIC, the Load Balancer on
+  //    the CPU, traffic entering at the wire and terminating at host apps.
+  const ServiceChain chain = paper_figure1_chain();
+  std::printf("chain:    %s\n", chain.describe().c_str());
+  std::printf("          PCIe crossings per packet: %u\n\n", chain.pcie_crossings());
+
+  // 3. Traffic grows to 2.2 Gbps and the SmartNIC overloads.
+  const ChainAnalyzer analyzer{server};
+  const Gbps offered = paper_overload_rate();
+  std::printf("at %s offered: %s\n\n", offered.to_string().c_str(),
+              analyzer.utilization(chain, offered).describe().c_str());
+
+  // 4. Ask PAM which vNF to push aside.
+  const PamPolicy pam_policy;
+  const MigrationPlan plan = pam_policy.plan(chain, analyzer, offered);
+  std::printf("decision: %s\n", plan.describe().c_str());
+  for (const auto& line : plan.trace) {
+    std::printf("  trace | %s\n", line.c_str());
+  }
+
+  // 5. Apply it and compare against the naive (bottleneck) migration.
+  const ServiceChain after = plan.apply_to(chain);
+  const NaiveBottleneckPolicy naive;
+  const ServiceChain after_naive = naive.plan(chain, analyzer, offered).apply_to(chain);
+
+  std::printf("\nafter PAM:   %s  (crossings %u, %s)\n", after.describe().c_str(),
+              after.pcie_crossings(),
+              analyzer.utilization(after, offered).describe().c_str());
+  std::printf("after naive: %s  (crossings %u, %s)\n", after_naive.describe().c_str(),
+              after_naive.pcie_crossings(),
+              analyzer.utilization(after_naive, offered).describe().c_str());
+
+  const Bytes probe_size{512};
+  std::printf("\nstructural latency @512B: original %s | PAM %s | naive %s\n",
+              analyzer.structural_latency(chain, probe_size).to_string().c_str(),
+              analyzer.structural_latency(after, probe_size).to_string().c_str(),
+              analyzer.structural_latency(after_naive, probe_size).to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "chain/border.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+std::vector<std::size_t> BorderSets::all() const {
+  std::vector<std::size_t> out = left;
+  out.insert(out.end(), right.begin(), right.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool BorderSets::contains(std::size_t i) const noexcept {
+  return std::find(left.begin(), left.end(), i) != left.end() ||
+         std::find(right.begin(), right.end(), i) != right.end();
+}
+
+std::string BorderSets::describe(const ServiceChain& chain) const {
+  std::string out = "BL={";
+  for (std::size_t k = 0; k < left.size(); ++k) {
+    out += (k ? "," : "") + chain.node(left[k]).spec.name;
+  }
+  out += "} BR={";
+  for (std::size_t k = 0; k < right.size(); ++k) {
+    out += (k ? "," : "") + chain.node(right[k]).spec.name;
+  }
+  out += "}";
+  return out;
+}
+
+bool is_border(const ServiceChain& chain, std::size_t i) {
+  if (chain.location_of(i) != Location::kSmartNic) {
+    return false;
+  }
+  return chain.upstream_side(i) == Location::kCpu ||
+         chain.downstream_side(i) == Location::kCpu;
+}
+
+BorderSets find_borders(const ServiceChain& chain) {
+  BorderSets sets;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (chain.location_of(i) != Location::kSmartNic) {
+      continue;
+    }
+    if (chain.upstream_side(i) == Location::kCpu) {
+      sets.left.push_back(i);
+    }
+    if (chain.downstream_side(i) == Location::kCpu) {
+      sets.right.push_back(i);
+    }
+  }
+  return sets;
+}
+
+}  // namespace pam

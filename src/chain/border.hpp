@@ -1,0 +1,45 @@
+// Border vNF identification — Step 1 of the PAM algorithm.
+//
+// A SmartNIC-resident NF is a *border* vNF when at least one neighbouring
+// hop (upstream or downstream, counting the virtual ingress/egress
+// endpoints) is on the CPU side.  Migrating such an NF to the CPU never
+// increases the chain's PCIe crossing count — that is the whole point of
+// PAM, and the invariant is proven by `border_migration_is_crossing_safe`
+// property tests.
+//
+// Naming follows the paper: BL (left borders) have their *upstream*
+// neighbour on the CPU, BR (right borders) their *downstream* neighbour.
+// (The poster's figure labels the two the other way round because its chain
+// is drawn right-to-left; the semantics are identical — see DESIGN.md §3.2.)
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chain/service_chain.hpp"
+
+namespace pam {
+
+struct BorderSets {
+  std::vector<std::size_t> left;   ///< BL: upstream hop on CPU
+  std::vector<std::size_t> right;  ///< BR: downstream hop on CPU
+
+  /// Union of BL and BR, deduplicated (an NF can be in both when both
+  /// neighbours are CPU-side), ascending chain order.
+  [[nodiscard]] std::vector<std::size_t> all() const;
+
+  [[nodiscard]] bool contains(std::size_t i) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return left.empty() && right.empty(); }
+
+  [[nodiscard]] std::string describe(const ServiceChain& chain) const;
+};
+
+/// Step 1: identify the border vNFs of the SmartNIC.
+[[nodiscard]] BorderSets find_borders(const ServiceChain& chain);
+
+/// True when node i is SmartNIC-resident with a CPU-side neighbour.
+[[nodiscard]] bool is_border(const ServiceChain& chain, std::size_t i);
+
+}  // namespace pam

@@ -1,0 +1,138 @@
+#include "chain/chain_analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+double UtilizationReport::bottleneck() const noexcept {
+  return std::max(std::max(smartnic, cpu), std::max(pcie, wire));
+}
+
+std::string UtilizationReport::describe() const {
+  return format("util{S=%.3f%s, C=%.3f%s, PCIe=%.3f, wire=%.3f}", smartnic,
+                smartnic_overloaded() ? " OVERLOADED" : "", cpu,
+                cpu_overloaded() ? " OVERLOADED" : "", pcie, wire);
+}
+
+ChainAnalyzer::ChainAnalyzer(const Server& server, Calibration calibration)
+    : server_(&server), calibration_(calibration) {}
+
+UtilizationReport ChainAnalyzer::utilization(const ServiceChain& chain,
+                                             Gbps ingress_rate) const {
+  UtilizationReport report;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto& node = chain.node(i);
+    const Gbps offered = chain.offered_at(i, ingress_rate);
+    const double u = node.spec.utilization_at(node.location, offered);
+    if (node.location == Location::kSmartNic) {
+      report.smartnic += u;
+    } else {
+      report.cpu += u;
+    }
+  }
+  // Traffic entering or leaving at the wire is bounded by the NIC's port
+  // capacity regardless of placement.
+  if (chain.ingress() == Attachment::kWire || chain.egress() == Attachment::kWire) {
+    report.wire = ingress_rate / server_->nic().wire_capacity();
+  }
+  // Walk the boundary sequence charging each side change to the link and to
+  // the host driver.
+  const auto& pcie = server_->pcie();
+  Location prev = side_of(chain.ingress());
+  for (std::size_t i = 0; i <= chain.size(); ++i) {
+    const Location cur = i == chain.size() ? side_of(chain.egress())
+                                           : chain.location_of(i);
+    if (cur != prev) {
+      const Gbps boundary_rate = chain.rate_at_boundary(i, ingress_rate);
+      report.pcie += boundary_rate / pcie.bandwidth();
+      report.cpu += pcie.host_utilization_per_crossing(boundary_rate);
+    }
+    prev = cur;
+  }
+  return report;
+}
+
+Gbps ChainAnalyzer::max_sustainable_rate(const ServiceChain& chain) const {
+  using namespace pam::literals;
+  // All utilisations are linear in the ingress rate, so evaluate at 1 Gbps
+  // and invert the bottleneck.
+  const UtilizationReport unit = utilization(chain, 1.0_gbps);
+  const double worst = unit.bottleneck();
+  if (worst <= 0.0) {
+    return Gbps{std::numeric_limits<double>::infinity()};
+  }
+  return Gbps{1.0 / worst};
+}
+
+double ChainAnalyzer::queue_inflation(double rho) const noexcept {
+  if (rho >= 1.0) {
+    return calibration_.max_queue_inflation;
+  }
+  return std::min(1.0 / (1.0 - rho), calibration_.max_queue_inflation);
+}
+
+SimTime ChainAnalyzer::structural_latency(const ServiceChain& chain, Bytes size) const {
+  SimTime total = SimTime::zero();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto& node = chain.node(i);
+    total += calibration_.nf_overhead(node.location);
+    // Mean per-packet service: only load_factor of packets incur the full
+    // service time.
+    const Gbps cap = node.spec.capacity.on(node.location);
+    total += serialization_delay(size, cap) * node.spec.load_factor;
+  }
+  Location prev = side_of(chain.ingress());
+  for (std::size_t i = 0; i <= chain.size(); ++i) {
+    const Location cur = i == chain.size() ? side_of(chain.egress())
+                                           : chain.location_of(i);
+    if (cur != prev) {
+      total += server_->pcie().crossing_latency(size);
+    }
+    prev = cur;
+  }
+  return total;
+}
+
+SimTime ChainAnalyzer::predicted_latency(const ServiceChain& chain,
+                                         Gbps ingress_rate, Bytes size) const {
+  const UtilizationReport report = utilization(chain, ingress_rate);
+  const double inflate_s = queue_inflation(report.smartnic);
+  const double inflate_c = queue_inflation(report.cpu);
+
+  SimTime total = SimTime::zero();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto& node = chain.node(i);
+    const double inflate =
+        node.location == Location::kSmartNic ? inflate_s : inflate_c;
+    const Gbps cap = node.spec.capacity.on(node.location);
+    total += calibration_.nf_overhead(node.location);
+    total += serialization_delay(size, cap) * node.spec.load_factor * inflate;
+  }
+  Location prev = side_of(chain.ingress());
+  for (std::size_t i = 0; i <= chain.size(); ++i) {
+    const Location cur = i == chain.size() ? side_of(chain.egress())
+                                           : chain.location_of(i);
+    if (cur != prev) {
+      total += server_->pcie().crossing_latency(size);
+    }
+    prev = cur;
+  }
+  return total;
+}
+
+Gbps ChainAnalyzer::predicted_goodput(const ServiceChain& chain,
+                                      Gbps ingress_rate) const {
+  const Gbps cap = max_sustainable_rate(chain);
+  const double carried = std::min(ingress_rate.value(), cap.value());
+  double pass = 1.0;
+  for (const auto& node : chain.nodes()) {
+    pass *= node.spec.pass_ratio;
+  }
+  return Gbps{carried * pass};
+}
+
+}  // namespace pam

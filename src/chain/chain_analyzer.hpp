@@ -1,0 +1,79 @@
+// Closed-form performance model of a placed service chain on a server.
+//
+// Implements the paper's linear resource model exactly (utilisation =
+// Σ θ_cur/θ^D_i per device, Eq. 2/3) plus first-order latency and
+// throughput predictions:
+//
+//   latency  = Σ_nodes [ overhead(loc) + service(size, θ) x queue-inflation ]
+//            + Σ_crossings pcie.crossing_latency(size)
+//
+//   max rate = 1 / max(unit-utilisation of SmartNIC, CPU, PCIe link)
+//
+// The discrete-event simulator (pam::sim) measures the same quantities
+// empirically; `analyzer_matches_simulator` integration tests keep the two
+// honest against each other.
+
+#pragma once
+
+#include <string>
+
+#include "chain/calibration.hpp"
+#include "chain/service_chain.hpp"
+#include "device/server.hpp"
+
+namespace pam {
+
+/// Device-level load at a given ingress rate.
+struct UtilizationReport {
+  double smartnic = 0.0;  ///< Σ θ_cur/θ^S_i over SmartNIC residents
+  double cpu = 0.0;       ///< Σ θ_cur/θ^C_i + per-crossing host cost
+  double pcie = 0.0;      ///< aggregate link utilisation
+  double wire = 0.0;      ///< ingress rate over the NIC's physical ports
+
+  [[nodiscard]] bool smartnic_overloaded() const noexcept { return smartnic >= 1.0; }
+  [[nodiscard]] bool cpu_overloaded() const noexcept { return cpu >= 1.0; }
+  [[nodiscard]] bool any_overloaded() const noexcept {
+    return smartnic_overloaded() || cpu_overloaded() || pcie >= 1.0 || wire >= 1.0;
+  }
+  [[nodiscard]] double bottleneck() const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class ChainAnalyzer {
+ public:
+  explicit ChainAnalyzer(const Server& server,
+                         Calibration calibration = Calibration::defaults());
+
+  /// Utilisation of each device when `ingress_rate` enters the chain.
+  [[nodiscard]] UtilizationReport utilization(const ServiceChain& chain,
+                                              Gbps ingress_rate) const;
+
+  /// Largest ingress rate with no device (or the link) at >= 1.0 utilisation.
+  [[nodiscard]] Gbps max_sustainable_rate(const ServiceChain& chain) const;
+
+  /// Mean end-to-end latency prediction for frames of `size` at
+  /// `ingress_rate`.  Valid below saturation; above it the queue-inflation
+  /// factor saturates at Calibration::max_queue_inflation.
+  [[nodiscard]] SimTime predicted_latency(const ServiceChain& chain,
+                                          Gbps ingress_rate, Bytes size) const;
+
+  /// Zero-load (structural) latency: overheads + service + crossings, no
+  /// queueing.  This isolates exactly what PAM optimises.
+  [[nodiscard]] SimTime structural_latency(const ServiceChain& chain, Bytes size) const;
+
+  /// Egress goodput when `ingress_rate` is offered: drops at saturated
+  /// devices cap the carried rate at max_sustainable_rate().
+  [[nodiscard]] Gbps predicted_goodput(const ServiceChain& chain, Gbps ingress_rate) const;
+
+  [[nodiscard]] const Calibration& calibration() const noexcept { return calibration_; }
+  [[nodiscard]] const Server& server() const noexcept { return *server_; }
+
+ private:
+  [[nodiscard]] double queue_inflation(double rho) const noexcept;
+
+  const Server* server_;  ///< non-owning; must outlive the analyzer
+  Calibration calibration_;
+};
+
+}  // namespace pam

@@ -1,0 +1,47 @@
+#include "chain/chain_builder.hpp"
+
+namespace pam {
+
+using namespace pam::literals;
+
+ChainBuilder::ChainBuilder(std::string name, CapacityTable capacities)
+    : chain_(std::move(name)), capacities_(std::move(capacities)) {}
+
+ChainBuilder& ChainBuilder::add(NfType type, std::string name, Location loc,
+                                double load_factor, double pass_ratio) {
+  NfSpec spec;
+  spec.name = std::move(name);
+  spec.type = type;
+  spec.capacity = capacities_.lookup(type);
+  spec.load_factor = load_factor;
+  spec.pass_ratio = pass_ratio;
+  chain_.add_node(std::move(spec), loc);
+  return *this;
+}
+
+ChainBuilder& ChainBuilder::add_custom(NfSpec spec, Location loc) {
+  chain_.add_node(std::move(spec), loc);
+  return *this;
+}
+
+ServiceChain ChainBuilder::build() const {
+  chain_.validate();
+  return chain_;
+}
+
+ServiceChain paper_figure1_chain(const CapacityTable& capacities) {
+  return ChainBuilder{"figure1", capacities}
+      .ingress(Attachment::kWire)
+      .egress(Attachment::kHost)
+      .add(NfType::kFirewall, "Firewall", Location::kSmartNic)
+      .add(NfType::kMonitor, "Monitor", Location::kSmartNic)
+      .add(NfType::kLogger, "Logger", Location::kSmartNic, /*load_factor=*/0.5)
+      .add(NfType::kLoadBalancer, "LoadBalancer", Location::kCpu)
+      .build();
+}
+
+Gbps paper_overload_rate() noexcept { return 2.2_gbps; }
+
+Gbps paper_baseline_rate() noexcept { return 1.2_gbps; }
+
+}  // namespace pam

@@ -1,0 +1,58 @@
+// Fluent chain construction + the canonical paper scenarios.
+
+#pragma once
+
+#include "chain/service_chain.hpp"
+
+namespace pam {
+
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(std::string name = "chain",
+                        CapacityTable capacities = CapacityTable::paper_defaults());
+
+  ChainBuilder& ingress(Attachment a) noexcept {
+    chain_.set_ingress(a);
+    return *this;
+  }
+  ChainBuilder& egress(Attachment a) noexcept {
+    chain_.set_egress(a);
+    return *this;
+  }
+
+  /// Adds an NF with capacities from the table; `load_factor` / `pass_ratio`
+  /// default to inline, non-dropping behaviour.
+  ChainBuilder& add(NfType type, std::string name, Location loc,
+                    double load_factor = 1.0, double pass_ratio = 1.0);
+
+  /// Adds an NF with an explicit capacity profile (overriding the table).
+  ChainBuilder& add_custom(NfSpec spec, Location loc);
+
+  /// Validates and returns the chain.
+  [[nodiscard]] ServiceChain build() const;
+
+ private:
+  ServiceChain chain_;
+  CapacityTable capacities_;
+};
+
+/// The Figure-1 service chain as interpreted in DESIGN.md §3.1:
+///
+///   wire -> [S]Firewall -> [S]Monitor -> [S]Logger -> [C]LoadBalancer -> host
+///
+/// The Logger samples every other packet (load_factor 0.5), which is what
+/// makes the Monitor the bottleneck vNF in the overload scenario while
+/// Logger retains the smallest SmartNIC capacity — reconciling the poster's
+/// Figure 1(b) with its Table 1 (see DESIGN.md §3.3/3.4).
+[[nodiscard]] ServiceChain paper_figure1_chain(
+    const CapacityTable& capacities = CapacityTable::paper_defaults());
+
+/// Offered load (Gbps) used in the headline overload scenario.  At this rate
+/// the SmartNIC utilisation is ~1.46 (overloaded), and one border migration
+/// (Logger) brings it to ~0.91 while the CPU stays below 1.0.
+[[nodiscard]] Gbps paper_overload_rate() noexcept;
+
+/// Offered load before the traffic spike (both devices comfortably below 1).
+[[nodiscard]] Gbps paper_baseline_rate() noexcept;
+
+}  // namespace pam

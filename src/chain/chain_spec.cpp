@@ -1,0 +1,187 @@
+#include "chain/chain_spec.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace pam {
+namespace {
+
+Result<Attachment> parse_attachment(std::string_view token) {
+  const std::string_view trimmed = trim(token);
+  if (trimmed == "wire") {
+    return Attachment::kWire;
+  }
+  if (trimmed == "host") {
+    return Attachment::kHost;
+  }
+  return Error{format("expected 'wire' or 'host', got '%.*s'",
+                      static_cast<int>(trimmed.size()), trimmed.data())};
+}
+
+bool parse_double(std::string_view s, double& out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string owned{s};
+  out = std::strtod(owned.c_str(), &end);
+  return end == owned.c_str() + owned.size();
+}
+
+/// Splits `token` at the first occurrence of any character in `seps`,
+/// returning the prefix and storing the separator + remainder.
+std::string_view take_until(std::string_view& rest, std::string_view seps) {
+  const std::size_t pos = rest.find_first_of(seps);
+  const std::string_view head = rest.substr(0, pos);
+  rest = pos == std::string_view::npos ? std::string_view{} : rest.substr(pos);
+  return head;
+}
+
+Result<NfSpec> parse_node(std::string_view token, std::size_t index,
+                          const CapacityTable& capacities, Location& loc_out) {
+  if (token.size() < 3 || token[1] != ':') {
+    return Error{format("node '%.*s': expected 'S:' or 'C:' prefix",
+                        static_cast<int>(token.size()), token.data())};
+  }
+  if (token[0] == 'S') {
+    loc_out = Location::kSmartNic;
+  } else if (token[0] == 'C') {
+    loc_out = Location::kCpu;
+  } else {
+    return Error{format("node '%.*s': side must be 'S' or 'C'",
+                        static_cast<int>(token.size()), token.data())};
+  }
+
+  std::string_view rest = token.substr(2);
+  const std::string_view type_name = take_until(rest, "=@%#");
+  const auto type = nf_type_from_string(type_name);
+  if (!type) {
+    return Error{format("unknown NF type '%.*s'",
+                        static_cast<int>(type_name.size()), type_name.data())};
+  }
+
+  NfSpec spec;
+  spec.type = *type;
+  spec.capacity = capacities.lookup(*type);
+  spec.name = format("%.*s%zu", static_cast<int>(type_name.size()),
+                     type_name.data(), index);
+
+  while (!rest.empty()) {
+    const char tag = rest[0];
+    rest.remove_prefix(1);
+    const std::string_view value = take_until(rest, "=@%#");
+    switch (tag) {
+      case '=':
+        if (value.empty()) {
+          return Error{"'=' requires a name"};
+        }
+        spec.name.assign(value);
+        break;
+      case '@': {
+        double v = 0.0;
+        if (!parse_double(value, v) || v <= 0.0 || v > 1.0) {
+          return Error{format("bad load factor '%.*s' (need (0,1])",
+                              static_cast<int>(value.size()), value.data())};
+        }
+        spec.load_factor = v;
+        break;
+      }
+      case '%': {
+        double v = 0.0;
+        if (!parse_double(value, v) || v < 0.0 || v > 1.0) {
+          return Error{format("bad pass ratio '%.*s' (need [0,1])",
+                              static_cast<int>(value.size()), value.data())};
+        }
+        spec.pass_ratio = v;
+        break;
+      }
+      case '#': {
+        const std::size_t slash = value.find('/');
+        double cap_s = 0.0;
+        double cap_c = 0.0;
+        if (slash == std::string_view::npos ||
+            !parse_double(value.substr(0, slash), cap_s) ||
+            !parse_double(value.substr(slash + 1), cap_c) || cap_s <= 0.0 ||
+            cap_c <= 0.0) {
+          return Error{format("bad capacity '%.*s' (need S/C Gbps, e.g. 3.2/10)",
+                              static_cast<int>(value.size()), value.data())};
+        }
+        spec.capacity = CapacityProfile{Gbps{cap_s}, Gbps{cap_c}};
+        break;
+      }
+      default:
+        return Error{format("unexpected token tail near '%c'", tag)};
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<ServiceChain> parse_chain_spec(std::string_view spec,
+                                      std::string chain_name,
+                                      const CapacityTable& capacities) {
+  const auto sections = split(spec, '|');
+  if (sections.size() != 3) {
+    return Error{format("expected 'ingress | nodes | egress' (got %zu sections)",
+                        sections.size())};
+  }
+  const auto ingress = parse_attachment(sections[0]);
+  if (!ingress) {
+    return Error{"ingress: " + ingress.error().message};
+  }
+  const auto egress = parse_attachment(sections[2]);
+  if (!egress) {
+    return Error{"egress: " + egress.error().message};
+  }
+
+  ServiceChain chain{std::move(chain_name)};
+  chain.set_ingress(ingress.value());
+  chain.set_egress(egress.value());
+
+  std::size_t index = 0;
+  for (const auto& raw : split(sections[1], ' ')) {
+    const std::string_view token = trim(raw);
+    if (token.empty()) {
+      continue;
+    }
+    Location loc = Location::kSmartNic;
+    auto node = parse_node(token, index, capacities, loc);
+    if (!node) {
+      return node.error();
+    }
+    chain.add_node(std::move(node).value(), loc);
+    ++index;
+  }
+  if (chain.empty()) {
+    return Error{"chain has no NFs"};
+  }
+  try {
+    chain.validate();
+  } catch (const std::invalid_argument& e) {
+    return Error{e.what()};
+  }
+  return chain;
+}
+
+std::string to_chain_spec(const ServiceChain& chain) {
+  std::string out = chain.ingress() == Attachment::kWire ? "wire |" : "host |";
+  for (const auto& node : chain.nodes()) {
+    out += format(" %c:%s=%s", node.location == Location::kSmartNic ? 'S' : 'C',
+                  std::string(to_string(node.spec.type)).c_str(),
+                  node.spec.name.c_str());
+    if (node.spec.load_factor != 1.0) {
+      out += format("@%g", node.spec.load_factor);
+    }
+    if (node.spec.pass_ratio != 1.0) {
+      out += format("%%%g", node.spec.pass_ratio);
+    }
+    out += format("#%g/%g", node.spec.capacity.smartnic.value(),
+                  node.spec.capacity.cpu.value());
+  }
+  out += chain.egress() == Attachment::kWire ? " | wire" : " | host";
+  return out;
+}
+
+}  // namespace pam

@@ -1,0 +1,48 @@
+// Textual chain specifications.
+//
+// Operators describe chains in config files and on command lines; this
+// parser turns a one-line spec into a validated ServiceChain:
+//
+//   "wire | S:Firewall S:Monitor S:Logger@0.5 C:LoadBalancer | host"
+//
+// Grammar (whitespace-separated tokens, three '|'-separated sections):
+//
+//   spec     := ingress '|' nodes '|' egress
+//   ingress  := 'wire' | 'host'
+//   egress   := 'wire' | 'host'
+//   nodes    := node+
+//   node     := side ':' type [ '=' name ] [ '@' load_factor ]
+//               [ '%' pass_ratio ] [ '#' cap_s '/' cap_c ]
+//   side     := 'S' | 'C'
+//   type     := Firewall | Logger | Monitor | LoadBalancer | NAT | DPI |
+//               RateLimiter | Encryptor
+//
+// Examples:
+//   S:Logger@0.5          sampling logger, every 2nd packet
+//   S:Firewall%0.9        firewall passing 90% of traffic
+//   C:Monitor#3.2/10      explicit capacities (Gbps SmartNIC/CPU)
+//   S:NAT=cgnat1          explicit instance name
+//
+// Parsing failures return Result errors with the offending token.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "chain/service_chain.hpp"
+#include "common/result.hpp"
+
+namespace pam {
+
+/// Parses `spec` (see grammar above).  Instance names default to
+/// "<type><index>"; capacities default to CapacityTable::paper_defaults().
+[[nodiscard]] Result<ServiceChain> parse_chain_spec(
+    std::string_view spec, std::string chain_name = "chain",
+    const CapacityTable& capacities = CapacityTable::paper_defaults());
+
+/// Inverse: a spec string that parse_chain_spec() maps back to `chain`
+/// (modulo default fields).
+[[nodiscard]] std::string to_chain_spec(const ServiceChain& chain);
+
+}  // namespace pam

@@ -1,0 +1,44 @@
+#include "chain/deployment.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+void Deployment::add(ServiceChain chain, Gbps offered) {
+  chain.validate();
+  chains_.push_back(DeployedChain{std::move(chain), offered});
+}
+
+UtilizationReport Deployment::utilization(const ChainAnalyzer& analyzer) const {
+  UtilizationReport total;
+  for (const auto& deployed : chains_) {
+    const UtilizationReport one =
+        analyzer.utilization(deployed.chain, deployed.offered);
+    total.smartnic += one.smartnic;
+    total.cpu += one.cpu;
+    total.pcie += one.pcie;
+    total.wire += one.wire;  // chains share the NIC's physical ports
+  }
+  return total;
+}
+
+double Deployment::weighted_crossings() const {
+  double total = 0.0;
+  for (const auto& deployed : chains_) {
+    total += static_cast<double>(deployed.chain.pcie_crossings()) *
+             deployed.offered.value();
+  }
+  return total;
+}
+
+std::string Deployment::describe() const {
+  std::string out = format("Deployment{%zu chains}", chains_.size());
+  for (const auto& deployed : chains_) {
+    out += format("\n  [%s] %s  @ %s", deployed.chain.name().c_str(),
+                  deployed.chain.describe().c_str(),
+                  deployed.offered.to_string().c_str());
+  }
+  return out;
+}
+
+}  // namespace pam

@@ -1,0 +1,52 @@
+// Multi-chain deployments.
+//
+// Real NFV servers host several service chains at once, all drawing from the
+// same SmartNIC and CPU budgets.  A Deployment is a set of chains with their
+// current offered loads; utilisation aggregates across chains, and the
+// multi-chain PAM variant (core/multi_chain_pam) selects border vNFs from
+// the union of all chains' border sets.  This is the "extend PAM" direction
+// of the poster's future work.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/service_chain.hpp"
+
+namespace pam {
+
+struct DeployedChain {
+  ServiceChain chain;
+  Gbps offered;  ///< current ingress rate of this chain
+};
+
+class Deployment {
+ public:
+  Deployment() = default;
+
+  void add(ServiceChain chain, Gbps offered);
+
+  [[nodiscard]] std::size_t size() const noexcept { return chains_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return chains_.empty(); }
+  [[nodiscard]] const DeployedChain& at(std::size_t i) const { return chains_.at(i); }
+  [[nodiscard]] DeployedChain& at(std::size_t i) { return chains_.at(i); }
+  [[nodiscard]] const std::vector<DeployedChain>& chains() const noexcept {
+    return chains_;
+  }
+
+  /// Aggregate device/link utilisation across all chains.
+  [[nodiscard]] UtilizationReport utilization(const ChainAnalyzer& analyzer) const;
+
+  /// Total PCIe crossings per second-equivalent: Σ chain crossings weighted
+  /// by offered rate (Gbps-crossings; the link-level load measure).
+  [[nodiscard]] double weighted_crossings() const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<DeployedChain> chains_;
+};
+
+}  // namespace pam

@@ -1,0 +1,67 @@
+#include "chain/latency_breakdown.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+double LatencyBreakdown::crossing_share() const noexcept {
+  if (total.ns() <= 0) {
+    return 0.0;
+  }
+  std::int64_t crossing_ns = 0;
+  for (const auto& item : items) {
+    if (item.label.find("PCIe") != std::string::npos) {
+      crossing_ns += item.amount.ns();
+    }
+  }
+  return static_cast<double>(crossing_ns) / static_cast<double>(total.ns());
+}
+
+std::string LatencyBreakdown::render() const {
+  std::string out;
+  for (const auto& item : items) {
+    const double pct = total.ns() > 0 ? static_cast<double>(item.amount.ns()) /
+                                            static_cast<double>(total.ns()) * 100.0
+                                      : 0.0;
+    out += format("  %-28s %12s  %5.1f%%\n", item.label.c_str(),
+                  item.amount.to_string().c_str(), pct);
+  }
+  out += format("  %-28s %12s  100.0%%\n", "TOTAL", total.to_string().c_str());
+  return out;
+}
+
+LatencyBreakdown breakdown_latency(const ServiceChain& chain, const Server& server,
+                                   Bytes size, const Calibration& calibration) {
+  LatencyBreakdown breakdown;
+  breakdown.total = SimTime::zero();
+  auto add = [&](std::string label, SimTime amount) {
+    breakdown.items.push_back(LatencyContribution{std::move(label), amount});
+    breakdown.total += amount;
+  };
+
+  std::uint32_t crossing_index = 0;
+  Location side = side_of(chain.ingress());
+  for (std::size_t i = 0; i <= chain.size(); ++i) {
+    const Location next = i == chain.size() ? side_of(chain.egress())
+                                            : chain.location_of(i);
+    if (next != side) {
+      ++crossing_index;
+      add(format("PCIe crossing #%u", crossing_index),
+          server.pcie().crossing_latency(size));
+      side = next;
+    }
+    if (i == chain.size()) {
+      break;
+    }
+    const auto& node = chain.node(i);
+    const char tag = node.location == Location::kSmartNic ? 'S' : 'C';
+    add(format("%s overhead [%c]", node.spec.name.c_str(), tag),
+        calibration.nf_overhead(node.location));
+    add(format("%s service [%c]", node.spec.name.c_str(), tag),
+        serialization_delay(size, node.spec.capacity.on(node.location)) *
+            node.spec.load_factor);
+  }
+  return breakdown;
+}
+
+}  // namespace pam

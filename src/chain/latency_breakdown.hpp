@@ -1,0 +1,41 @@
+// Per-hop latency decomposition.
+//
+// Attributes a chain's structural latency to its components — per-NF
+// virtualisation overhead, per-NF service, and each PCIe crossing — so
+// benches and operators can see exactly *where* the naive migration loses
+// its ~18% (spoiler: two crossing line items).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/calibration.hpp"
+#include "chain/service_chain.hpp"
+#include "device/server.hpp"
+
+namespace pam {
+
+struct LatencyContribution {
+  std::string label;   ///< e.g. "Monitor service [S]" or "PCIe crossing #2"
+  SimTime amount;
+};
+
+struct LatencyBreakdown {
+  std::vector<LatencyContribution> items;
+  SimTime total;
+
+  /// Fraction of the total attributed to PCIe crossings.
+  [[nodiscard]] double crossing_share() const noexcept;
+
+  /// ASCII table with a percentage column.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Decomposes the structural (zero-load) latency of `chain` for frames of
+/// `size`.  Sums to ChainAnalyzer::structural_latency exactly.
+[[nodiscard]] LatencyBreakdown breakdown_latency(
+    const ServiceChain& chain, const Server& server, Bytes size,
+    const Calibration& calibration = Calibration::defaults());
+
+}  // namespace pam

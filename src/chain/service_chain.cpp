@@ -1,0 +1,123 @@
+#include "chain/service_chain.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+void ServiceChain::add_node(NfSpec spec, Location location) {
+  nodes_.push_back(ChainNode{std::move(spec), location});
+}
+
+std::optional<std::size_t> ServiceChain::index_of(const std::string& nf_name) const noexcept {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].spec.name == nf_name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Location ServiceChain::upstream_side(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("upstream_side: bad index");
+  }
+  return i == 0 ? side_of(ingress_) : nodes_[i - 1].location;
+}
+
+Location ServiceChain::downstream_side(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("downstream_side: bad index");
+  }
+  return i + 1 == nodes_.size() ? side_of(egress_) : nodes_[i + 1].location;
+}
+
+std::uint32_t ServiceChain::pcie_crossings() const noexcept {
+  std::uint32_t crossings = 0;
+  Location prev = side_of(ingress_);
+  for (const auto& n : nodes_) {
+    if (n.location != prev) {
+      ++crossings;
+    }
+    prev = n.location;
+  }
+  if (prev != side_of(egress_)) {
+    ++crossings;
+  }
+  return crossings;
+}
+
+int ServiceChain::crossing_delta_if_migrated(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("crossing_delta_if_migrated: bad index");
+  }
+  const Location up = upstream_side(i);
+  const Location down = downstream_side(i);
+  const Location cur = nodes_[i].location;
+  const Location moved = other(cur);
+  const auto boundary = [](Location a, Location b) { return a != b ? 1 : 0; };
+  const int before = boundary(up, cur) + boundary(cur, down);
+  const int after = boundary(up, moved) + boundary(moved, down);
+  return after - before;
+}
+
+Gbps ServiceChain::offered_at(std::size_t i, Gbps ingress_rate) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("offered_at: bad index");
+  }
+  double rate = ingress_rate.value();
+  for (std::size_t j = 0; j < i; ++j) {
+    rate *= nodes_[j].spec.pass_ratio;
+  }
+  return Gbps{rate};
+}
+
+Gbps ServiceChain::rate_at_boundary(std::size_t i, Gbps ingress_rate) const {
+  if (i > nodes_.size()) {
+    throw std::out_of_range("rate_at_boundary: bad index");
+  }
+  double rate = ingress_rate.value();
+  for (std::size_t j = 0; j < i; ++j) {
+    rate *= nodes_[j].spec.pass_ratio;
+  }
+  return Gbps{rate};
+}
+
+void ServiceChain::validate() const {
+  std::unordered_set<std::string> names;
+  for (const auto& n : nodes_) {
+    if (n.spec.name.empty()) {
+      throw std::invalid_argument("chain node with empty name");
+    }
+    if (!names.insert(n.spec.name).second) {
+      throw std::invalid_argument(format("duplicate NF name '%s' in chain '%s'",
+                                         n.spec.name.c_str(), name_.c_str()));
+    }
+    if (n.spec.capacity.smartnic.value() <= 0.0 || n.spec.capacity.cpu.value() <= 0.0) {
+      throw std::invalid_argument(
+          format("NF '%s' has a non-positive capacity", n.spec.name.c_str()));
+    }
+    if (n.spec.load_factor < 0.0 || n.spec.load_factor > 1.0) {
+      throw std::invalid_argument(
+          format("NF '%s' load_factor outside [0,1]", n.spec.name.c_str()));
+    }
+    if (n.spec.pass_ratio < 0.0 || n.spec.pass_ratio > 1.0) {
+      throw std::invalid_argument(
+          format("NF '%s' pass_ratio outside [0,1]", n.spec.name.c_str()));
+    }
+  }
+}
+
+std::string ServiceChain::describe() const {
+  std::string out = ingress_ == Attachment::kWire ? "wire" : "host";
+  for (const auto& n : nodes_) {
+    out += format(" ->[%s]%s", n.location == Location::kSmartNic ? "S" : "C",
+                  n.spec.name.c_str());
+  }
+  out += egress_ == Attachment::kWire ? " -> wire" : " -> host";
+  return out;
+}
+
+}  // namespace pam

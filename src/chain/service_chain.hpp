@@ -1,0 +1,94 @@
+// Service chain representation.
+//
+// A chain is an ordered sequence of NF specs, each placed on the SmartNIC or
+// the CPU, plus two virtual endpoints: where traffic enters (the NIC wire
+// port) and where it leaves (back out the wire, or up to host applications).
+// Endpoint sides matter because they decide whether migrating the first/last
+// NF of a SmartNIC segment adds PCIe crossings — see DESIGN.md §3.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "nf/nf_spec.hpp"
+
+namespace pam {
+
+/// Where the chain's ingress/egress attaches.
+enum class Attachment : std::uint8_t {
+  kWire,  ///< NIC physical port — SmartNIC side
+  kHost,  ///< host application / VM — CPU side
+};
+
+[[nodiscard]] constexpr Location side_of(Attachment a) noexcept {
+  return a == Attachment::kWire ? Location::kSmartNic : Location::kCpu;
+}
+
+struct ChainNode {
+  NfSpec spec;
+  Location location = Location::kSmartNic;
+};
+
+class ServiceChain {
+ public:
+  explicit ServiceChain(std::string name = "chain") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void set_ingress(Attachment a) noexcept { ingress_ = a; }
+  void set_egress(Attachment a) noexcept { egress_ = a; }
+  [[nodiscard]] Attachment ingress() const noexcept { return ingress_; }
+  [[nodiscard]] Attachment egress() const noexcept { return egress_; }
+
+  void add_node(NfSpec spec, Location location);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const ChainNode& node(std::size_t i) const { return nodes_.at(i); }
+  [[nodiscard]] const std::vector<ChainNode>& nodes() const noexcept { return nodes_; }
+
+  [[nodiscard]] std::optional<std::size_t> index_of(const std::string& nf_name) const noexcept;
+
+  void set_location(std::size_t i, Location loc) { nodes_.at(i).location = loc; }
+  [[nodiscard]] Location location_of(std::size_t i) const { return nodes_.at(i).location; }
+
+  /// Effective side of the hop upstream of node i (node i-1, or ingress).
+  [[nodiscard]] Location upstream_side(std::size_t i) const;
+  /// Effective side of the hop downstream of node i (node i+1, or egress).
+  [[nodiscard]] Location downstream_side(std::size_t i) const;
+
+  /// Number of PCIe traversals a packet makes end to end: boundaries where
+  /// consecutive effective locations differ in the sequence
+  /// [ingress, node_0, ..., node_{n-1}, egress].
+  [[nodiscard]] std::uint32_t pcie_crossings() const noexcept;
+
+  /// Change in pcie_crossings() if node i moved to the other device
+  /// (negative == fewer crossings).  Does not modify the chain.
+  [[nodiscard]] int crossing_delta_if_migrated(std::size_t i) const;
+
+  /// Throughput arriving at node i when `ingress_rate` enters the chain:
+  /// ingress_rate x Π_{j<i} pass_ratio_j.  This is the θ_cur each NF sees.
+  [[nodiscard]] Gbps offered_at(std::size_t i, Gbps ingress_rate) const;
+
+  /// Rate crossing the boundary *before* node i (i in [0, size()]; size()
+  /// == the egress boundary).
+  [[nodiscard]] Gbps rate_at_boundary(std::size_t i, Gbps ingress_rate) const;
+
+  /// Names must be unique and specs sane; throws std::invalid_argument.
+  void validate() const;
+
+  /// Compact rendering, e.g. "wire ->[S]FW ->[S]Mon ->[C]LB -> host".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::string name_;
+  std::vector<ChainNode> nodes_;
+  Attachment ingress_ = Attachment::kWire;
+  Attachment egress_ = Attachment::kHost;
+};
+
+}  // namespace pam

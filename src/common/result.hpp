@@ -1,0 +1,68 @@
+// A tiny Result<T, E> (the library targets toolchains where std::expected is
+// not yet reliably available).  Used for fallible operations whose failure is
+// part of normal control flow — e.g. "the PAM loop could not alleviate the
+// hot spot" — where exceptions would be the wrong tool.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pam {
+
+/// Default error payload: a machine-readable code plus human-readable detail.
+struct Error {
+  std::string message;
+
+  [[nodiscard]] const std::string& what() const noexcept { return message; }
+};
+
+template <typename T, typename E = Error>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Result ok(T value) { return Result{std::move(value)}; }
+  [[nodiscard]] static Result err(E error) { return Result{std::move(error)}; }
+
+  [[nodiscard]] bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const -> Result<decltype(f(std::declval<const T&>())), E> {
+    if (has_value()) {
+      return f(value());
+    }
+    return error();
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace pam

@@ -1,0 +1,81 @@
+// Fixed-capacity ring buffer, used for the Logger NF's record ring and the
+// migration engine's in-flight packet buffer.  Overwrites the oldest element
+// when full (the behaviour a packet logger wants) unless the caller uses
+// try_push.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace pam {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Push, overwriting the oldest element when full.  Returns true when an
+  /// element was overwritten.
+  bool push_overwrite(T value) {
+    const bool overwrote = full();
+    buf_[head_] = std::move(value);
+    head_ = next(head_);
+    if (overwrote) {
+      tail_ = next(tail_);
+    } else {
+      ++size_;
+    }
+    return overwrote;
+  }
+
+  /// Push only when space is available.
+  [[nodiscard]] bool try_push(T value) {
+    if (full()) {
+      return false;
+    }
+    push_overwrite(std::move(value));
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> pop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T out = std::move(buf_[tail_]);
+    tail_ = next(tail_);
+    --size_;
+    return out;
+  }
+
+  /// Oldest-first access without consuming, index 0 == oldest.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return buf_[(tail_ + i) % buf_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = tail_ = size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) % buf_.size();
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t tail_ = 0;  // oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace pam

@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pam {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+QuantileReservoir::QuantileReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed ? seed : 1) {
+  samples_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void QuantileReservoir::add(double x) {
+  ++total_;
+  sorted_dirty_ = true;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R reservoir replacement with a xorshift64 step.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const std::size_t j = static_cast<std::size_t>(rng_state_ % total_);
+  if (j < capacity_) {
+    samples_[j] = x;
+  }
+}
+
+double QuantileReservoir::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (sorted_dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
+  }
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void LatencyRecorder::record(SimTime latency) {
+  const double ns = static_cast<double>(latency.ns());
+  stats_.add(ns);
+  reservoir_.add(ns);
+}
+
+std::string LatencyRecorder::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%s p50=%s p99=%s max=%s",
+                count(), mean().to_string().c_str(),
+                quantile(0.5).to_string().c_str(),
+                quantile(0.99).to_string().c_str(),
+                max().to_string().c_str());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * bucket_width_;
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return bucket_lo(i) + bucket_width_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.1f, %10.1f) %8llu |", bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+ThroughputMeter::ThroughputMeter(SimTime window) : window_(window) {
+  assert(window.ns() > 0);
+}
+
+void ThroughputMeter::roll_to(SimTime now) {
+  while (now - window_start_ >= window_) {
+    window_rates_.push_back(rate_of(window_bytes_, window_));
+    window_start_ += window_;
+    window_bytes_ = Bytes{0};
+  }
+}
+
+void ThroughputMeter::record(SimTime now, Bytes size) {
+  if (!any_) {
+    first_ = now;
+    window_start_ = now;
+    any_ = true;
+  }
+  roll_to(now);
+  last_ = now;
+  total_ += size;
+  ++packets_;
+  window_bytes_ += size;
+}
+
+Gbps ThroughputMeter::average_rate() const {
+  if (!any_ || last_ <= first_) {
+    return Gbps::zero();
+  }
+  return rate_of(total_, last_ - first_);
+}
+
+}  // namespace pam

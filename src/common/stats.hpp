@@ -1,0 +1,142 @@
+// Streaming statistics used by the measurement layer: running moments,
+// exact-quantile reservoirs for latency distributions, and fixed-bucket
+// histograms for throughput-over-time reporting.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pam {
+
+/// Welford running mean/variance with min/max.  O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;   ///< population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile estimator.  Keeps all samples up to `capacity`, then switches to
+/// uniform reservoir sampling — exact quantiles for typical measurement runs,
+/// bounded memory for very long ones.  Deterministic given the seed.
+class QuantileReservoir {
+ public:
+  explicit QuantileReservoir(std::size_t capacity = 1 << 16, std::uint64_t seed = 42);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::size_t total_ = 0;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = true;
+};
+
+/// Latency recorder combining moments + quantiles, in SimTime.
+class LatencyRecorder {
+ public:
+  void record(SimTime latency);
+  [[nodiscard]] std::size_t count() const noexcept { return stats_.count(); }
+  [[nodiscard]] SimTime mean() const { return SimTime::nanoseconds(static_cast<std::int64_t>(stats_.mean())); }
+  [[nodiscard]] SimTime min() const { return SimTime::nanoseconds(static_cast<std::int64_t>(stats_.min())); }
+  [[nodiscard]] SimTime max() const { return SimTime::nanoseconds(static_cast<std::int64_t>(stats_.max())); }
+  [[nodiscard]] SimTime quantile(double q) const {
+    return SimTime::nanoseconds(static_cast<std::int64_t>(reservoir_.quantile(q)));
+  }
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  RunningStats stats_;
+  QuantileReservoir reservoir_;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples land in
+/// underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept;
+
+  /// ASCII rendering for example programs.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Windowed rate meter: count bytes over time, report Gbps per window and
+/// overall.  Used by sinks to report achieved throughput.
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(SimTime window = SimTime::milliseconds(10));
+
+  void record(SimTime now, Bytes size);
+  [[nodiscard]] Bytes total_bytes() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t total_packets() const noexcept { return packets_; }
+
+  /// Average rate between the first and last recorded packet.
+  [[nodiscard]] Gbps average_rate() const;
+
+  /// Per-window rates (for time-series plots in examples).
+  [[nodiscard]] const std::vector<Gbps>& window_rates() const noexcept { return window_rates_; }
+
+ private:
+  void roll_to(SimTime now);
+
+  SimTime window_;
+  Bytes total_{0};
+  std::uint64_t packets_ = 0;
+  SimTime first_ = SimTime::zero();
+  SimTime last_ = SimTime::zero();
+  bool any_ = false;
+  SimTime window_start_ = SimTime::zero();
+  Bytes window_bytes_{0};
+  std::vector<Gbps> window_rates_;
+};
+
+}  // namespace pam

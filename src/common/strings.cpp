@@ -1,0 +1,87 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pam {
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u",
+                (addr >> 24) & 0xff, (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+bool parse_ipv4(std::string_view s, std::uint32_t& out) noexcept {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  int digits = 0;
+  for (const char c : s) {
+    if (c == '.') {
+      if (digits == 0 || part >= 3) {
+        return false;
+      }
+      ++part;
+      digits = 0;
+    } else if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<std::uint32_t>(c - '0');
+      if (parts[part] > 255 || ++digits > 3) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  if (part != 3 || digits == 0) {
+    return false;
+  }
+  out = (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+  return true;
+}
+
+std::string table_row(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::string out = "|";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    out += format(" %-*s |", w, cells[i].c_str());
+  }
+  return out;
+}
+
+}  // namespace pam

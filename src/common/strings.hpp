@@ -1,0 +1,32 @@
+// Small string/formatting helpers shared by examples and benches.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pam {
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace on both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr_host_order);
+
+/// Parse dotted-quad to host-order IPv4; returns false on malformed input.
+[[nodiscard]] bool parse_ipv4(std::string_view s, std::uint32_t& out_host_order) noexcept;
+
+/// Render a fixed-width ASCII table row, used by bench harnesses to print
+/// the paper's tables.
+[[nodiscard]] std::string table_row(const std::vector<std::string>& cells,
+                                    const std::vector<int>& widths);
+
+}  // namespace pam

@@ -1,0 +1,59 @@
+#include "common/units.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pam {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", us());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f s", sec());
+  }
+  return buf;
+}
+
+std::string Gbps::to_string() const {
+  char buf[64];
+  if (std::fabs(v_) < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f Mbps", mbps());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f Gbps", v_);
+  }
+  return buf;
+}
+
+std::string Bytes::to_string() const {
+  char buf[64];
+  if (v_ < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(v_));
+  } else if (v_ < 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", static_cast<double>(v_) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", static_cast<double>(v_) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+SimTime serialization_delay(Bytes size, Gbps rate) {
+  assert(rate.value() > 0.0 && "serialization_delay requires a positive rate");
+  const double seconds = size.bits() / rate.bits_per_sec();
+  return SimTime::seconds(seconds);
+}
+
+Gbps rate_of(Bytes size, SimTime elapsed) {
+  if (elapsed <= SimTime::zero()) {
+    return Gbps::zero();
+  }
+  return Gbps::from_bits_per_sec(size.bits() / elapsed.sec());
+}
+
+}  // namespace pam

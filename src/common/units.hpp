@@ -1,0 +1,141 @@
+// Strong unit types used throughout the library.
+//
+// The PAM paper reasons about vNF capacities in Gbps, packet sizes in bytes
+// and latencies in (tens of) microseconds.  Mixing those up silently is the
+// classic NFV-simulator bug, so all quantities cross module boundaries as
+// strong types with explicit conversions.
+
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pam {
+
+/// Simulated time.  One tick == one nanosecond.  A dedicated type (rather
+/// than a raw std::chrono::nanoseconds) so it can carry simulation-specific
+/// helpers and formatting.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t nanos) noexcept : ns_(nanos) {}
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t v) noexcept { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime microseconds(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e3)};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const noexcept { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime& operator+=(SimTime o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) noexcept { ns_ -= o.ns_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept { return SimTime{a.ns_ + b.ns_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept { return SimTime{a.ns_ - b.ns_}; }
+  friend constexpr SimTime operator*(SimTime a, double k) noexcept {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) noexcept { return a * k; }
+  friend constexpr double operator/(SimTime a, SimTime b) noexcept {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Human-readable rendering with an adaptive unit, e.g. "312.4 us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Throughput / capacity in gigabits per second.  The paper's Table 1 uses
+/// Gbps for every vNF capacity, so this is the library's canonical rate unit.
+class Gbps {
+ public:
+  constexpr Gbps() noexcept = default;
+  constexpr explicit Gbps(double v) noexcept : v_(v) {}
+
+  [[nodiscard]] static constexpr Gbps zero() noexcept { return Gbps{0.0}; }
+  [[nodiscard]] static constexpr Gbps from_mbps(double mbps) noexcept { return Gbps{mbps / 1e3}; }
+  [[nodiscard]] static constexpr Gbps from_bits_per_sec(double bps) noexcept { return Gbps{bps / 1e9}; }
+
+  [[nodiscard]] constexpr double value() const noexcept { return v_; }
+  [[nodiscard]] constexpr double mbps() const noexcept { return v_ * 1e3; }
+  [[nodiscard]] constexpr double bits_per_sec() const noexcept { return v_ * 1e9; }
+
+  constexpr auto operator<=>(const Gbps&) const noexcept = default;
+
+  friend constexpr Gbps operator+(Gbps a, Gbps b) noexcept { return Gbps{a.v_ + b.v_}; }
+  friend constexpr Gbps operator-(Gbps a, Gbps b) noexcept { return Gbps{a.v_ - b.v_}; }
+  friend constexpr Gbps operator*(Gbps a, double k) noexcept { return Gbps{a.v_ * k}; }
+  friend constexpr Gbps operator*(double k, Gbps a) noexcept { return a * k; }
+  friend constexpr Gbps operator/(Gbps a, double k) noexcept { return Gbps{a.v_ / k}; }
+  friend constexpr double operator/(Gbps a, Gbps b) noexcept { return a.v_ / b.v_; }
+
+  constexpr Gbps& operator+=(Gbps o) noexcept { v_ += o.v_; return *this; }
+  constexpr Gbps& operator-=(Gbps o) noexcept { v_ -= o.v_; return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Byte count (packet sizes, state sizes, transfer volumes).
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(std::uint64_t v) noexcept : v_(v) {}
+
+  [[nodiscard]] static constexpr Bytes kib(std::uint64_t v) noexcept { return Bytes{v * 1024ull}; }
+  [[nodiscard]] static constexpr Bytes mib(std::uint64_t v) noexcept { return Bytes{v * 1024ull * 1024ull}; }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return v_; }
+  [[nodiscard]] constexpr double bits() const noexcept { return static_cast<double>(v_) * 8.0; }
+
+  constexpr auto operator<=>(const Bytes&) const noexcept = default;
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept { return Bytes{a.v_ + b.v_}; }
+  constexpr Bytes& operator+=(Bytes o) noexcept { v_ += o.v_; return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Time to push `size` onto a link/device running at `rate` (pure
+/// serialisation delay, no queueing).  Returns SimTime::zero() for a zero
+/// rate guard is the caller's job; rate must be > 0.
+[[nodiscard]] SimTime serialization_delay(Bytes size, Gbps rate);
+
+/// Rate achieved by moving `size` in `elapsed` time.
+[[nodiscard]] Gbps rate_of(Bytes size, SimTime elapsed);
+
+namespace literals {
+constexpr Gbps operator""_gbps(long double v) { return Gbps{static_cast<double>(v)}; }
+constexpr Gbps operator""_gbps(unsigned long long v) { return Gbps{static_cast<double>(v)}; }
+constexpr Bytes operator""_bytes(unsigned long long v) { return Bytes{v}; }
+constexpr SimTime operator""_ns(unsigned long long v) { return SimTime::nanoseconds(static_cast<std::int64_t>(v)); }
+constexpr SimTime operator""_us(long double v) { return SimTime::microseconds(static_cast<double>(v)); }
+constexpr SimTime operator""_us(unsigned long long v) { return SimTime::microseconds(static_cast<double>(v)); }
+constexpr SimTime operator""_ms(long double v) { return SimTime::milliseconds(static_cast<double>(v)); }
+constexpr SimTime operator""_ms(unsigned long long v) { return SimTime::milliseconds(static_cast<double>(v)); }
+constexpr SimTime operator""_s(long double v) { return SimTime::seconds(static_cast<double>(v)); }
+constexpr SimTime operator""_s(unsigned long long v) { return SimTime::seconds(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace pam

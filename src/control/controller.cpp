@@ -1,0 +1,73 @@
+#include "control/controller.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+Controller::Controller(ChainSimulator& sim, std::unique_ptr<MigrationPolicy> policy,
+                       ControllerOptions options)
+    : sim_(sim),
+      policy_(std::move(policy)),
+      options_(options),
+      analyzer_(sim.server(), sim.calibration()),
+      engine_(sim) {}
+
+void Controller::arm() {
+  sim_.schedule_periodic(options_.first_check, options_.period, [this] { check(); });
+}
+
+void Controller::note(std::string what) {
+  events_.push_back(ControllerEvent{sim_.now(), std::move(what)});
+}
+
+void Controller::check() {
+  if (engine_.busy()) {
+    return;  // one migration at a time
+  }
+  if (last_migration_done_.ns() >= 0 &&
+      sim_.now() - last_migration_done_ < options_.cooldown) {
+    return;
+  }
+  const Gbps rate = sim_.observed_ingress_rate(options_.rate_window);
+  const auto util = analyzer_.utilization(sim_.chain(), rate);
+  if (util.smartnic < options_.trigger_utilization) {
+    // Calm direction: pull pushed-aside vNFs back when well under the
+    // trigger and a scale-in policy is installed.
+    if (scale_in_policy_ != nullptr &&
+        util.smartnic < options_.scale_in_below_utilization) {
+      const MigrationPlan back = scale_in_policy_->plan(sim_.chain(), analyzer_, rate);
+      if (back.feasible && !back.empty()) {
+        note(back.describe());
+        engine_.execute(back, [this] {
+          last_migration_done_ = sim_.now();
+          note("scale-in complete");
+        });
+      }
+    }
+    return;
+  }
+  note(format("overload detected at %s offered: %s", rate.to_string().c_str(),
+              util.describe().c_str()));
+
+  const MigrationPlan plan = policy_->plan(sim_.chain(), analyzer_, rate);
+  if (!plan.feasible) {
+    // Both devices hot: the paper defers to OpenNF-style scale-out ("the
+    // network operator must start another instance").  Record the decision;
+    // instance provisioning is outside the single-server data plane.
+    if (!scale_out_requested_) {
+      scale_out_requested_ = true;
+      note("plan infeasible -> scale-out requested: " + plan.infeasibility_reason);
+    }
+    return;
+  }
+  if (plan.empty()) {
+    return;
+  }
+  note(plan.describe());
+  engine_.execute(plan, [this] {
+    last_migration_done_ = sim_.now();
+    note(format("migration complete (%zu step(s))", engine_.records().size()));
+  });
+}
+
+}  // namespace pam

@@ -1,0 +1,90 @@
+// The scaling controller.
+//
+// "The network administrators can periodically query the load of SmartNIC
+// and CPU and execute the PAM border vNF selection algorithm" — this class
+// is that loop, running inside simulated time:
+//
+//   every `period`:
+//     estimate the offered load from the trailing ingress window
+//     evaluate device utilisation with ChainAnalyzer
+//     if the SmartNIC exceeds `trigger_utilization` and no migration is in
+//     progress and the cooldown has expired:
+//         plan  = policy->plan(...)
+//         feasible      -> hand to the MigrationEngine
+//         infeasible    -> record a scale-out decision (OpenNF fallback)
+//
+// All decisions land in an event log the examples print as a timeline.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+#include "core/policy.hpp"
+#include "migration/migration_engine.hpp"
+
+namespace pam {
+
+struct ControllerOptions {
+  SimTime period = SimTime::milliseconds(10.0);
+  SimTime first_check = SimTime::milliseconds(10.0);
+  /// SmartNIC utilisation that arms the policy.
+  double trigger_utilization = 1.0;
+  /// Quiet time after a completed migration before re-triggering.
+  SimTime cooldown = SimTime::milliseconds(20.0);
+  /// Trailing window used to estimate the offered load.
+  SimTime rate_window = SimTime::milliseconds(5.0);
+
+  /// Bidirectional placement: when set, a second policy (normally
+  /// ScaleInPolicy) runs whenever the SmartNIC sits *below* this threshold,
+  /// returning pushed-aside vNFs to the SmartNIC.  Keep it well under the
+  /// overload trigger to avoid migration ping-pong.
+  double scale_in_below_utilization = 0.0;  ///< 0 disables scale-in
+};
+
+struct ControllerEvent {
+  SimTime at = SimTime::zero();
+  std::string what;
+};
+
+class Controller {
+ public:
+  Controller(ChainSimulator& sim, std::unique_ptr<MigrationPolicy> policy,
+             ControllerOptions options = {});
+
+  /// Installs the calm-direction policy (see
+  /// ControllerOptions::scale_in_below_utilization).
+  void set_scale_in_policy(std::unique_ptr<MigrationPolicy> policy) {
+    scale_in_policy_ = std::move(policy);
+  }
+
+  /// Registers the periodic check with the simulator.  Call before run().
+  void arm();
+
+  [[nodiscard]] const std::vector<ControllerEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t migrations_executed() const noexcept {
+    return engine_.records().size();
+  }
+  [[nodiscard]] const MigrationEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] bool scale_out_requested() const noexcept { return scale_out_requested_; }
+
+ private:
+  void check();
+  void note(std::string what);
+
+  ChainSimulator& sim_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  std::unique_ptr<MigrationPolicy> scale_in_policy_;
+  ControllerOptions options_;
+  ChainAnalyzer analyzer_;
+  MigrationEngine engine_;
+  std::vector<ControllerEvent> events_;
+  SimTime last_migration_done_ = SimTime::nanoseconds(-1);
+  bool scale_out_requested_ = false;
+};
+
+}  // namespace pam

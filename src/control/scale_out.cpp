@@ -1,0 +1,38 @@
+#include "control/scale_out.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+ScaleOutDecision ScaleOutPlanner::plan(const ServiceChain& chain,
+                                       const ChainAnalyzer& analyzer,
+                                       Gbps offered) const {
+  assert(headroom_ > 0.0 && headroom_ <= 1.0);
+  ScaleOutDecision out;
+  const Gbps sustainable = analyzer.max_sustainable_rate(chain) * headroom_;
+  if (sustainable.value() <= 0.0) {
+    out.replicas = 0;
+    out.rationale = "chain cannot carry any load on this hardware";
+    return out;
+  }
+  std::size_t replicas = 1;
+  while (Gbps{offered.value() / static_cast<double>(replicas)} > sustainable &&
+         replicas < 1024) {
+    ++replicas;
+  }
+  out.replicas = replicas;
+  out.per_replica_rate = Gbps{offered.value() / static_cast<double>(replicas)};
+  out.per_replica_bottleneck =
+      analyzer.utilization(chain, out.per_replica_rate).bottleneck();
+  out.split_weights.assign(replicas, 1.0 / static_cast<double>(replicas));
+  out.rationale = format(
+      "offered %s exceeds per-replica sustainable %s; split across %zu replicas "
+      "-> %.3f bottleneck utilisation each",
+      offered.to_string().c_str(), sustainable.to_string().c_str(), replicas,
+      out.per_replica_bottleneck);
+  return out;
+}
+
+}  // namespace pam

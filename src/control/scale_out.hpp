@@ -1,0 +1,42 @@
+// OpenNF-style scale-out fallback [1].
+//
+// "If both CPU and SmartNIC are overloaded, which rarely happens, the
+// network operator must start another instance to alleviate the hot spot."
+// ScaleOutPlanner answers the operator's sizing question: how many chain
+// replicas (each on its own SmartNIC+CPU server) are needed for the offered
+// load, and how should flows be split across them.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+
+namespace pam {
+
+struct ScaleOutDecision {
+  std::size_t replicas = 1;        ///< total instances (including the original)
+  Gbps per_replica_rate;           ///< load each replica carries after the split
+  double per_replica_bottleneck = 0.0;  ///< worst device utilisation per replica
+  std::vector<double> split_weights;    ///< per-replica traffic share, sums to 1
+  std::string rationale;
+};
+
+class ScaleOutPlanner {
+ public:
+  /// `headroom` keeps replicas below full utilisation (0.9 leaves 10%).
+  explicit ScaleOutPlanner(double headroom = 0.9) : headroom_(headroom) {}
+
+  /// Smallest replica count such that an even flow split keeps every
+  /// replica's bottleneck utilisation below `headroom`.
+  [[nodiscard]] ScaleOutDecision plan(const ServiceChain& chain,
+                                      const ChainAnalyzer& analyzer,
+                                      Gbps offered) const;
+
+ private:
+  double headroom_;
+};
+
+}  // namespace pam

@@ -1,0 +1,56 @@
+// PAM — Push Aside Migration (the paper's contribution, §2).
+//
+// When the SmartNIC is overloaded, PAM does NOT migrate the overloaded vNF.
+// Instead it migrates *border* vNFs — SmartNIC NFs adjacent to a CPU-side
+// hop — because moving those never adds PCIe crossings:
+//
+//   Step 1  Identify border vNFs (BL: upstream on CPU, BR: downstream on
+//           CPU; virtual ingress/egress endpoints count — see border.hpp).
+//   Step 2  Among the remaining border candidates, select b0 with minimum
+//           SmartNIC capacity θ^S (frees the most fractional SmartNIC
+//           resource per migrated NF).
+//   Step 3  Check constraint (1) — Eq. 2: the CPU, with b0 added, stays
+//           below 1.0 utilisation.  If violated, discard b0 as a candidate
+//           and return to Step 2.  Check constraint (2) — Eq. 3: the
+//           SmartNIC without b0 drops below 1.0.  Migrate b0; if Eq. 3
+//           held, terminate, otherwise expand the border inward (the
+//           migrated NF's SmartNIC-side neighbour becomes a border) and
+//           return to Step 2.
+//
+// If candidates run out while the SmartNIC is still hot, both devices are
+// effectively overloaded and the plan is reported infeasible — the operator
+// must start another instance (OpenNF-style scale-out, src/control).
+
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace pam {
+
+struct PamOptions {
+  /// Target utilisation treated as "full" in Eq. 2/3.  1.0 matches the
+  /// paper; operators may leave headroom (e.g. 0.9).
+  double utilization_limit = 1.0;
+
+  /// Safety bound on migrations per invocation (the loop is provably finite
+  /// anyway; this catches misconfigured chains in release builds).
+  std::size_t max_migrations = 64;
+};
+
+class PamPolicy final : public MigrationPolicy {
+ public:
+  explicit PamPolicy(PamOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "PAM"; }
+
+  [[nodiscard]] MigrationPlan plan(const ServiceChain& chain,
+                                   const ChainAnalyzer& analyzer,
+                                   Gbps ingress_rate) const override;
+
+  [[nodiscard]] const PamOptions& options() const noexcept { return options_; }
+
+ private:
+  PamOptions options_;
+};
+
+}  // namespace pam

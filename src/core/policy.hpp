@@ -1,0 +1,27 @@
+// The scaling-policy interface shared by PAM and the baselines.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "chain/chain_analyzer.hpp"
+#include "core/migration_plan.hpp"
+
+namespace pam {
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes the moves this policy makes when `chain` carries
+  /// `ingress_rate`.  Must be pure: no side effects on the chain.  When the
+  /// SmartNIC is not overloaded the returned plan is empty.
+  [[nodiscard]] virtual MigrationPlan plan(const ServiceChain& chain,
+                                           const ChainAnalyzer& analyzer,
+                                           Gbps ingress_rate) const = 0;
+};
+
+}  // namespace pam

@@ -1,0 +1,23 @@
+#include "device/fpga.hpp"
+
+namespace pam {
+
+using namespace pam::literals;
+
+FpgaSmartNic::FpgaSmartNic(std::string name, std::uint32_t ports, Gbps port_speed,
+                           FpgaParams params)
+    : Device(std::move(name), Location::kSmartNic),
+      ports_(ports),
+      port_speed_(port_speed),
+      params_(params) {}
+
+FpgaSmartNic FpgaSmartNic::reference_board() {
+  return FpgaSmartNic{"fpga-2x10g", 2, 10.0_gbps};
+}
+
+SimTime FpgaSmartNic::reconfiguration_time() const noexcept {
+  return params_.reconfig_setup +
+         serialization_delay(params_.bitstream_size, params_.icap_bandwidth);
+}
+
+}  // namespace pam

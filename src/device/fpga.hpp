@@ -1,0 +1,73 @@
+// FPGA-based SmartNIC model — the poster's final future-work item ("extend
+// PAM to work in FPGA-based SmartNICs").
+//
+// The control-plane difference from an NPU NIC is reconfiguration: placing
+// or removing an NF means loading a partial bitstream into one of a fixed
+// number of partial-reconfiguration (PR) regions, which costs milliseconds
+// (vs. the NPU's microsecond firmware dispatch change) and is serialised by
+// the single ICAP configuration port.  PAM's *selection* logic is
+// unchanged; what changes is the migration cost model and a slot-count
+// feasibility constraint, both modelled here and consumed by the migration
+// engine through MigrationCostModel.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace pam {
+
+struct FpgaParams {
+  std::uint32_t pr_regions = 8;            ///< concurrent NF slots
+  Bytes bitstream_size = Bytes::mib(4);    ///< partial bitstream per NF
+  Gbps icap_bandwidth = Gbps{3.2};         ///< configuration port (400 MB/s)
+  SimTime reconfig_setup = SimTime::milliseconds(1.0);  ///< driver + DFX handshake
+};
+
+class FpgaSmartNic final : public Device {
+ public:
+  FpgaSmartNic(std::string name, std::uint32_t ports, Gbps port_speed,
+               FpgaParams params = {});
+
+  /// A typical 2x10GbE FPGA NIC in the Agilio's class.
+  [[nodiscard]] static FpgaSmartNic reference_board();
+
+  [[nodiscard]] std::uint32_t ports() const noexcept { return ports_; }
+  [[nodiscard]] Gbps port_speed() const noexcept { return port_speed_; }
+  [[nodiscard]] const FpgaParams& params() const noexcept { return params_; }
+
+  /// Time to load one NF's partial bitstream (setup + ICAP transfer).
+  [[nodiscard]] SimTime reconfiguration_time() const noexcept;
+
+  /// PR-region accounting: placing an NF occupies one region.
+  [[nodiscard]] std::uint32_t regions_in_use() const noexcept {
+    return static_cast<std::uint32_t>(residents().size());
+  }
+  [[nodiscard]] bool has_free_region() const noexcept {
+    return regions_in_use() < params_.pr_regions;
+  }
+
+ private:
+  std::uint32_t ports_;
+  Gbps port_speed_;
+  FpgaParams params_;
+};
+
+/// Migration-cost model: how long the *device-side* (re)configuration of a
+/// moved NF takes, on top of state transfer.  NPU NICs dispatch firmware in
+/// ~0; FPGA NICs pay a partial reconfiguration.  Consumed by
+/// MigrationEngineOptions::device_reconfiguration.
+struct MigrationCostModel {
+  SimTime smartnic_reconfiguration = SimTime::zero();  ///< NPU default
+
+  [[nodiscard]] static MigrationCostModel npu() noexcept { return {}; }
+  [[nodiscard]] static MigrationCostModel fpga(const FpgaSmartNic& nic) noexcept {
+    return MigrationCostModel{nic.reconfiguration_time()};
+  }
+};
+
+}  // namespace pam

@@ -1,0 +1,19 @@
+#include "device/server.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+Server Server::paper_testbed() {
+  return Server{SmartNic::agilio_cx(), CpuSocket::xeon_e5_2620_v2_pair(),
+                PcieLink::calibrated_default()};
+}
+
+std::string Server::describe() const {
+  return format("Server{nic=%s(%ux%s), cpu=%s(%u cores @ %.2f GHz), %s}",
+                nic_.name().c_str(), nic_.ports(),
+                nic_.port_speed().to_string().c_str(), cpu_.name().c_str(),
+                cpu_.cores(), cpu_.base_ghz(), pcie_.describe().c_str());
+}
+
+}  // namespace pam

@@ -1,0 +1,88 @@
+// Deep packet inspection via Aho–Corasick multi-pattern matching.
+//
+// Scans packet payloads for a compiled signature set in a single pass,
+// independent of signature count — the standard IDS/IPS data path.  Matching
+// is byte-exact (no regex) which is what NPU offloads of signature matching
+// implement.  The automaton is rebuilt from the signature list on import, so
+// the migration blob carries only the signatures and counters.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+/// Standalone Aho–Corasick automaton (reusable outside the NF).
+class AhoCorasick {
+ public:
+  /// Adds a pattern; returns its id.  Must be called before compile().
+  std::size_t add_pattern(std::string pattern);
+
+  /// Builds goto/fail transitions.  Idempotent.
+  void compile();
+
+  [[nodiscard]] bool compiled() const noexcept { return compiled_; }
+  [[nodiscard]] std::size_t pattern_count() const noexcept { return patterns_.size(); }
+  [[nodiscard]] const std::string& pattern(std::size_t id) const { return patterns_.at(id); }
+
+  struct Match {
+    std::size_t pattern_id = 0;
+    std::size_t end_offset = 0;  ///< offset one past the last matched byte
+  };
+
+  /// All matches in `data` (overlapping included).  Requires compile().
+  [[nodiscard]] std::vector<Match> find_all(std::span<const std::uint8_t> data) const;
+
+  /// Fast path: true as soon as any pattern matches.
+  [[nodiscard]] bool contains_any(std::span<const std::uint8_t> data) const;
+
+ private:
+  struct Node {
+    std::unordered_map<std::uint8_t, std::uint32_t> next;
+    std::uint32_t fail = 0;
+    std::vector<std::size_t> outputs;  ///< pattern ids ending here
+  };
+
+  std::vector<std::string> patterns_;
+  std::vector<Node> nodes_{1};  // node 0 == root
+  bool compiled_ = false;
+};
+
+enum class DpiAction : std::uint8_t {
+  kAlert,  ///< count the hit, forward the packet (IDS mode)
+  kBlock,  ///< drop packets containing any signature (IPS mode)
+};
+
+class Dpi final : public NetworkFunction {
+ public:
+  explicit Dpi(std::string name, DpiAction action = DpiAction::kBlock);
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kDpi; }
+
+  void add_signature(std::string signature);
+  [[nodiscard]] std::size_t signature_count() const noexcept { return automaton_.pattern_count(); }
+
+  [[nodiscard]] std::uint64_t total_hits() const noexcept { return total_hits_; }
+  [[nodiscard]] std::uint64_t hits_for(const std::string& signature) const noexcept;
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  DpiAction action_;
+  AhoCorasick automaton_;
+  std::vector<std::uint64_t> per_signature_hits_;
+  std::uint64_t total_hits_ = 0;
+};
+
+}  // namespace pam

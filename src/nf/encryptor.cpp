@@ -1,0 +1,105 @@
+#include "nf/encryptor.hpp"
+
+namespace pam {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+/// One 64-byte ARX block keyed by (key, nonce, block counter).
+std::array<std::uint8_t, 64> block(std::uint64_t key, std::uint64_t nonce,
+                                   std::uint32_t counter) noexcept {
+  std::array<std::uint32_t, 16> s = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      static_cast<std::uint32_t>(key), static_cast<std::uint32_t>(key >> 32),
+      static_cast<std::uint32_t>(~key), static_cast<std::uint32_t>(~key >> 32),
+      static_cast<std::uint32_t>(key * 0x9e3779b9u), 0x5be0cd19, 0x1f83d9ab, 0x9b05688c,
+      counter,
+      static_cast<std::uint32_t>(nonce), static_cast<std::uint32_t>(nonce >> 32),
+      0x510e527f,
+  };
+  const std::array<std::uint32_t, 16> initial = s;
+  for (int round = 0; round < 4; ++round) {  // 8 rounds (4 double rounds)
+    quarter_round(s[0], s[4], s[8], s[12]);
+    quarter_round(s[1], s[5], s[9], s[13]);
+    quarter_round(s[2], s[6], s[10], s[14]);
+    quarter_round(s[3], s[7], s[11], s[15]);
+    quarter_round(s[0], s[5], s[10], s[15]);
+    quarter_round(s[1], s[6], s[11], s[12]);
+    quarter_round(s[2], s[7], s[8], s[13]);
+    quarter_round(s[3], s[4], s[9], s[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = s[i] + initial[i];
+    out[i * 4 + 0] = static_cast<std::uint8_t>(v & 0xff);
+    out[i * 4 + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    out[i * 4 + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    out[i * 4 + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace
+
+Encryptor::Encryptor(std::string name, std::uint64_t key)
+    : NetworkFunction(std::move(name)), key_(key) {}
+
+void Encryptor::keystream(std::uint64_t key, std::uint64_t nonce,
+                          std::span<std::uint8_t> out) noexcept {
+  std::uint32_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto blk = block(key, nonce, counter++);
+    const std::size_t n = std::min<std::size_t>(blk.size(), out.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[pos + i] = blk[i];
+    }
+    pos += n;
+  }
+}
+
+Verdict Encryptor::process(Packet& pkt, SimTime /*now*/) {
+  auto payload = pkt.payload();
+  if (payload.empty()) {
+    return Verdict::kForward;
+  }
+  const auto tuple = pkt.five_tuple();
+  const std::uint64_t nonce = tuple ? hash_value(*tuple) : 0;
+  std::uint32_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const auto blk = block(key_, nonce, counter++);
+    const std::size_t n = std::min<std::size_t>(blk.size(), payload.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) {
+      payload[pos + i] ^= blk[i];
+    }
+    pos += n;
+  }
+  bytes_encrypted_ += payload.size();
+  return Verdict::kForward;
+}
+
+NfState Encryptor::export_state() const {
+  StateWriter w;
+  w.u64(key_);
+  w.u64(bytes_encrypted_);
+  return NfState{name(), std::move(w).take()};
+}
+
+void Encryptor::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  key_ = r.u64();
+  bytes_encrypted_ = r.u64();
+}
+
+}  // namespace pam

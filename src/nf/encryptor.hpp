@@ -1,0 +1,43 @@
+// Payload encryptor — the VPN-gateway stand-in.
+//
+// Applies a ChaCha20-style ARX keystream (reduced to 8 rounds; this models
+// the *data path shape* of an IPsec gateway, it is NOT a vetted cipher and
+// must never be used for actual confidentiality) XORed over the payload.
+// Each flow gets a per-flow nonce derived from the tuple hash so equal
+// plaintexts in different flows produce different ciphertexts, and
+// encrypt(encrypt(x)) == x, which the tests exploit.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+class Encryptor final : public NetworkFunction {
+ public:
+  explicit Encryptor(std::string name, std::uint64_t key = 0x0123456789abcdefull);
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kEncryptor; }
+
+  [[nodiscard]] std::uint64_t bytes_encrypted() const noexcept { return bytes_encrypted_; }
+
+  /// The keystream generator, exposed for tests: fills `out` with the
+  /// keystream for (key, nonce, counter...).
+  static void keystream(std::uint64_t key, std::uint64_t nonce,
+                        std::span<std::uint8_t> out) noexcept;
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t bytes_encrypted_ = 0;
+};
+
+}  // namespace pam

@@ -1,0 +1,76 @@
+#include "nf/firewall.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+std::string Ipv4Prefix::to_string() const {
+  return format("%s/%u", ipv4_to_string(addr).c_str(), prefix_len);
+}
+
+FirewallAction Firewall::classify(const FiveTuple& t) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule.matches(t)) {
+      return rule.action;
+    }
+  }
+  return default_action_;
+}
+
+Verdict Firewall::process(Packet& pkt, SimTime /*now*/) {
+  const auto tuple = pkt.five_tuple();
+  if (!tuple) {
+    // Non-IPv4 or truncated frames are dropped by policy: an ACL that cannot
+    // classify must fail closed.
+    return Verdict::kDrop;
+  }
+  return classify(*tuple) == FirewallAction::kAccept ? Verdict::kForward
+                                                     : Verdict::kDrop;
+}
+
+NfState Firewall::export_state() const {
+  StateWriter w;
+  w.u8(static_cast<std::uint8_t>(default_action_));
+  w.u32(static_cast<std::uint32_t>(rules_.size()));
+  for (const auto& r : rules_) {
+    w.u32(r.src.addr);
+    w.u8(r.src.prefix_len);
+    w.u32(r.dst.addr);
+    w.u8(r.dst.prefix_len);
+    w.u16(r.src_ports.lo);
+    w.u16(r.src_ports.hi);
+    w.u16(r.dst_ports.lo);
+    w.u16(r.dst_ports.hi);
+    w.u8(r.proto.has_value() ? 1 : 0);
+    w.u8(r.proto.has_value() ? static_cast<std::uint8_t>(*r.proto) : 0);
+    w.u8(static_cast<std::uint8_t>(r.action));
+  }
+  return NfState{name(), std::move(w).take()};
+}
+
+void Firewall::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  default_action_ = static_cast<FirewallAction>(r.u8());
+  const auto n = r.u32();
+  rules_.clear();
+  rules_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FirewallRule rule;
+    rule.src.addr = r.u32();
+    rule.src.prefix_len = r.u8();
+    rule.dst.addr = r.u32();
+    rule.dst.prefix_len = r.u8();
+    rule.src_ports.lo = r.u16();
+    rule.src_ports.hi = r.u16();
+    rule.dst_ports.lo = r.u16();
+    rule.dst_ports.hi = r.u16();
+    const bool has_proto = r.u8() != 0;
+    const auto proto_raw = r.u8();
+    rule.proto = has_proto ? std::optional<IpProto>{static_cast<IpProto>(proto_raw)}
+                           : std::nullopt;
+    rule.action = static_cast<FirewallAction>(r.u8());
+    rules_.push_back(rule);
+  }
+}
+
+}  // namespace pam

@@ -1,0 +1,90 @@
+// Stateless ACL firewall.
+//
+// Rules match on source/destination IPv4 prefixes, L4 port ranges and
+// protocol, first-match-wins, with a configurable default action — the
+// classic 5-tuple ACL an NPU firewall implements.  Prefix matching uses a
+// binary trie per dimension-free rule list with a pre-filter on the source
+// prefix, which keeps lookups cheap for the rule counts NFV chains carry
+// (tens to low thousands).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+/// An IPv4 prefix, e.g. 10.0.0.0/8.  prefix_len == 0 matches everything.
+struct Ipv4Prefix {
+  std::uint32_t addr = 0;  ///< host order, low bits outside the mask ignored
+  std::uint8_t prefix_len = 0;
+
+  [[nodiscard]] bool matches(std::uint32_t ip) const noexcept {
+    if (prefix_len == 0) {
+      return true;
+    }
+    const std::uint32_t mask = prefix_len >= 32 ? 0xffffffffu
+                                                : ~((1u << (32 - prefix_len)) - 1u);
+    return (ip & mask) == (addr & mask);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  [[nodiscard]] bool matches(std::uint16_t port) const noexcept {
+    return port >= lo && port <= hi;
+  }
+};
+
+enum class FirewallAction : std::uint8_t { kAccept, kDeny };
+
+struct FirewallRule {
+  Ipv4Prefix src;
+  Ipv4Prefix dst;
+  PortRange src_ports;
+  PortRange dst_ports;
+  std::optional<IpProto> proto;  ///< nullopt == any protocol
+  FirewallAction action = FirewallAction::kAccept;
+
+  [[nodiscard]] bool matches(const FiveTuple& t) const noexcept {
+    return src.matches(t.src_ip) && dst.matches(t.dst_ip) &&
+           src_ports.matches(t.src_port) && dst_ports.matches(t.dst_port) &&
+           (!proto.has_value() || *proto == t.proto);
+  }
+};
+
+class Firewall final : public NetworkFunction {
+ public:
+  explicit Firewall(std::string name,
+                    FirewallAction default_action = FirewallAction::kAccept)
+      : NetworkFunction(std::move(name)), default_action_(default_action) {}
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kFirewall; }
+
+  void add_rule(FirewallRule rule) { rules_.push_back(rule); }
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  void clear_rules() noexcept { rules_.clear(); }
+
+  /// Classification without side effects (used by tests).
+  [[nodiscard]] FirewallAction classify(const FiveTuple& t) const noexcept;
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  std::vector<FirewallRule> rules_;
+  FirewallAction default_action_;
+};
+
+}  // namespace pam

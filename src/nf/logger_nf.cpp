@@ -1,0 +1,70 @@
+#include "nf/logger_nf.hpp"
+
+#include <cassert>
+
+namespace pam {
+
+LoggerNf::LoggerNf(std::string name, std::uint32_t sample_every, std::size_t ring_capacity)
+    : NetworkFunction(std::move(name)),
+      sample_every_(sample_every == 0 ? 1 : sample_every),
+      ring_(ring_capacity) {}
+
+Verdict LoggerNf::process(Packet& pkt, SimTime now) {
+  // A logger never drops: it observes and forwards.
+  if (++phase_ >= sample_every_) {
+    phase_ = 0;
+    LogRecord rec;
+    rec.packet_id = pkt.id();
+    rec.timestamp = now;
+    rec.wire_bytes = static_cast<std::uint32_t>(pkt.size());
+    if (const auto tuple = pkt.five_tuple()) {
+      rec.flow = *tuple;
+    }
+    ring_.push_overwrite(rec);
+    ++records_written_;
+  }
+  return Verdict::kForward;
+}
+
+NfState LoggerNf::export_state() const {
+  StateWriter w;
+  w.u32(sample_every_);
+  w.u32(phase_);
+  w.u64(records_written_);
+  w.u32(static_cast<std::uint32_t>(ring_.size()));
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const auto& rec = ring_.at(i);
+    w.u64(rec.packet_id);
+    w.u64(static_cast<std::uint64_t>(rec.timestamp.ns()));
+    w.u32(rec.flow.src_ip);
+    w.u32(rec.flow.dst_ip);
+    w.u16(rec.flow.src_port);
+    w.u16(rec.flow.dst_port);
+    w.u8(static_cast<std::uint8_t>(rec.flow.proto));
+    w.u32(rec.wire_bytes);
+  }
+  return NfState{name(), std::move(w).take()};
+}
+
+void LoggerNf::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  sample_every_ = r.u32();
+  phase_ = r.u32();
+  records_written_ = r.u64();
+  const auto n = r.u32();
+  ring_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LogRecord rec;
+    rec.packet_id = r.u64();
+    rec.timestamp = SimTime::nanoseconds(static_cast<std::int64_t>(r.u64()));
+    rec.flow.src_ip = r.u32();
+    rec.flow.dst_ip = r.u32();
+    rec.flow.src_port = r.u16();
+    rec.flow.dst_port = r.u16();
+    rec.flow.proto = static_cast<IpProto>(r.u8());
+    rec.wire_bytes = r.u32();
+    ring_.push_overwrite(rec);
+  }
+}
+
+}  // namespace pam

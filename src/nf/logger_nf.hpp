@@ -1,0 +1,56 @@
+// Sampling packet logger.
+//
+// Records a fixed-size entry per sampled packet into a bounded ring (oldest
+// entries overwritten), the behaviour of the "Logger" vNF in the paper's
+// Figure-1 chain.  The sampling rate is what gives the headline scenario its
+// load_factor of 0.5 (DESIGN.md §3.4): sampling is deterministic — every
+// k-th packet — so runs are reproducible and the migration snapshot captures
+// the phase counter exactly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/ring_buffer.hpp"
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+struct LogRecord {
+  std::uint64_t packet_id = 0;
+  SimTime timestamp = SimTime::zero();
+  FiveTuple flow{};
+  std::uint32_t wire_bytes = 0;
+};
+
+class LoggerNf final : public NetworkFunction {
+ public:
+  /// `sample_every` == 1 logs every packet; 2 logs every other packet, etc.
+  explicit LoggerNf(std::string name, std::uint32_t sample_every = 1,
+                    std::size_t ring_capacity = 4096);
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kLogger; }
+
+  [[nodiscard]] std::uint32_t sample_every() const noexcept { return sample_every_; }
+  /// Fraction of packets this logger spends work on (== NfSpec::load_factor).
+  [[nodiscard]] double sampling_fraction() const noexcept {
+    return 1.0 / static_cast<double>(sample_every_);
+  }
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return records_written_; }
+  [[nodiscard]] const RingBuffer<LogRecord>& ring() const noexcept { return ring_; }
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  std::uint32_t sample_every_;
+  std::uint32_t phase_ = 0;  ///< packets seen since last sample
+  std::uint64_t records_written_ = 0;
+  RingBuffer<LogRecord> ring_;
+};
+
+}  // namespace pam

@@ -1,0 +1,75 @@
+// Flow monitor.
+//
+// Maintains exact per-flow packet/byte counters plus a Space-Saving heavy-
+// hitter summary (Metwally et al.) so operators can query the top-k flows
+// without scanning the full table.  This is the paper's "Monitor" vNF — the
+// one whose overload triggers migration in the Figure-1 scenario.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  SimTime first_seen = SimTime::zero();
+  SimTime last_seen = SimTime::zero();
+};
+
+/// Space-Saving top-k sketch: bounded memory, guaranteed to contain every
+/// flow whose true count exceeds N/k.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  void add(const FiveTuple& key, std::uint64_t weight = 1);
+
+  struct Entry {
+    FiveTuple key;
+    std::uint64_t count = 0;      ///< estimated (over-)count
+    std::uint64_t max_error = 0;  ///< count - max_error is a lower bound
+  };
+
+  /// Entries sorted by estimated count, descending.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<FiveTuple, Entry, FiveTupleHash> entries_;
+};
+
+class Monitor final : public NetworkFunction {
+ public:
+  explicit Monitor(std::string name, std::size_t heavy_hitter_slots = 64);
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kMonitor; }
+
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+  [[nodiscard]] const FlowStats* flow(const FiveTuple& key) const noexcept;
+  [[nodiscard]] std::vector<SpaceSaving::Entry> heavy_hitters(std::size_t k) const {
+    return sketch_.top(k);
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  std::unordered_map<FiveTuple, FlowStats, FiveTupleHash> flows_;
+  SpaceSaving sketch_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace pam

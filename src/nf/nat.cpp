@@ -1,0 +1,131 @@
+#include "nf/nat.hpp"
+
+#include <cassert>
+
+namespace pam {
+
+Nat::Nat(std::string name, std::uint32_t public_ip, std::uint16_t port_lo,
+         std::uint16_t port_hi, SimTime idle_timeout)
+    : NetworkFunction(std::move(name)),
+      public_ip_(public_ip),
+      port_lo_(port_lo),
+      port_hi_(port_hi),
+      idle_timeout_(idle_timeout),
+      next_port_(port_lo) {
+  assert(port_lo <= port_hi);
+}
+
+std::optional<std::uint16_t> Nat::lookup(const FiveTuple& internal) const noexcept {
+  const auto it = by_internal_.find(internal);
+  if (it == by_internal_.end()) {
+    return std::nullopt;
+  }
+  return it->second.public_port;
+}
+
+std::optional<std::uint16_t> Nat::allocate_port() {
+  const std::size_t pool_size =
+      static_cast<std::size_t>(port_hi_ - port_lo_) + 1;
+  if (by_public_port_.size() >= pool_size) {
+    return std::nullopt;  // pool exhausted
+  }
+  // Linear probe from the cursor; bounded by pool size.
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const std::uint16_t candidate = next_port_;
+    next_port_ = candidate == port_hi_ ? port_lo_
+                                       : static_cast<std::uint16_t>(candidate + 1);
+    if (!by_public_port_.contains(candidate)) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+Verdict Nat::process(Packet& pkt, SimTime now) {
+  const auto tuple = pkt.five_tuple();
+  if (!tuple) {
+    return Verdict::kDrop;
+  }
+  auto it = by_internal_.find(*tuple);
+  if (it == by_internal_.end()) {
+    const auto port = allocate_port();
+    if (!port) {
+      ++exhaustion_drops_;
+      return Verdict::kDrop;
+    }
+    NatMapping m;
+    m.internal = *tuple;
+    m.public_port = *port;
+    m.last_activity = now;
+    it = by_internal_.emplace(*tuple, m).first;
+    by_public_port_.emplace(*port, *tuple);
+  }
+  it->second.last_activity = now;
+  pkt.rewrite_ipv4_addrs(public_ip_, tuple->dst_ip);
+  pkt.rewrite_ports(it->second.public_port, tuple->dst_port);
+  return Verdict::kForward;
+}
+
+std::size_t Nat::collect_garbage(SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = by_internal_.begin(); it != by_internal_.end();) {
+    if (now - it->second.last_activity > idle_timeout_) {
+      by_public_port_.erase(it->second.public_port);
+      it = by_internal_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+NfState Nat::export_state() const {
+  StateWriter w;
+  w.u32(public_ip_);
+  w.u16(port_lo_);
+  w.u16(port_hi_);
+  w.u16(next_port_);
+  w.u64(static_cast<std::uint64_t>(idle_timeout_.ns()));
+  w.u64(exhaustion_drops_);
+  w.u32(static_cast<std::uint32_t>(by_internal_.size()));
+  for (const auto& [key, m] : by_internal_) {
+    w.u32(key.src_ip);
+    w.u32(key.dst_ip);
+    w.u16(key.src_port);
+    w.u16(key.dst_port);
+    w.u8(static_cast<std::uint8_t>(key.proto));
+    w.u16(m.public_port);
+    w.u64(static_cast<std::uint64_t>(m.last_activity.ns()));
+  }
+  return NfState{name(), std::move(w).take()};
+}
+
+void Nat::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  public_ip_ = r.u32();
+  port_lo_ = r.u16();
+  port_hi_ = r.u16();
+  next_port_ = r.u16();
+  idle_timeout_ = SimTime::nanoseconds(static_cast<std::int64_t>(r.u64()));
+  exhaustion_drops_ = r.u64();
+  const auto n = r.u32();
+  by_internal_.clear();
+  by_public_port_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NatMapping m;
+    FiveTuple key;
+    key.src_ip = r.u32();
+    key.dst_ip = r.u32();
+    key.src_port = r.u16();
+    key.dst_port = r.u16();
+    key.proto = static_cast<IpProto>(r.u8());
+    m.internal = key;
+    m.public_port = r.u16();
+    m.last_activity = SimTime::nanoseconds(static_cast<std::int64_t>(r.u64()));
+    by_internal_.emplace(key, m);
+    by_public_port_.emplace(m.public_port, key);
+  }
+}
+
+}  // namespace pam

@@ -1,0 +1,65 @@
+// Source NAT (NAPT).
+//
+// Rewrites outbound flows to a public IP with a port allocated from a pool,
+// keeps the bidirectional mapping table, and garbage-collects idle mappings
+// on a timeout — the standard carrier-grade NAT data path.  The mapping
+// table is part of the migration snapshot: losing it mid-migration would
+// reset every active connection, exactly the failure mode the UNO mechanism
+// exists to avoid.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+struct NatMapping {
+  FiveTuple internal;        ///< original (private) flow
+  std::uint16_t public_port = 0;
+  SimTime last_activity = SimTime::zero();
+};
+
+class Nat final : public NetworkFunction {
+ public:
+  /// `public_ip` is the translated source address; ports are allocated from
+  /// [port_lo, port_hi].  `idle_timeout` garbage-collects stale mappings.
+  Nat(std::string name, std::uint32_t public_ip,
+      std::uint16_t port_lo = 10000, std::uint16_t port_hi = 60000,
+      SimTime idle_timeout = SimTime::seconds(120));
+
+  [[nodiscard]] NfType type() const noexcept override { return NfType::kNat; }
+
+  [[nodiscard]] std::size_t active_mappings() const noexcept { return by_internal_.size(); }
+  [[nodiscard]] std::uint64_t exhaustion_drops() const noexcept { return exhaustion_drops_; }
+
+  /// Public port assigned to `internal` flow, if mapped.
+  [[nodiscard]] std::optional<std::uint16_t> lookup(const FiveTuple& internal) const noexcept;
+
+  /// Removes mappings idle for longer than the timeout; returns count removed.
+  std::size_t collect_garbage(SimTime now);
+
+  [[nodiscard]] NfState export_state() const override;
+  void import_state(const NfState& state) override;
+
+ protected:
+  [[nodiscard]] Verdict process(Packet& pkt, SimTime now) override;
+
+ private:
+  [[nodiscard]] std::optional<std::uint16_t> allocate_port();
+
+  std::uint32_t public_ip_;
+  std::uint16_t port_lo_;
+  std::uint16_t port_hi_;
+  SimTime idle_timeout_;
+  std::uint16_t next_port_;
+  std::unordered_map<FiveTuple, NatMapping, FiveTupleHash> by_internal_;
+  std::unordered_map<std::uint16_t, FiveTuple> by_public_port_;
+  std::uint64_t exhaustion_drops_ = 0;
+};
+
+}  // namespace pam

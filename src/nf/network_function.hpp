@@ -1,0 +1,87 @@
+// The NetworkFunction interface.
+//
+// Functional behaviour (classify / rewrite / count / drop) lives here;
+// *performance* behaviour (how long a packet takes, how much device resource
+// an NF consumes) is governed by NfSpec capacities and the device models.
+// Keeping the two concerns apart is what lets the same NF object run on the
+// SmartNIC model or the CPU model before/after a migration.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nf/nf_spec.hpp"
+#include "nf/nf_state.hpp"
+#include "packet/packet.hpp"
+
+namespace pam {
+
+/// Outcome of processing one packet.
+enum class Verdict : std::uint8_t {
+  kForward,  ///< pass downstream
+  kDrop,     ///< discard (policy, rate limit, invalid header, ...)
+};
+
+/// Per-instance processing counters.
+struct NfCounters {
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_in = 0;
+
+  [[nodiscard]] std::uint64_t packets_forwarded() const noexcept {
+    return packets_in - packets_dropped;
+  }
+  [[nodiscard]] double observed_pass_ratio() const noexcept {
+    return packets_in ? static_cast<double>(packets_forwarded()) /
+                            static_cast<double>(packets_in)
+                      : 1.0;
+  }
+};
+
+class NetworkFunction {
+ public:
+  explicit NetworkFunction(std::string name) : name_(std::move(name)) {}
+  virtual ~NetworkFunction() = default;
+
+  NetworkFunction(const NetworkFunction&) = delete;
+  NetworkFunction& operator=(const NetworkFunction&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] virtual NfType type() const noexcept = 0;
+
+  /// Process one packet at simulated time `now`.  Must be deterministic
+  /// given the packet and internal state.
+  [[nodiscard]] Verdict handle(Packet& pkt, SimTime now) {
+    ++counters_.packets_in;
+    counters_.bytes_in += pkt.size();
+    const Verdict v = process(pkt, now);
+    if (v == Verdict::kDrop) {
+      ++counters_.packets_dropped;
+    }
+    return v;
+  }
+
+  [[nodiscard]] const NfCounters& counters() const noexcept { return counters_; }
+
+  // --- migration support (UNO mechanism) ----------------------------------
+
+  /// Snapshot all internal state.  The default covers stateless NFs.
+  [[nodiscard]] virtual NfState export_state() const {
+    return NfState{name_, {}};
+  }
+
+  /// Restore from a snapshot produced by export_state() of the same type.
+  /// Throws std::runtime_error on malformed blobs.
+  virtual void import_state(const NfState& state) { (void)state; }
+
+ protected:
+  [[nodiscard]] virtual Verdict process(Packet& pkt, SimTime now) = 0;
+
+ private:
+  std::string name_;
+  NfCounters counters_;
+};
+
+}  // namespace pam

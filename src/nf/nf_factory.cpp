@@ -1,0 +1,57 @@
+#include "nf/nf_factory.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "nf/dpi.hpp"
+#include "nf/encryptor.hpp"
+#include "nf/firewall.hpp"
+#include "nf/load_balancer.hpp"
+#include "nf/logger_nf.hpp"
+#include "nf/monitor.hpp"
+#include "nf/nat.hpp"
+#include "nf/rate_limiter.hpp"
+
+namespace pam {
+
+using namespace pam::literals;
+
+std::unique_ptr<NetworkFunction> make_network_function(NfType type,
+                                                       std::string name,
+                                                       double spec_load_factor) {
+  switch (type) {
+    case NfType::kFirewall:
+      return std::make_unique<Firewall>(std::move(name));
+    case NfType::kLogger: {
+      const auto every = spec_load_factor > 0.0
+                             ? static_cast<std::uint32_t>(
+                                   std::lround(1.0 / spec_load_factor))
+                             : 1u;
+      return std::make_unique<LoggerNf>(std::move(name), every == 0 ? 1 : every);
+    }
+    case NfType::kMonitor:
+      return std::make_unique<Monitor>(std::move(name));
+    case NfType::kLoadBalancer: {
+      auto lb = std::make_unique<LoadBalancer>(std::move(name));
+      for (std::uint32_t i = 1; i <= 4; ++i) {
+        // 198.51.100.0/24 (TEST-NET-2) backend pool.
+        lb->add_backend(Backend{(198u << 24) | (51u << 16) | (100u << 8) | i,
+                                8080, "backend-" + std::to_string(i)});
+      }
+      return lb;
+    }
+    case NfType::kNat:
+      // 203.0.113.1 (TEST-NET-3) as the public address.
+      return std::make_unique<Nat>(std::move(name),
+                                   (203u << 24) | (0u << 16) | (113u << 8) | 1u);
+    case NfType::kDpi:
+      return std::make_unique<Dpi>(std::move(name), DpiAction::kAlert);
+    case NfType::kRateLimiter:
+      return std::make_unique<RateLimiter>(std::move(name), 10.0_gbps);
+    case NfType::kEncryptor:
+      return std::make_unique<Encryptor>(std::move(name));
+  }
+  return nullptr;
+}
+
+}  // namespace pam

@@ -1,0 +1,23 @@
+// Factory for functional NF instances, used by the simulator to instantiate
+// the data-plane object matching a chain's NfSpec.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nf/network_function.hpp"
+
+namespace pam {
+
+/// Creates an NF of `type` with reasonable defaults:
+///  - Firewall: accept-all (add rules afterwards)
+///  - Logger: sample_every derived from `spec_load_factor` (0.5 -> every 2nd)
+///  - LoadBalancer: four /24 backends pre-populated
+///  - NAT: public ip 203.0.113.1
+///  - DPI: alert mode with no signatures
+///  - RateLimiter: 10 Gbps
+[[nodiscard]] std::unique_ptr<NetworkFunction> make_network_function(
+    NfType type, std::string name, double spec_load_factor = 1.0);
+
+}  // namespace pam

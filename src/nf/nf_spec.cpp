@@ -1,0 +1,75 @@
+#include "nf/nf_spec.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+using namespace pam::literals;
+
+std::string_view to_string(NfType type) noexcept {
+  switch (type) {
+    case NfType::kFirewall: return "Firewall";
+    case NfType::kLogger: return "Logger";
+    case NfType::kMonitor: return "Monitor";
+    case NfType::kLoadBalancer: return "LoadBalancer";
+    case NfType::kNat: return "NAT";
+    case NfType::kDpi: return "DPI";
+    case NfType::kRateLimiter: return "RateLimiter";
+    case NfType::kEncryptor: return "Encryptor";
+  }
+  return "?";
+}
+
+std::optional<NfType> nf_type_from_string(std::string_view name) noexcept {
+  for (const auto type : {NfType::kFirewall, NfType::kLogger, NfType::kMonitor,
+                          NfType::kLoadBalancer, NfType::kNat, NfType::kDpi,
+                          NfType::kRateLimiter, NfType::kEncryptor}) {
+    if (to_string(type) == name) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view to_string(Location loc) noexcept {
+  return loc == Location::kSmartNic ? "SmartNIC" : "CPU";
+}
+
+CapacityTable CapacityTable::paper_defaults() {
+  CapacityTable t;
+  // Paper Table 1, verbatim.  "Load Balancer > 10 Gbps" modelled as 12.
+  t.set(NfType::kFirewall, {10.0_gbps, 4.0_gbps});
+  t.set(NfType::kLogger, {2.0_gbps, 4.0_gbps});
+  t.set(NfType::kMonitor, {3.2_gbps, 10.0_gbps});
+  t.set(NfType::kLoadBalancer, {12.0_gbps, 4.0_gbps});
+  // Extensions for the additional NFs this library ships; values follow the
+  // same hardware class (NPU favours simple per-packet work, CPU favours
+  // state- and compute-heavy work).
+  t.set(NfType::kNat, {8.0_gbps, 5.0_gbps});
+  t.set(NfType::kDpi, {1.5_gbps, 3.0_gbps});
+  t.set(NfType::kRateLimiter, {11.0_gbps, 6.0_gbps});
+  t.set(NfType::kEncryptor, {2.5_gbps, 3.5_gbps});
+  return t;
+}
+
+CapacityProfile CapacityTable::lookup(NfType type) const {
+  const auto it = table_.find(type);
+  if (it == table_.end()) {
+    throw std::out_of_range(format("no capacity profile for NF type %.*s",
+                                   static_cast<int>(to_string(type).size()),
+                                   to_string(type).data()));
+  }
+  return it->second;
+}
+
+void CapacityTable::set(NfType type, CapacityProfile profile) {
+  table_[type] = profile;
+}
+
+bool CapacityTable::contains(NfType type) const noexcept {
+  return table_.contains(type);
+}
+
+}  // namespace pam

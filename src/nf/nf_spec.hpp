@@ -1,0 +1,99 @@
+// NF taxonomy and the capacity model from the paper.
+//
+// Table 1 of the poster gives each vNF a throughput capacity on the SmartNIC
+// (θ^S) and on the CPU (θ^C); resource utilisation is linear in carried
+// throughput (assumption imported from CoCo [5]).  CapacityTable is the
+// library's single source for those numbers, extended with profiles for the
+// additional NFs this library ships.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace pam {
+
+enum class NfType : std::uint8_t {
+  kFirewall,
+  kLogger,
+  kMonitor,
+  kLoadBalancer,
+  kNat,
+  kDpi,
+  kRateLimiter,
+  kEncryptor,
+};
+
+[[nodiscard]] std::string_view to_string(NfType type) noexcept;
+[[nodiscard]] std::optional<NfType> nf_type_from_string(std::string_view name) noexcept;
+
+/// Where an NF instance runs.  The paper's world has exactly these two
+/// devices connected by PCIe.
+enum class Location : std::uint8_t {
+  kSmartNic,
+  kCpu,
+};
+
+[[nodiscard]] std::string_view to_string(Location loc) noexcept;
+[[nodiscard]] constexpr Location other(Location loc) noexcept {
+  return loc == Location::kSmartNic ? Location::kCpu : Location::kSmartNic;
+}
+
+/// Per-device throughput capacities of one NF type (θ^S, θ^C).
+struct CapacityProfile {
+  Gbps smartnic;
+  Gbps cpu;
+
+  [[nodiscard]] Gbps on(Location loc) const noexcept {
+    return loc == Location::kSmartNic ? smartnic : cpu;
+  }
+};
+
+/// Capacity lookup table.  Defaults reproduce the paper's Table 1 (the
+/// ">10 Gbps" Load Balancer entry is modelled as 12 Gbps); entries for NF
+/// types beyond the paper use measurements-style values consistent with the
+/// same hardware class.  Users may override per deployment.
+class CapacityTable {
+ public:
+  /// Table 1 values + extensions.
+  [[nodiscard]] static CapacityTable paper_defaults();
+
+  [[nodiscard]] CapacityProfile lookup(NfType type) const;
+  void set(NfType type, CapacityProfile profile);
+  [[nodiscard]] bool contains(NfType type) const noexcept;
+
+ private:
+  std::unordered_map<NfType, CapacityProfile> table_;
+};
+
+/// Static description of one NF instance inside a chain: everything the
+/// placement algorithms need to reason about it without touching the
+/// functional NF object.
+struct NfSpec {
+  std::string name;                  ///< unique instance name within a chain
+  NfType type = NfType::kFirewall;
+  CapacityProfile capacity;          ///< θ^S / θ^C for this instance
+
+  /// Fraction of the traffic traversing this NF that it actually spends
+  /// resources on.  1.0 for inline NFs; a sampling Logger that logs every
+  /// other packet has 0.5.  (DESIGN.md §3.4.)
+  double load_factor = 1.0;
+
+  /// Fraction of traffic forwarded downstream (firewalls/rate limiters drop
+  /// the rest).  1.0 for non-dropping NFs.
+  double pass_ratio = 1.0;
+
+  /// Resource consumed on `loc` when this NF carries `offered` throughput:
+  /// the paper's θ_cur / θ^D_i term, scaled by load_factor.
+  [[nodiscard]] double utilization_at(Location loc, Gbps offered) const {
+    const Gbps cap = capacity.on(loc);
+    return cap.value() > 0.0 ? offered.value() * load_factor / cap.value() : 1e18;
+  }
+};
+
+}  // namespace pam

@@ -1,0 +1,105 @@
+// Serialisable NF state.
+//
+// PAM relies on the UNO-style migration mechanism: to move a vNF between the
+// SmartNIC and the CPU, its per-flow state must be snapshotted, shipped over
+// PCIe and restored.  Every stateful NF in this library implements
+// export/import via the byte-oriented StateWriter/StateReader below; the
+// migration engine charges the PCIe link for blob.size() bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pam {
+
+/// Opaque serialised NF state.
+struct NfState {
+  std::string nf_name;               ///< instance that produced the snapshot
+  std::vector<std::uint8_t> blob;    ///< serialised contents
+
+  [[nodiscard]] Bytes size() const noexcept { return Bytes{blob.size()}; }
+};
+
+/// Append-only little-endian serialiser.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> out_;
+};
+
+/// Matching deserialiser; throws std::runtime_error on truncated input so a
+/// corrupted migration fails loudly rather than silently restoring garbage.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> buf) noexcept : buf_(buf) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take<std::uint8_t>(); }
+  [[nodiscard]] std::uint16_t u16() { return take<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return take<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return take<std::uint64_t>(); }
+  [[nodiscard]] double f64() { return take<double>(); }
+  [[nodiscard]] std::string str() {
+    const auto n = u32();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> bytes() {
+    const auto n = u32();
+    check(n);
+    std::vector<std::uint8_t> b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T take() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void check(std::size_t n) const {
+    if (pos_ + n > buf_.size()) {
+      throw std::runtime_error("NfState blob truncated");
+    }
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pam

@@ -1,0 +1,60 @@
+#include "nf/rate_limiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pam {
+
+RateLimiter::RateLimiter(std::string name, Gbps rate, Bytes burst)
+    : NetworkFunction(std::move(name)),
+      rate_(rate),
+      burst_(burst),
+      tokens_(static_cast<double>(burst.value())) {
+  assert(rate.value() > 0.0);
+}
+
+void RateLimiter::refill(SimTime now) noexcept {
+  if (!primed_) {
+    last_refill_ = now;
+    primed_ = true;
+    return;
+  }
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed_s = (now - last_refill_).sec();
+  tokens_ = std::min(static_cast<double>(burst_.value()),
+                     tokens_ + elapsed_s * rate_.bits_per_sec() / 8.0);
+  last_refill_ = now;
+}
+
+Verdict RateLimiter::process(Packet& pkt, SimTime now) {
+  refill(now);
+  const auto need = static_cast<double>(pkt.size());
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    return Verdict::kForward;
+  }
+  return Verdict::kDrop;
+}
+
+NfState RateLimiter::export_state() const {
+  StateWriter w;
+  w.f64(rate_.value());
+  w.u64(burst_.value());
+  w.f64(tokens_);
+  w.u64(static_cast<std::uint64_t>(last_refill_.ns()));
+  w.u8(primed_ ? 1 : 0);
+  return NfState{name(), std::move(w).take()};
+}
+
+void RateLimiter::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  rate_ = Gbps{r.f64()};
+  burst_ = Bytes{r.u64()};
+  tokens_ = r.f64();
+  last_refill_ = SimTime::nanoseconds(static_cast<std::int64_t>(r.u64()));
+  primed_ = r.u8() != 0;
+}
+
+}  // namespace pam

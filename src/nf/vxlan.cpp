@@ -1,0 +1,162 @@
+#include "nf/vxlan.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pam {
+namespace {
+
+// VXLAN header (RFC 7348 §5): flags (I bit set) + reserved + VNI + reserved.
+void write_vxlan_header(std::span<std::uint8_t> buf, std::uint32_t vni) noexcept {
+  buf[0] = 0x08;  // flags: I (valid VNI)
+  buf[1] = buf[2] = buf[3] = 0;
+  buf[4] = static_cast<std::uint8_t>((vni >> 16) & 0xff);
+  buf[5] = static_cast<std::uint8_t>((vni >> 8) & 0xff);
+  buf[6] = static_cast<std::uint8_t>(vni & 0xff);
+  buf[7] = 0;
+}
+
+[[nodiscard]] bool parse_vxlan_header(std::span<const std::uint8_t> buf,
+                                      std::uint32_t& vni_out) noexcept {
+  if (buf.size() < 8 || (buf[0] & 0x08) == 0) {
+    return false;
+  }
+  vni_out = (static_cast<std::uint32_t>(buf[4]) << 16) |
+            (static_cast<std::uint32_t>(buf[5]) << 8) |
+            static_cast<std::uint32_t>(buf[6]);
+  return true;
+}
+
+}  // namespace
+
+VxlanEncap::VxlanEncap(std::string name, std::uint32_t local_vtep,
+                       std::uint32_t remote_vtep, std::uint32_t vni)
+    : NetworkFunction(std::move(name)),
+      local_vtep_(local_vtep),
+      remote_vtep_(remote_vtep),
+      vni_(vni & 0xffffff) {}
+
+Verdict VxlanEncap::process(Packet& pkt, SimTime /*now*/) {
+  // Save the inner frame, then rebuild the packet around it.
+  const std::vector<std::uint8_t> inner(pkt.data().begin(), pkt.data().end());
+  const std::size_t outer_size = inner.size() + kVxlanOverhead;
+  if (outer_size > Packet::kMaxSize + kVxlanOverhead) {
+    return Verdict::kDrop;  // would exceed the tunnel MTU
+  }
+
+  // Preserve simulator metadata across the reset.
+  const auto id = pkt.id();
+  const auto ingress = pkt.ingress_time();
+  const auto crossings = pkt.pcie_crossings();
+  const auto hops = pkt.hops();
+  pkt.reset(outer_size);
+  pkt.set_id(id);
+  pkt.set_ingress_time(ingress);
+  pkt.restore_path_counters(crossings, hops);
+
+  auto buf = pkt.data();
+  EthernetHeader outer_eth;
+  outer_eth.src = {0x02, 0x76, 0x74, 0x00, 0x00, 0x01};  // locally administered VTEP MAC
+  outer_eth.write(buf);
+
+  Ipv4Header outer_ip;
+  outer_ip.src = local_vtep_;
+  outer_ip.dst = remote_vtep_;
+  outer_ip.protocol = IpProto::kUdp;
+  outer_ip.total_length =
+      static_cast<std::uint16_t>(outer_size - EthernetHeader::kSize);
+
+  UdpHeader outer_udp;
+  outer_udp.src_port = next_src_port_;  // flow entropy for ECMP/RSS
+  next_src_port_ = next_src_port_ == 65535 ? 49152
+                                           : static_cast<std::uint16_t>(next_src_port_ + 1);
+  outer_udp.dst_port = kVxlanPort;
+  outer_udp.length = static_cast<std::uint16_t>(outer_size - EthernetHeader::kSize -
+                                                Ipv4Header::kMinSize);
+  outer_udp.write(pkt.l4());
+  outer_ip.write(pkt.l3());
+
+  // VXLAN header then the inner frame, verbatim.
+  auto after_udp = buf.subspan(EthernetHeader::kSize + Ipv4Header::kMinSize +
+                               UdpHeader::kSize);
+  write_vxlan_header(after_udp, vni_);
+  std::copy(inner.begin(), inner.end(), after_udp.begin() + 8);
+
+  ++frames_encapsulated_;
+  return Verdict::kForward;
+}
+
+NfState VxlanEncap::export_state() const {
+  StateWriter w;
+  w.u32(local_vtep_);
+  w.u32(remote_vtep_);
+  w.u32(vni_);
+  w.u16(next_src_port_);
+  w.u64(frames_encapsulated_);
+  return NfState{name(), std::move(w).take()};
+}
+
+void VxlanEncap::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  local_vtep_ = r.u32();
+  remote_vtep_ = r.u32();
+  vni_ = r.u32();
+  next_src_port_ = r.u16();
+  frames_encapsulated_ = r.u64();
+}
+
+VxlanDecap::VxlanDecap(std::string name, std::uint32_t local_vtep, std::uint32_t vni)
+    : NetworkFunction(std::move(name)),
+      local_vtep_(local_vtep),
+      vni_(vni & 0xffffff) {}
+
+Verdict VxlanDecap::process(Packet& pkt, SimTime /*now*/) {
+  const auto ip = pkt.ipv4();
+  const auto udp = ip && ip->protocol == IpProto::kUdp ? UdpHeader::parse(pkt.l4())
+                                                       : std::nullopt;
+  std::uint32_t vni = 0;
+  const auto vxlan_bytes =
+      pkt.data().size() > EthernetHeader::kSize + Ipv4Header::kMinSize + UdpHeader::kSize
+          ? pkt.data().subspan(EthernetHeader::kSize + Ipv4Header::kMinSize +
+                               UdpHeader::kSize)
+          : std::span<std::uint8_t>{};
+  if (!ip || ip->dst != local_vtep_ || !udp || udp->dst_port != kVxlanPort ||
+      !parse_vxlan_header(vxlan_bytes, vni) || vni != vni_ ||
+      vxlan_bytes.size() < 8 + Packet::kMinSize) {
+    ++frames_rejected_;
+    return Verdict::kDrop;
+  }
+
+  const std::vector<std::uint8_t> inner(vxlan_bytes.begin() + 8, vxlan_bytes.end());
+  const auto id = pkt.id();
+  const auto ingress = pkt.ingress_time();
+  const auto crossings = pkt.pcie_crossings();
+  const auto hops = pkt.hops();
+  pkt.reset(inner.size());
+  pkt.set_id(id);
+  pkt.set_ingress_time(ingress);
+  pkt.restore_path_counters(crossings, hops);
+  std::copy(inner.begin(), inner.end(), pkt.data().begin());
+
+  ++frames_decapsulated_;
+  return Verdict::kForward;
+}
+
+NfState VxlanDecap::export_state() const {
+  StateWriter w;
+  w.u32(local_vtep_);
+  w.u32(vni_);
+  w.u64(frames_decapsulated_);
+  w.u64(frames_rejected_);
+  return NfState{name(), std::move(w).take()};
+}
+
+void VxlanDecap::import_state(const NfState& state) {
+  StateReader r{state.blob};
+  local_vtep_ = r.u32();
+  vni_ = r.u32();
+  frames_decapsulated_ = r.u64();
+  frames_rejected_ = r.u64();
+}
+
+}  // namespace pam

@@ -1,0 +1,36 @@
+#include "packet/five_tuple.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::string FiveTuple::to_string() const {
+  const char* proto_name = proto == IpProto::kTcp ? "tcp"
+                           : proto == IpProto::kUdp ? "udp"
+                                                    : "icmp";
+  return format("%s %s:%u -> %s:%u", proto_name,
+                ipv4_to_string(src_ip).c_str(), src_port,
+                ipv4_to_string(dst_ip).c_str(), dst_port);
+}
+
+std::uint64_t hash_value(const FiveTuple& t) noexcept {
+  const std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+  const std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 32) |
+                          (static_cast<std::uint64_t>(t.dst_port) << 16) |
+                          static_cast<std::uint64_t>(t.proto);
+  return mix64(mix64(a) ^ (b + 0x9e3779b97f4a7c15ull));
+}
+
+}  // namespace pam

@@ -1,0 +1,42 @@
+// The classic connection 5-tuple, used as the flow key by the Monitor, NAT
+// and Load Balancer NFs and by the traffic generator.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "packet/headers.hpp"
+
+namespace pam {
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;   ///< host byte order
+  std::uint32_t dst_ip = 0;   ///< host byte order
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  auto operator<=>(const FiveTuple&) const noexcept = default;
+
+  /// The reverse direction of the same conversation.
+  [[nodiscard]] FiveTuple reversed() const noexcept {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// 64-bit mix hash (based on the murmur3 finaliser), stable across platforms
+/// so simulation results are reproducible everywhere.
+[[nodiscard]] std::uint64_t hash_value(const FiveTuple& t) noexcept;
+
+struct FiveTupleHash {
+  [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(hash_value(t));
+  }
+};
+
+}  // namespace pam

@@ -1,0 +1,141 @@
+#include "packet/packet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "packet/packet_pool.hpp"
+
+namespace pam {
+
+namespace {
+constexpr std::size_t kL3Offset = EthernetHeader::kSize;           // 14
+constexpr std::size_t kL4Offset = kL3Offset + Ipv4Header::kMinSize;  // 34
+}  // namespace
+
+void Packet::reset(std::size_t wire_size) {
+  assert(wire_size >= kMinSize && wire_size <= 9216 && "unreasonable frame size");
+  data_.assign(wire_size, 0);
+  id_ = 0;
+  ingress_time_ = SimTime::zero();
+  pcie_crossings_ = 0;
+  hops_ = 0;
+}
+
+std::span<std::uint8_t> Packet::l3() noexcept {
+  return data_.size() > kL3Offset ? std::span<std::uint8_t>{data_}.subspan(kL3Offset)
+                                  : std::span<std::uint8_t>{};
+}
+
+std::span<const std::uint8_t> Packet::l3() const noexcept {
+  return data_.size() > kL3Offset ? std::span<const std::uint8_t>{data_}.subspan(kL3Offset)
+                                  : std::span<const std::uint8_t>{};
+}
+
+std::span<std::uint8_t> Packet::l4() noexcept {
+  return data_.size() > kL4Offset ? std::span<std::uint8_t>{data_}.subspan(kL4Offset)
+                                  : std::span<std::uint8_t>{};
+}
+
+std::span<const std::uint8_t> Packet::l4() const noexcept {
+  return data_.size() > kL4Offset ? std::span<const std::uint8_t>{data_}.subspan(kL4Offset)
+                                  : std::span<const std::uint8_t>{};
+}
+
+std::span<std::uint8_t> Packet::payload() noexcept {
+  constexpr std::size_t kPayloadOffset = kL4Offset + UdpHeader::kSize;
+  return data_.size() > kPayloadOffset
+             ? std::span<std::uint8_t>{data_}.subspan(kPayloadOffset)
+             : std::span<std::uint8_t>{};
+}
+
+std::span<const std::uint8_t> Packet::payload() const noexcept {
+  constexpr std::size_t kPayloadOffset = kL4Offset + UdpHeader::kSize;
+  return data_.size() > kPayloadOffset
+             ? std::span<const std::uint8_t>{data_}.subspan(kPayloadOffset)
+             : std::span<const std::uint8_t>{};
+}
+
+std::optional<Ipv4Header> Packet::ipv4() const noexcept {
+  const auto eth = EthernetHeader::parse(data());
+  if (!eth || eth->ether_type != EthernetHeader::kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  return Ipv4Header::parse(l3());
+}
+
+std::optional<FiveTuple> Packet::five_tuple() const noexcept {
+  const auto ip = ipv4();
+  if (!ip) {
+    return std::nullopt;
+  }
+  FiveTuple t;
+  t.src_ip = ip->src;
+  t.dst_ip = ip->dst;
+  t.proto = ip->protocol;
+  const auto l4_bytes = l4();
+  if (ip->protocol == IpProto::kTcp) {
+    const auto tcp = TcpHeader::parse(l4_bytes);
+    if (!tcp) {
+      return std::nullopt;
+    }
+    t.src_port = tcp->src_port;
+    t.dst_port = tcp->dst_port;
+  } else if (ip->protocol == IpProto::kUdp) {
+    const auto udp = UdpHeader::parse(l4_bytes);
+    if (!udp) {
+      return std::nullopt;
+    }
+    t.src_port = udp->src_port;
+    t.dst_port = udp->dst_port;
+  }
+  return t;
+}
+
+void Packet::rewrite_ipv4_addrs(std::uint32_t new_src, std::uint32_t new_dst) noexcept {
+  auto ip = ipv4();
+  if (!ip) {
+    return;
+  }
+  ip->src = new_src;
+  ip->dst = new_dst;
+  ip->write(l3());
+}
+
+void Packet::rewrite_ports(std::uint16_t new_src, std::uint16_t new_dst) noexcept {
+  const auto ip = ipv4();
+  if (!ip) {
+    return;
+  }
+  auto l4_bytes = l4();
+  if (l4_bytes.size() < 4) {
+    return;
+  }
+  // src/dst port live at identical offsets for TCP and UDP.
+  store_be16(l4_bytes.data(), new_src);
+  store_be16(l4_bytes.data() + 2, new_dst);
+}
+
+PacketPtr::~PacketPtr() {
+  if (p_ != nullptr && pool_ != nullptr) {
+    pool_->release(p_);
+  } else {
+    delete p_;
+  }
+}
+
+PacketPtr& PacketPtr::operator=(PacketPtr&& o) noexcept {
+  if (this != &o) {
+    if (p_ != nullptr && pool_ != nullptr) {
+      pool_->release(p_);
+    } else {
+      delete p_;
+    }
+    p_ = o.p_;
+    pool_ = o.pool_;
+    o.p_ = nullptr;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+}  // namespace pam

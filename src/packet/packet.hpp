@@ -1,0 +1,131 @@
+// Packet representation.
+//
+// Mirrors a DPDK mbuf at the level the library needs: a contiguous byte
+// buffer holding real Ethernet/IPv4/L4 headers plus payload, a cached parse
+// of the flow key, and simulator metadata (ingress timestamp, hop count,
+// PCIe crossing count) used by the measurement layer.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "packet/five_tuple.hpp"
+#include "packet/headers.hpp"
+
+namespace pam {
+
+class PacketPool;
+
+class Packet {
+ public:
+  /// Minimum Ethernet frame (without FCS) and standard MTU frame bounds used
+  /// by the generators; the paper sweeps exactly this range.
+  static constexpr std::size_t kMinSize = 64;
+  static constexpr std::size_t kMaxSize = 1500;
+
+  Packet() = default;
+  explicit Packet(std::size_t wire_size) { reset(wire_size); }
+
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  /// Re-initialises for a frame of `wire_size` bytes (zero-filled).
+  void reset(std::size_t wire_size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] Bytes wire_bytes() const noexcept { return Bytes{data_.size()}; }
+  [[nodiscard]] std::span<std::uint8_t> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept { return data_; }
+
+  /// Byte views of the embedded headers (L2 at offset 0, L3 at 14, L4 at 34).
+  [[nodiscard]] std::span<std::uint8_t> l3() noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> l3() const noexcept;
+  [[nodiscard]] std::span<std::uint8_t> l4() noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> l4() const noexcept;
+  [[nodiscard]] std::span<std::uint8_t> payload() noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept;
+
+  /// Parses headers out of the buffer.  Returns nullopt for truncated or
+  /// non-IPv4 frames.
+  [[nodiscard]] std::optional<Ipv4Header> ipv4() const noexcept;
+  [[nodiscard]] std::optional<FiveTuple> five_tuple() const noexcept;
+
+  /// Rewrites the IPv4 src/dst (host order) in place, recomputing the IP
+  /// checksum — what the NAT and load balancer do.
+  void rewrite_ipv4_addrs(std::uint32_t new_src, std::uint32_t new_dst) noexcept;
+  /// Rewrites L4 ports in place (TCP or UDP inferred from the IP header).
+  void rewrite_ports(std::uint16_t new_src, std::uint16_t new_dst) noexcept;
+
+  // --- simulator metadata ---------------------------------------------------
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  void set_id(std::uint64_t id) noexcept { id_ = id; }
+
+  [[nodiscard]] SimTime ingress_time() const noexcept { return ingress_time_; }
+  void set_ingress_time(SimTime t) noexcept { ingress_time_ = t; }
+
+  [[nodiscard]] std::uint32_t pcie_crossings() const noexcept { return pcie_crossings_; }
+  void note_pcie_crossing() noexcept { ++pcie_crossings_; }
+
+  [[nodiscard]] std::uint32_t hops() const noexcept { return hops_; }
+  void note_hop() noexcept { ++hops_; }
+
+  /// Restores path counters after a reset().  Used by re-framing NFs
+  /// (tunnel encap/decap) that rebuild the buffer mid-chain but must not
+  /// erase the packet's travel history.
+  void restore_path_counters(std::uint32_t crossings, std::uint32_t hops) noexcept {
+    pcie_crossings_ = crossings;
+    hops_ = hops;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::uint64_t id_ = 0;
+  SimTime ingress_time_ = SimTime::zero();
+  std::uint32_t pcie_crossings_ = 0;
+  std::uint32_t hops_ = 0;
+};
+
+/// Owning handle returned by PacketPool; releases back to the pool on
+/// destruction (RAII, never leaks even on exceptional paths).
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(Packet* p, PacketPool* pool) noexcept : p_(p), pool_(pool) {}
+  ~PacketPtr();
+
+  PacketPtr(const PacketPtr&) = delete;
+  PacketPtr& operator=(const PacketPtr&) = delete;
+  PacketPtr(PacketPtr&& o) noexcept : p_(o.p_), pool_(o.pool_) {
+    o.p_ = nullptr;
+    o.pool_ = nullptr;
+  }
+  PacketPtr& operator=(PacketPtr&& o) noexcept;
+
+  [[nodiscard]] Packet* get() const noexcept { return p_; }
+  [[nodiscard]] Packet& operator*() const noexcept { return *p_; }
+  [[nodiscard]] Packet* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  /// Releases ownership without returning to the pool (used when handing a
+  /// packet to a component that manages lifetime manually).
+  [[nodiscard]] Packet* release() noexcept {
+    Packet* out = p_;
+    p_ = nullptr;
+    pool_ = nullptr;
+    return out;
+  }
+
+ private:
+  Packet* p_ = nullptr;
+  PacketPool* pool_ = nullptr;
+};
+
+}  // namespace pam

@@ -1,0 +1,69 @@
+#include "packet/packet_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pam {
+
+void PacketBuilder::build_into(Packet& pkt) const {
+  assert(wire_size_ >= Packet::kMinSize);
+  pkt.reset(wire_size_);
+  auto buf = pkt.data();
+
+  EthernetHeader eth;
+  eth.src = src_mac_;
+  eth.dst = dst_mac_;
+  eth.ether_type = EthernetHeader::kEtherTypeIpv4;
+  eth.write(buf);
+
+  Ipv4Header ip;
+  ip.src = tuple_.src_ip;
+  ip.dst = tuple_.dst_ip;
+  ip.protocol = tuple_.proto;
+  ip.ttl = ttl_;
+  ip.dscp = dscp_;
+  ip.total_length = static_cast<std::uint16_t>(wire_size_ - EthernetHeader::kSize);
+
+  const auto l3 = pkt.l3();
+  const auto l4 = pkt.l4();
+  if (tuple_.proto == IpProto::kTcp) {
+    TcpHeader tcp;
+    tcp.src_port = tuple_.src_port;
+    tcp.dst_port = tuple_.dst_port;
+    tcp.flags = tcp_flags_;
+    tcp.seq = static_cast<std::uint32_t>(payload_seed_);
+    if (l4.size() >= TcpHeader::kMinSize) {
+      tcp.write(l4);
+    }
+  } else if (tuple_.proto == IpProto::kUdp) {
+    UdpHeader udp;
+    udp.src_port = tuple_.src_port;
+    udp.dst_port = tuple_.dst_port;
+    udp.length = static_cast<std::uint16_t>(
+        wire_size_ - EthernetHeader::kSize - Ipv4Header::kMinSize);
+    if (l4.size() >= UdpHeader::kSize) {
+      udp.write(l4);
+    }
+  }
+  // IP header written last: total_length already set, checksum covers finals.
+  ip.write(l3);
+
+  auto payload = pkt.payload();
+  if (!payload.empty()) {
+    // Deterministic pseudo-random fill so DPI scans non-trivial content.
+    std::uint64_t state = payload_seed_ ^ 0x6a09e667f3bcc909ull;
+    for (auto& byte : payload) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      byte = static_cast<std::uint8_t>(state & 0xff);
+    }
+    if (!payload_text_.empty()) {
+      const std::size_t n = std::min(payload_text_.size(), payload.size());
+      std::copy_n(payload_text_.data(), n,
+                  reinterpret_cast<char*>(payload.data()));
+    }
+  }
+}
+
+}  // namespace pam

@@ -1,0 +1,126 @@
+#include "packet/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace pam {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint16_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+bool get(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void PacketTrace::append(SimTime timestamp, std::span<const std::uint8_t> frame) {
+  TraceRecord rec;
+  rec.timestamp = timestamp;
+  rec.frame.assign(frame.begin(), frame.end());
+  records_.push_back(std::move(rec));
+}
+
+Bytes PacketTrace::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& rec : records_) {
+    total += rec.frame.size();
+  }
+  return Bytes{total};
+}
+
+SimTime PacketTrace::duration() const noexcept {
+  if (records_.size() < 2) {
+    return SimTime::zero();
+  }
+  return records_.back().timestamp - records_.front().timestamp;
+}
+
+Gbps PacketTrace::average_rate() const noexcept {
+  const SimTime span = duration();
+  if (span <= SimTime::zero()) {
+    return Gbps::zero();
+  }
+  return rate_of(total_bytes(), span);
+}
+
+void PacketTrace::write_to(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  put(out, kVersion);
+  for (const auto& rec : records_) {
+    put(out, static_cast<std::uint64_t>(rec.timestamp.ns()));
+    put(out, static_cast<std::uint32_t>(rec.frame.size()));
+    out.write(reinterpret_cast<const char*>(rec.frame.data()),
+              static_cast<std::streamsize>(rec.frame.size()));
+  }
+}
+
+Result<PacketTrace> PacketTrace::read_from(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return Error{"not a PAMTRACE capture (bad magic)"};
+  }
+  std::uint16_t version = 0;
+  if (!get(in, version) || version != kVersion) {
+    return Error{format("unsupported trace version %u", version)};
+  }
+  PacketTrace trace;
+  while (true) {
+    std::uint64_t ts = 0;
+    if (!get(in, ts)) {
+      if (in.eof()) {
+        break;  // clean end
+      }
+      return Error{"truncated record header"};
+    }
+    std::uint32_t len = 0;
+    if (!get(in, len)) {
+      return Error{"truncated record length"};
+    }
+    if (len > 64 * 1024) {
+      return Error{format("frame length %u exceeds sanity bound", len)};
+    }
+    TraceRecord rec;
+    rec.timestamp = SimTime::nanoseconds(static_cast<std::int64_t>(ts));
+    rec.frame.resize(len);
+    in.read(reinterpret_cast<char*>(rec.frame.data()), len);
+    if (!in) {
+      return Error{"truncated frame payload"};
+    }
+    trace.records_.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+Result<bool> PacketTrace::save(const std::string& path) const {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    return Error{"cannot open '" + path + "' for writing"};
+  }
+  write_to(out);
+  return out.good() ? Result<bool>{true}
+                    : Result<bool>{Error{"write to '" + path + "' failed"}};
+}
+
+Result<PacketTrace> PacketTrace::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return Error{"cannot open '" + path + "'"};
+  }
+  return read_from(in);
+}
+
+}  // namespace pam

@@ -1,0 +1,65 @@
+// Packet traces: a compact binary capture format (a pcap stand-in that
+// needs no external tooling) plus in-memory trace objects the traffic
+// generator can replay — the DPDK "send this capture" workflow.
+//
+// Format (little-endian):
+//   magic "PAMTRACE" (8 bytes) | version u16 | record*
+//   record := timestamp_ns u64 | frame_len u32 | frame bytes
+//
+// Readers fail loudly on bad magic/version/truncation.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace pam {
+
+struct TraceRecord {
+  SimTime timestamp;
+  std::vector<std::uint8_t> frame;
+
+  [[nodiscard]] Bytes size() const noexcept { return Bytes{frame.size()}; }
+};
+
+/// An in-memory capture: ordered records.
+class PacketTrace {
+ public:
+  void append(SimTime timestamp, std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const TraceRecord& at(std::size_t i) const { return records_.at(i); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Total captured bytes.
+  [[nodiscard]] Bytes total_bytes() const noexcept;
+
+  /// Capture duration (last - first timestamp); zero for < 2 records.
+  [[nodiscard]] SimTime duration() const noexcept;
+
+  /// Average offered rate of the capture.
+  [[nodiscard]] Gbps average_rate() const noexcept;
+
+  /// Serialise to / parse from the binary format.
+  void write_to(std::ostream& out) const;
+  [[nodiscard]] static Result<PacketTrace> read_from(std::istream& in);
+
+  /// File convenience wrappers.
+  [[nodiscard]] Result<bool> save(const std::string& path) const;
+  [[nodiscard]] static Result<PacketTrace> load(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace pam

@@ -1,0 +1,388 @@
+#include "sim/chain_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "nf/nf_factory.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace pam {
+
+namespace {
+constexpr std::size_t kPcieQueueFactor = 4;  // link ring deeper than NF queues
+}
+
+ChainSimulator::ChainSimulator(ServiceChain chain, Server& server,
+                               TrafficSourceConfig traffic, Calibration calibration)
+    : chain_(std::move(chain)),
+      server_(&server),
+      calibration_(calibration),
+      traffic_(std::move(traffic)),
+      pool_(4096),
+      nic_server_(queue_, "smartnic", calibration.queue_capacity_packets),
+      cpu_server_(queue_, "cpu", calibration.queue_capacity_packets),
+      pcie_server_(queue_, "pcie",
+                   calibration.queue_capacity_packets * kPcieQueueFactor),
+      flowgen_(traffic_.flows, traffic_.seed),
+      rng_(traffic_.seed ^ 0xabcdef0123456789ull) {
+  chain_.validate();
+  nfs_.reserve(chain_.size());
+  for (const auto& node : chain_.nodes()) {
+    nfs_.push_back(make_network_function(node.spec.type, node.spec.name,
+                                         node.spec.load_factor));
+  }
+  paused_.assign(chain_.size(), false);
+  buffers_.resize(chain_.size());
+  node_stats_.resize(chain_.size());
+}
+
+ChainSimulator::~ChainSimulator() {
+  // Release anything still parked so the pool's leak check stays meaningful.
+  for (auto& buffer : buffers_) {
+    for (auto& parked : buffer) {
+      pool_.release(parked.pkt);
+    }
+    buffer.clear();
+  }
+}
+
+void ChainSimulator::schedule_at(SimTime at, std::function<void()> fn) {
+  queue_.schedule_at(at, std::move(fn));
+}
+
+void ChainSimulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  queue_.schedule_after(delay, std::move(fn));
+}
+
+void ChainSimulator::schedule_periodic(SimTime start, SimTime period,
+                                       std::function<void()> fn) {
+  assert(period.ns() > 0);
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  // Self-rescheduling closure via a shared holder.
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, period, shared_fn, holder]() {
+    if (stopped_ || queue_.now() > horizon_) {
+      return;
+    }
+    (*shared_fn)();
+    queue_.schedule_after(period, *holder);
+  };
+  queue_.schedule_at(start, *holder);
+}
+
+void ChainSimulator::replace_nf(std::size_t i, std::unique_ptr<NetworkFunction> fresh) {
+  assert(fresh != nullptr);
+  nfs_.at(i) = std::move(fresh);
+}
+
+void ChainSimulator::set_node_location(std::size_t i, Location loc) {
+  chain_.set_location(i, loc);
+}
+
+void ChainSimulator::pause_node(std::size_t i) { paused_.at(i) = true; }
+
+void ChainSimulator::resume_node(std::size_t i) {
+  paused_.at(i) = false;
+  auto parked = std::move(buffers_.at(i));
+  buffers_.at(i).clear();
+  for (auto& entry : parked) {
+    advance(entry.pkt, i, entry.side);
+  }
+}
+
+Gbps ChainSimulator::observed_ingress_rate(SimTime window) const {
+  const SimTime cutoff = queue_.now() - window;
+  while (!ingress_window_.empty() && ingress_window_.front().first < cutoff) {
+    ingress_window_.pop_front();
+  }
+  std::uint64_t bytes = 0;
+  for (const auto& [t, b] : ingress_window_) {
+    bytes += b;
+  }
+  return rate_of(Bytes{bytes}, window);
+}
+
+void ChainSimulator::schedule_next_arrival() {
+  if (stopped_) {
+    return;
+  }
+  if (traffic_.replay && !traffic_.replay->empty()) {
+    schedule_replay_arrival();
+    return;
+  }
+  const Gbps rate = traffic_.rate.at(queue_.now());
+  const std::size_t next_size = traffic_.sizes.sample(rng_);
+  if (rate.value() <= 1e-9) {
+    // Source idle; poll the profile again shortly.
+    queue_.schedule_after(SimTime::milliseconds(1.0),
+                          [this] { schedule_next_arrival(); });
+    return;
+  }
+  const SimTime gap_mean = serialization_delay(Bytes{next_size}, rate);
+  const SimTime gap =
+      traffic_.process == ArrivalProcess::kPoisson
+          ? SimTime::nanoseconds(static_cast<std::int64_t>(
+                rng_.exponential(static_cast<double>(gap_mean.ns()))))
+          : gap_mean;
+  queue_.schedule_after(gap, [this, next_size] {
+    if (stopped_ || queue_.now() >= horizon_) {
+      return;
+    }
+    inject(next_size);
+    schedule_next_arrival();
+  });
+}
+
+void ChainSimulator::schedule_replay_arrival() {
+  const auto& records = traffic_.replay->records();
+  if (replay_pos_ >= records.size()) {
+    if (!traffic_.replay_loop) {
+      return;  // capture exhausted
+    }
+    // Repeat back-to-back: next epoch starts one mean inter-frame gap
+    // after the previous capture's last frame.
+    const SimTime span = traffic_.replay->duration();
+    const SimTime gap = SimTime::nanoseconds(
+        span.ns() / static_cast<std::int64_t>(records.size()) + 1);
+    replay_epoch_ += span + gap;
+    replay_pos_ = 0;
+  }
+  const SimTime first_ts = records.front().timestamp;
+  const TraceRecord& rec = records[replay_pos_];
+  const SimTime at = replay_epoch_ + (rec.timestamp - first_ts);
+  ++replay_pos_;
+  queue_.schedule_at(at, [this, &rec] {
+    if (stopped_ || queue_.now() >= horizon_) {
+      return;
+    }
+    inject_frame(rec.frame);
+    schedule_next_arrival();
+  });
+}
+
+void ChainSimulator::account_injection(Packet* p) {
+  p->set_id(++injected_);
+  p->set_ingress_time(queue_.now());
+  ++in_flight_;
+  ingress_window_.emplace_back(queue_.now(),
+                               static_cast<std::uint64_t>(p->size()));
+  if (ingress_window_.size() > 65536) {
+    ingress_window_.pop_front();
+  }
+  if (metering()) {
+    ++measured_injected_;
+    measured_injected_bytes_ += p->size();
+  }
+  advance(p, 0, side_of(chain_.ingress()));
+}
+
+void ChainSimulator::inject(std::size_t size_bytes) {
+  auto handle = pool_.acquire(size_bytes);
+  if (!handle) {
+    // Mempool exhausted — the sender itself is backpressured; account as a
+    // NIC-side loss.
+    ++dropped_queue_nic_;
+    ++injected_;
+    return;
+  }
+  Packet* p = handle.release();
+  PacketBuilder builder;
+  builder.size(size_bytes)
+      .flow(flowgen_.next(rng_))
+      .payload_seed(rng_.next_u64());
+  builder.build_into(*p);
+  account_injection(p);
+}
+
+void ChainSimulator::inject_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() < Packet::kMinSize) {
+    ++dropped_queue_nic_;  // runt frame: the NIC MAC would discard it
+    ++injected_;
+    return;
+  }
+  auto handle = pool_.acquire(frame.size());
+  if (!handle) {
+    ++dropped_queue_nic_;
+    ++injected_;
+    return;
+  }
+  Packet* p = handle.release();
+  std::copy(frame.begin(), frame.end(), p->data().begin());
+  account_injection(p);
+}
+
+void ChainSimulator::advance(Packet* p, std::size_t idx, Location side) {
+  if (idx >= chain_.size()) {
+    const Location egress_side = side_of(chain_.egress());
+    if (side != egress_side) {
+      cross_pcie(p, [this, p] { deliver(p); });
+    } else {
+      deliver(p);
+    }
+    return;
+  }
+  if (paused_[idx]) {
+    buffers_[idx].push_back(Parked{p, side});
+    ++total_buffered_;
+    return;
+  }
+  const Location loc = chain_.location_of(idx);
+  if (loc != side) {
+    cross_pcie(p, [this, p, idx] { process_node(p, idx); });
+  } else {
+    process_node(p, idx);
+  }
+}
+
+void ChainSimulator::cross_pcie(Packet* p, std::function<void()> continuation) {
+  auto& pcie = server_->pcie();
+  p->note_pcie_crossing();
+  pcie.note_crossing(p->wire_bytes());
+  ++crossings_total_;
+
+  const SimTime link_service = serialization_delay(p->wire_bytes(), pcie.bandwidth());
+  const SimTime driver_service =
+      serialization_delay(p->wire_bytes(), pcie.host_cost_rate());
+  const SimTime fixed = pcie.fixed_cost();
+
+  const bool accepted = pcie_server_.submit(
+      link_service, [this, p, fixed, driver_service,
+                     cont = std::move(continuation)]() mutable {
+        queue_.schedule_after(
+            fixed, [this, p, driver_service, cont = std::move(cont)]() mutable {
+              // Host-side DMA/driver work shares the CPU with NF processing.
+              const bool ok = cpu_server_.submit(driver_service, std::move(cont));
+              if (!ok) {
+                drop(p, dropped_queue_cpu_);
+              }
+            });
+      });
+  if (!accepted) {
+    drop(p, dropped_queue_pcie_);
+  }
+}
+
+void ChainSimulator::process_node(Packet* p, std::size_t idx) {
+  const auto& node = chain_.node(idx);
+  const Location loc = node.location;
+  FcfsServer& srv = loc == Location::kSmartNic ? nic_server_ : cpu_server_;
+
+  // Mean per-packet occupancy: a sampling NF (load_factor < 1) spends the
+  // full service time on a fraction of packets; the simulator applies the
+  // expectation uniformly, matching ChainAnalyzer (DESIGN.md §2).
+  const SimTime service =
+      serialization_delay(p->wire_bytes(), node.spec.capacity.on(loc)) *
+      node.spec.load_factor;
+
+  const SimTime submitted_at = queue_.now();
+  const bool accepted = srv.submit(service, [this, p, idx, loc, submitted_at] {
+    if (metering()) {
+      auto& stats = node_stats_[idx];
+      ++stats.packets;
+      stats.residence.record(queue_.now() - submitted_at);
+    }
+    p->note_hop();
+    const Verdict verdict = nfs_[idx]->handle(*p, queue_.now());
+    if (verdict == Verdict::kDrop) {
+      drop(p, dropped_by_nf_);
+      return;
+    }
+    // pass_ratio below the functional drop rate models policy drops for NF
+    // configurations the functional object does not encode (spec-level
+    // annotation; 1.0 in the paper scenarios).
+    const auto& spec = chain_.node(idx).spec;
+    if (spec.pass_ratio < 1.0 && rng_.chance(1.0 - spec.pass_ratio)) {
+      drop(p, dropped_by_nf_);
+      return;
+    }
+    queue_.schedule_after(calibration_.nf_overhead(loc),
+                          [this, p, idx, loc] { advance(p, idx + 1, loc); });
+  });
+  if (!accepted) {
+    drop(p, loc == Location::kSmartNic ? dropped_queue_nic_ : dropped_queue_cpu_);
+  }
+}
+
+void ChainSimulator::deliver(Packet* p) {
+  ++delivered_;
+  if (capture_ != nullptr) {
+    capture_->append(queue_.now(), p->data());
+  }
+  if (metering()) {
+    ++measured_delivered_;
+    measured_delivered_bytes_ += p->size();
+    measured_crossings_ += p->pcie_crossings();
+    latency_.record(queue_.now() - p->ingress_time());
+  }
+  finish(p);
+}
+
+void ChainSimulator::drop(Packet* p, std::uint64_t& counter) {
+  ++counter;
+  finish(p);
+}
+
+void ChainSimulator::finish(Packet* p) {
+  assert(in_flight_ > 0);
+  --in_flight_;
+  pool_.release(p);
+}
+
+SimReport ChainSimulator::run(SimTime duration, SimTime warmup) {
+  assert(!ran_ && "ChainSimulator::run is single-shot");
+  assert(warmup < duration);
+  ran_ = true;
+  warmup_ = warmup;
+  horizon_ = duration;
+
+  schedule_next_arrival();
+  queue_.run_until(duration);
+
+  // Drain: stop the source, let queued work complete unmetered, so packet
+  // conservation is exact.  Whatever remains in flight afterwards is parked
+  // at paused nodes (returned to the pool by the destructor).
+  stopped_ = true;
+  while (queue_.run_one()) {
+  }
+
+  SimReport report;
+  report.in_flight_at_end = in_flight_;
+  report.duration = duration;
+  report.injected = injected_;
+  report.delivered = delivered_;
+  report.dropped_queue_nic = dropped_queue_nic_;
+  report.dropped_queue_cpu = dropped_queue_cpu_;
+  report.dropped_queue_pcie = dropped_queue_pcie_;
+  report.dropped_by_nf = dropped_by_nf_;
+  report.latency = latency_;
+  report.measured_delivered = measured_delivered_;
+
+  const SimTime window = duration - warmup;
+  report.egress_goodput = rate_of(Bytes{measured_delivered_bytes_}, window);
+  report.offered_rate = rate_of(Bytes{measured_injected_bytes_}, window);
+  report.smartnic_utilization = nic_server_.utilization(duration);
+  report.cpu_utilization = cpu_server_.utilization(duration);
+  report.pcie_utilization = pcie_server_.utilization(duration);
+  report.per_node.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    NodeSummary node;
+    node.name = chain_.node(i).spec.name;
+    node.location = chain_.node(i).location;
+    node.packets = node_stats_[i].packets;
+    if (node_stats_[i].packets > 0) {
+      node.mean_residence = node_stats_[i].residence.mean();
+      node.p99_residence = node_stats_[i].residence.quantile(0.99);
+    }
+    report.per_node.push_back(std::move(node));
+  }
+  report.pcie_crossings = crossings_total_;
+  report.mean_crossings_per_packet =
+      measured_delivered_ > 0
+          ? static_cast<double>(measured_crossings_) /
+                static_cast<double>(measured_delivered_)
+          : 0.0;
+  return report;
+}
+
+}  // namespace pam

@@ -1,0 +1,183 @@
+// Discrete-event simulator of one service chain on one SmartNIC/CPU server.
+//
+// Mapping from the physical system to the model (DESIGN.md §2):
+//
+//   SmartNIC NPU complex  -> one FcfsServer; a packet visiting NF i on it
+//                            occupies the server for
+//                            load_factor x size x 8 / θ^S_i
+//   CPU complex           -> one FcfsServer, same rule with θ^C_i; also
+//                            serves per-crossing driver/DMA work
+//   PCIe link             -> FcfsServer for serialisation + a pure delay of
+//                            PcieLink::fixed_cost() per crossing
+//   NF software overhead  -> pure delay (Calibration::nf_overhead) per hop;
+//                            pipeline latency, not server occupancy
+//
+// With these rules a device saturates exactly when the paper's linear
+// utilisation Σ θ_cur/θ^D_i reaches 1 — the DES realises the analytic model
+// and adds what the closed form cannot: queueing, drop-tail loss, transient
+// behaviour during migrations.
+//
+// Functional NFs (real classification/rewriting/counting on real header
+// bytes) run at service completion, so behavioural tests and performance
+// tests exercise one code path.
+//
+// Determinism: single-threaded, seeded, stable event ordering — identical
+// inputs give bit-identical reports.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chain/calibration.hpp"
+#include "chain/service_chain.hpp"
+#include "device/server.hpp"
+#include "nf/network_function.hpp"
+#include "packet/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fcfs_server.hpp"
+#include "sim/sim_report.hpp"
+#include "trafficgen/traffic_source_config.hpp"
+
+namespace pam {
+
+class ChainSimulator {
+ public:
+  /// `server` must outlive the simulator; its PcieLink counters are updated
+  /// during the run.
+  ChainSimulator(ServiceChain chain, Server& server, TrafficSourceConfig traffic,
+                 Calibration calibration = Calibration::defaults());
+  ~ChainSimulator();
+
+  ChainSimulator(const ChainSimulator&) = delete;
+  ChainSimulator& operator=(const ChainSimulator&) = delete;
+
+  /// Runs for `duration` of simulated time; metrics cover [warmup, duration].
+  /// In-flight packets are drained (unmetered) after the horizon so packet
+  /// conservation is exact.  Call once per simulator instance.
+  [[nodiscard]] SimReport run(SimTime duration, SimTime warmup = SimTime::milliseconds(20));
+
+  // --- controller / migration-engine API -----------------------------------
+
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] const ServiceChain& chain() const noexcept { return chain_; }
+  [[nodiscard]] Server& server() noexcept { return *server_; }
+  [[nodiscard]] const Calibration& calibration() const noexcept { return calibration_; }
+
+  void schedule_at(SimTime at, std::function<void()> fn);
+  void schedule_after(SimTime delay, std::function<void()> fn);
+  /// Periodic callback every `period` starting at `start`; stops when the
+  /// run's horizon is reached.
+  void schedule_periodic(SimTime start, SimTime period, std::function<void()> fn);
+
+  /// The functional NF instance at chain position i.
+  [[nodiscard]] NetworkFunction& nf(std::size_t i) { return *nfs_.at(i); }
+  /// Swap in a new instance (the migration engine's restore step).
+  void replace_nf(std::size_t i, std::unique_ptr<NetworkFunction> fresh);
+
+  /// Re-place node i (takes effect for packets not yet routed to it).
+  void set_node_location(std::size_t i, Location loc);
+
+  /// Pause: packets arriving at node i are buffered, not processed.
+  void pause_node(std::size_t i);
+  /// Resume: flushes the buffer through the node at its current location.
+  void resume_node(std::size_t i);
+  [[nodiscard]] bool paused(std::size_t i) const { return paused_.at(i); }
+  [[nodiscard]] std::size_t buffered_at(std::size_t i) const {
+    return buffers_.at(i).size();
+  }
+
+  /// Ingress rate observed over the trailing window (controller input).
+  [[nodiscard]] Gbps observed_ingress_rate(SimTime window = SimTime::milliseconds(10)) const;
+
+  /// Total packets buffered across all pause windows so far.
+  [[nodiscard]] std::uint64_t total_buffered() const noexcept { return total_buffered_; }
+
+  /// Capture every frame delivered at egress into `sink` (with the
+  /// simulated delivery timestamp).  Pass nullptr to stop capturing.  The
+  /// sink must outlive the run.
+  void capture_egress(PacketTrace* sink) noexcept { capture_ = sink; }
+
+ private:
+  struct Parked {
+    Packet* pkt;
+    Location side;
+  };
+
+  void schedule_next_arrival();
+  void schedule_replay_arrival();
+  void inject(std::size_t size_bytes);
+  void inject_frame(std::span<const std::uint8_t> frame);
+  void account_injection(Packet* p);
+  void advance(Packet* p, std::size_t idx, Location side);
+  void process_node(Packet* p, std::size_t idx);
+  void cross_pcie(Packet* p, std::function<void()> continuation);
+  void deliver(Packet* p);
+  void drop(Packet* p, std::uint64_t& counter);
+  void finish(Packet* p);
+  [[nodiscard]] bool metering() const noexcept {
+    return queue_.now() >= warmup_ && queue_.now() <= horizon_;
+  }
+
+  ServiceChain chain_;
+  Server* server_;
+  Calibration calibration_;
+  TrafficSourceConfig traffic_;
+
+  EventQueue queue_;
+  PacketPool pool_;
+  FcfsServer nic_server_;
+  FcfsServer cpu_server_;
+  FcfsServer pcie_server_;
+
+  std::vector<std::unique_ptr<NetworkFunction>> nfs_;
+  std::vector<bool> paused_;
+  std::vector<std::vector<Parked>> buffers_;
+
+  struct NodeStats {
+    std::uint64_t packets = 0;
+    LatencyRecorder residence;  ///< queue wait + service per visit
+  };
+  std::vector<NodeStats> node_stats_;
+
+  FlowGenerator flowgen_;
+  Rng rng_;
+
+  SimTime warmup_ = SimTime::zero();
+  SimTime horizon_ = SimTime::zero();
+  bool stopped_ = false;
+  bool ran_ = false;
+
+  // accounting
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t dropped_queue_nic_ = 0;
+  std::uint64_t dropped_queue_cpu_ = 0;
+  std::uint64_t dropped_queue_pcie_ = 0;
+  std::uint64_t dropped_by_nf_ = 0;
+  std::uint64_t total_buffered_ = 0;
+  std::uint64_t crossings_total_ = 0;
+
+  // measurement window
+  LatencyRecorder latency_;
+  std::uint64_t measured_delivered_ = 0;
+  std::uint64_t measured_injected_ = 0;
+  std::uint64_t measured_delivered_bytes_ = 0;
+  std::uint64_t measured_injected_bytes_ = 0;
+  std::uint64_t measured_crossings_ = 0;
+
+  // trailing-window ingress estimator
+  mutable std::deque<std::pair<SimTime, std::uint64_t>> ingress_window_;
+
+  // trace replay / capture
+  std::size_t replay_pos_ = 0;
+  SimTime replay_epoch_ = SimTime::zero();
+  PacketTrace* capture_ = nullptr;
+};
+
+}  // namespace pam

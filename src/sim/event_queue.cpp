@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace pam {
+
+void EventQueue::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    at = now_;  // clamp: scheduling in the past means "immediately"
+  }
+  heap_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const&; move out via const_cast is UB-free here
+  // because we pop immediately after and never touch the moved-from state.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    run_one();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace pam

@@ -1,0 +1,49 @@
+#include "sim/fcfs_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pam {
+
+FcfsServer::FcfsServer(EventQueue& queue, std::string name, std::size_t queue_capacity)
+    : queue_(queue), name_(std::move(name)), capacity_(queue_capacity) {
+  assert(queue_capacity > 0);
+}
+
+bool FcfsServer::submit(SimTime service, Completion done) {
+  assert(service >= SimTime::zero());
+  if (busy_) {
+    if (waiting_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    waiting_.push_back(Job{service, std::move(done)});
+    max_queue_ = std::max(max_queue_, waiting_.size());
+    return true;
+  }
+  start(Job{service, std::move(done)});
+  return true;
+}
+
+void FcfsServer::start(Job job) {
+  busy_ = true;
+  busy_time_ += job.service;
+  queue_.schedule_after(job.service, [this, done = std::move(job.done)]() mutable {
+    ++completed_;
+    // Completion may submit more work; run it before dequeuing so FIFO
+    // order among already-queued jobs is preserved (new submissions land
+    // behind them).
+    Completion local = std::move(done);
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    } else {
+      busy_ = false;
+    }
+    local();
+  });
+}
+
+}  // namespace pam

@@ -1,0 +1,29 @@
+#include "sim/sim_report.hpp"
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+std::string SimReport::summary() const {
+  std::string out;
+  out += format("duration %s | injected %llu, delivered %llu, dropped %llu "
+                "(nicQ %llu, cpuQ %llu, pcieQ %llu, nf %llu), in-flight %llu\n",
+                duration.to_string().c_str(),
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(dropped_total()),
+                static_cast<unsigned long long>(dropped_queue_nic),
+                static_cast<unsigned long long>(dropped_queue_cpu),
+                static_cast<unsigned long long>(dropped_queue_pcie),
+                static_cast<unsigned long long>(dropped_by_nf),
+                static_cast<unsigned long long>(in_flight_at_end));
+  out += format("offered %s -> goodput %s | latency %s\n",
+                offered_rate.to_string().c_str(),
+                egress_goodput.to_string().c_str(), latency.summary().c_str());
+  out += format("util S=%.3f C=%.3f PCIe=%.3f | crossings/pkt %.2f",
+                smartnic_utilization, cpu_utilization, pcie_utilization,
+                mean_crossings_per_packet);
+  return out;
+}
+
+}  // namespace pam

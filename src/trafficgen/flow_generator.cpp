@@ -1,0 +1,31 @@
+#include "trafficgen/flow_generator.hpp"
+
+#include <cassert>
+
+namespace pam {
+
+FlowGenerator::FlowGenerator(FlowGeneratorConfig config, std::uint64_t seed)
+    : config_(config) {
+  assert(config.flow_count > 0);
+  Rng build_rng{seed};
+  flows_.reserve(config.flow_count);
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    FiveTuple t;
+    // Distinct client address + ephemeral port per flow.
+    t.src_ip = config.client_net | static_cast<std::uint32_t>(build_rng.uniform_u64(1, (1u << 24) - 2));
+    t.src_port = static_cast<std::uint16_t>(build_rng.uniform_u64(1024, 65535));
+    t.dst_ip = config.service_ip;
+    t.dst_port = config.service_port;
+    t.proto = build_rng.chance(config.tcp_fraction) ? IpProto::kTcp : IpProto::kUdp;
+    flows_.push_back(t);
+  }
+}
+
+const FiveTuple& FlowGenerator::next(Rng& rng) {
+  if (config_.zipf_skew <= 0.0) {
+    return flows_[rng.bounded(flows_.size())];
+  }
+  return flows_[rng.zipf(flows_.size(), config_.zipf_skew)];
+}
+
+}  // namespace pam

@@ -1,0 +1,109 @@
+#include "trafficgen/packet_size_dist.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+PacketSizeDistribution PacketSizeDistribution::fixed(std::size_t size) {
+  PacketSizeDistribution d;
+  d.kind_ = Kind::kFixed;
+  d.fixed_ = size;
+  return d;
+}
+
+PacketSizeDistribution PacketSizeDistribution::uniform(std::size_t lo, std::size_t hi) {
+  assert(lo <= hi);
+  PacketSizeDistribution d;
+  d.kind_ = Kind::kUniform;
+  d.lo_ = lo;
+  d.hi_ = hi;
+  return d;
+}
+
+PacketSizeDistribution PacketSizeDistribution::imix() {
+  return discrete({{64, 7.0}, {570, 4.0}, {1500, 1.0}});
+}
+
+PacketSizeDistribution PacketSizeDistribution::discrete(
+    std::vector<std::pair<std::size_t, double>> weighted_sizes) {
+  if (weighted_sizes.empty()) {
+    throw std::invalid_argument("discrete size distribution needs entries");
+  }
+  PacketSizeDistribution d;
+  d.kind_ = Kind::kDiscrete;
+  d.weighted_ = std::move(weighted_sizes);
+  double total = 0.0;
+  for (const auto& [size, w] : d.weighted_) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("non-positive weight in size distribution");
+    }
+    total += w;
+  }
+  double cum = 0.0;
+  for (const auto& [size, w] : d.weighted_) {
+    cum += w / total;
+    d.cdf_.push_back(cum);
+  }
+  d.cdf_.back() = 1.0;
+  return d;
+}
+
+std::size_t PacketSizeDistribution::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return fixed_;
+    case Kind::kUniform:
+      return static_cast<std::size_t>(rng.uniform_u64(lo_, hi_));
+    case Kind::kDiscrete: {
+      const double u = rng.next_double();
+      for (std::size_t i = 0; i < cdf_.size(); ++i) {
+        if (u <= cdf_[i]) {
+          return weighted_[i].first;
+        }
+      }
+      return weighted_.back().first;
+    }
+  }
+  return fixed_;
+}
+
+double PacketSizeDistribution::mean() const noexcept {
+  switch (kind_) {
+    case Kind::kFixed:
+      return static_cast<double>(fixed_);
+    case Kind::kUniform:
+      return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+    case Kind::kDiscrete: {
+      double total_w = 0.0;
+      double sum = 0.0;
+      for (const auto& [size, w] : weighted_) {
+        total_w += w;
+        sum += static_cast<double>(size) * w;
+      }
+      return sum / total_w;
+    }
+  }
+  return 0.0;
+}
+
+std::string PacketSizeDistribution::describe() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return format("fixed(%zuB)", fixed_);
+    case Kind::kUniform:
+      return format("uniform[%zu,%zu]B", lo_, hi_);
+    case Kind::kDiscrete:
+      return format("discrete(%zu sizes, mean %.0fB)", weighted_.size(), mean());
+  }
+  return "?";
+}
+
+const std::vector<std::size_t>& paper_size_sweep() {
+  static const std::vector<std::size_t> sweep = {64, 128, 256, 512, 1024, 1500};
+  return sweep;
+}
+
+}  // namespace pam

@@ -1,0 +1,80 @@
+#include "trafficgen/rate_profile.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+RateProfile RateProfile::constant(Gbps rate) {
+  RateProfile p;
+  p.kind_ = Kind::kConstant;
+  p.base_ = rate;
+  return p;
+}
+
+RateProfile RateProfile::step(Gbps before, Gbps after, SimTime at) {
+  return schedule({{SimTime::zero(), before}, {at, after}});
+}
+
+RateProfile RateProfile::schedule(std::vector<std::pair<SimTime, Gbps>> points) {
+  assert(!points.empty());
+  RateProfile p;
+  p.kind_ = Kind::kSchedule;
+  p.points_ = std::move(points);
+  std::sort(p.points_.begin(), p.points_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return p;
+}
+
+RateProfile RateProfile::sinusoid(Gbps base, Gbps amplitude, SimTime period, Gbps floor) {
+  assert(period.ns() > 0);
+  RateProfile p;
+  p.kind_ = Kind::kSinusoid;
+  p.base_ = base;
+  p.amplitude_ = amplitude;
+  p.period_ = period;
+  p.floor_ = floor;
+  return p;
+}
+
+Gbps RateProfile::at(SimTime t) const noexcept {
+  switch (kind_) {
+    case Kind::kConstant:
+      return base_;
+    case Kind::kSchedule: {
+      Gbps current = points_.front().second;
+      for (const auto& [start, rate] : points_) {
+        if (t >= start) {
+          current = rate;
+        } else {
+          break;
+        }
+      }
+      return current;
+    }
+    case Kind::kSinusoid: {
+      const double phase = 2.0 * 3.14159265358979323846 * (t / period_);
+      const double v = base_.value() + amplitude_.value() * std::sin(phase);
+      return Gbps{std::max(v, floor_.value())};
+    }
+  }
+  return base_;
+}
+
+std::string RateProfile::describe() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return format("constant(%s)", base_.to_string().c_str());
+    case Kind::kSchedule:
+      return format("schedule(%zu points, start %s)", points_.size(),
+                    points_.front().second.to_string().c_str());
+    case Kind::kSinusoid:
+      return format("sinusoid(base %s, amp %s, period %s)",
+                    base_.to_string().c_str(), amplitude_.to_string().c_str(),
+                    period_.to_string().c_str());
+  }
+  return "?";
+}
+
+}  // namespace pam

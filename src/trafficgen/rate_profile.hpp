@@ -1,0 +1,50 @@
+// Offered-load-over-time profiles.
+//
+// "As the network traffic fluctuates, NFs on SmartNIC can also be
+// overloaded" — the adaptive experiments drive the chain with a rate that
+// changes over time (step spike, diurnal sinusoid) and let the controller
+// react.  A profile maps simulated time to an instantaneous target rate.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pam {
+
+class RateProfile {
+ public:
+  /// Constant `rate` forever.
+  [[nodiscard]] static RateProfile constant(Gbps rate);
+
+  /// `before` until `at`, then `after` (the headline overload scenario:
+  /// baseline -> spike).
+  [[nodiscard]] static RateProfile step(Gbps before, Gbps after, SimTime at);
+
+  /// Piecewise-constant schedule of (start_time, rate) points, sorted.
+  [[nodiscard]] static RateProfile schedule(std::vector<std::pair<SimTime, Gbps>> points);
+
+  /// base + amplitude * sin(2*pi*t/period), clamped at >= floor.
+  [[nodiscard]] static RateProfile sinusoid(Gbps base, Gbps amplitude, SimTime period,
+                                            Gbps floor = Gbps{0.05});
+
+  [[nodiscard]] Gbps at(SimTime t) const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  enum class Kind { kConstant, kSchedule, kSinusoid };
+
+  Kind kind_ = Kind::kConstant;
+  Gbps base_{1.0};
+  Gbps amplitude_{0.0};
+  Gbps floor_{0.05};
+  SimTime period_ = SimTime::seconds(1.0);
+  std::vector<std::pair<SimTime, Gbps>> points_;
+};
+
+}  // namespace pam

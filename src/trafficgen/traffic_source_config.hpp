@@ -1,0 +1,36 @@
+// Configuration bundle describing one traffic source — the simulator's
+// stand-in for the paper's DPDK packet sender.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "packet/trace.hpp"
+#include "trafficgen/flow_generator.hpp"
+#include "trafficgen/packet_size_dist.hpp"
+#include "trafficgen/rate_profile.hpp"
+
+namespace pam {
+
+enum class ArrivalProcess : std::uint8_t {
+  kCbr,      ///< constant bit rate: deterministic inter-arrivals
+  kPoisson,  ///< exponential inter-arrivals at the same mean rate
+};
+
+struct TrafficSourceConfig {
+  RateProfile rate = RateProfile::constant(Gbps{1.0});
+  ArrivalProcess process = ArrivalProcess::kCbr;
+  PacketSizeDistribution sizes = PacketSizeDistribution::fixed(512);
+  FlowGeneratorConfig flows{};
+  std::uint64_t seed = 1;
+
+  /// When set, the synthetic generator above is ignored and the capture is
+  /// replayed instead: frames injected verbatim at the recorded timestamps
+  /// (shifted so the first record lands at t=0).  With `replay_loop` the
+  /// capture repeats back-to-back until the run's horizon.
+  std::shared_ptr<const PacketTrace> replay;
+  bool replay_loop = false;
+};
+
+}  // namespace pam

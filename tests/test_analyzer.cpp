@@ -1,0 +1,190 @@
+// ChainAnalyzer tests: the closed-form model is checked against hand
+// computations of the paper scenario and against its own invariants
+// (linearity, monotonicity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  Server server_ = Server::paper_testbed();
+  ChainAnalyzer analyzer_{server_};
+  ServiceChain chain_ = paper_figure1_chain();
+};
+
+TEST_F(AnalyzerTest, Figure1UtilizationHandComputed) {
+  // At 2.2 Gbps: S = 2.2/10 + 2.2/3.2 + 2.2*0.5/2 = 1.4575.
+  //              C = 2.2/4 (LB) + 2.2/40 (1 crossing driver) = 0.605.
+  //              PCIe = 2.2/32 = 0.06875.
+  const auto util = analyzer_.utilization(chain_, 2.2_gbps);
+  EXPECT_NEAR(util.smartnic, 1.4575, 1e-9);
+  EXPECT_NEAR(util.cpu, 0.605, 1e-9);
+  EXPECT_NEAR(util.pcie, 0.06875, 1e-9);
+  EXPECT_TRUE(util.smartnic_overloaded());
+  EXPECT_FALSE(util.cpu_overloaded());
+  EXPECT_TRUE(util.any_overloaded());
+  EXPECT_NEAR(util.bottleneck(), 1.4575, 1e-9);
+}
+
+TEST_F(AnalyzerTest, UtilizationLinearInRate) {
+  const auto u1 = analyzer_.utilization(chain_, 1.0_gbps);
+  const auto u2 = analyzer_.utilization(chain_, 2.0_gbps);
+  EXPECT_NEAR(u2.smartnic, 2.0 * u1.smartnic, 1e-9);
+  EXPECT_NEAR(u2.cpu, 2.0 * u1.cpu, 1e-9);
+  EXPECT_NEAR(u2.pcie, 2.0 * u1.pcie, 1e-9);
+}
+
+TEST_F(AnalyzerTest, MaxSustainableRateInvertsBottleneck) {
+  // Unit S-utilisation = 0.1 + 0.3125 + 0.25 = 0.6625 -> T* = 1.509 Gbps.
+  const Gbps rate = analyzer_.max_sustainable_rate(chain_);
+  EXPECT_NEAR(rate.value(), 1.0 / 0.6625, 1e-6);
+  // At exactly T* the bottleneck sits at 1.0.
+  const auto util = analyzer_.utilization(chain_, rate);
+  EXPECT_NEAR(util.bottleneck(), 1.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, CrossingsChargedToCpuAndLink) {
+  // Move Monitor to the CPU: 3 crossings instead of 1.
+  auto moved = chain_;
+  moved.set_location(1, Location::kCpu);
+  const auto before = analyzer_.utilization(chain_, 2.0_gbps);
+  const auto after = analyzer_.utilization(moved, 2.0_gbps);
+  // PCIe link utilisation triples with the crossing count.
+  EXPECT_NEAR(after.pcie, 3.0 * before.pcie, 1e-9);
+  // CPU gains Monitor (2/10) plus two extra crossings (2 x 2/40) minus 0.
+  EXPECT_NEAR(after.cpu - before.cpu, 0.2 + 0.1, 1e-9);
+}
+
+TEST_F(AnalyzerTest, StructuralLatencyHandComputed) {
+  // At 512 B: per-NF service 512*8/cap, overheads 55us (S) / 70us (C),
+  // one crossing 32us + 512*8/32G.
+  const double fw = 55.0 + 0.4096;
+  const double mon = 55.0 + 1.28;
+  const double log = 55.0 + 0.5 * 2.048;
+  const double lb = 70.0 + 4096.0 / 4e3;  // 1.024 us service at 4 Gbps
+  const double crossing = 32.0 + 0.128;
+  const SimTime expected = SimTime::microseconds(fw + mon + log + lb + crossing);
+  const SimTime actual = analyzer_.structural_latency(chain_, Bytes{512});
+  EXPECT_NEAR(actual.us(), expected.us(), 0.01);
+}
+
+TEST_F(AnalyzerTest, StructuralLatencyCountsEveryCrossing) {
+  auto moved = chain_;
+  moved.set_location(1, Location::kCpu);  // 3 crossings, Monitor on CPU
+  const SimTime base = analyzer_.structural_latency(chain_, Bytes{512});
+  const SimTime naive = analyzer_.structural_latency(moved, Bytes{512});
+  // Naive adds: 2 crossings (32.128 us each) + CPU-vs-NIC overhead delta
+  // (15 us) + service delta (512*8/10G - 512*8/3.2G = -0.8704 us).
+  EXPECT_NEAR((naive - base).us(), 2 * 32.128 + 15.0 - 0.8704, 0.01);
+}
+
+TEST_F(AnalyzerTest, PredictedLatencyAtLeastStructural) {
+  for (const double rate : {0.1, 0.5, 1.0, 1.4}) {
+    EXPECT_GE(analyzer_.predicted_latency(chain_, Gbps{rate}, Bytes{512}),
+              analyzer_.structural_latency(chain_, Bytes{512}))
+        << rate;
+  }
+}
+
+TEST_F(AnalyzerTest, PredictedLatencyMonotoneInLoad) {
+  SimTime prev = SimTime::zero();
+  for (const double rate : {0.2, 0.6, 1.0, 1.3, 1.45}) {
+    const SimTime lat = analyzer_.predicted_latency(chain_, Gbps{rate}, Bytes{512});
+    EXPECT_GE(lat, prev) << rate;
+    prev = lat;
+  }
+}
+
+TEST_F(AnalyzerTest, QueueInflationCapped) {
+  // Far past saturation, latency must stay finite (inflation capped).
+  const SimTime lat = analyzer_.predicted_latency(chain_, 50.0_gbps, Bytes{512});
+  const SimTime structural = analyzer_.structural_latency(chain_, Bytes{512});
+  EXPECT_LT(lat.us(), structural.us() * 20.0);
+}
+
+TEST_F(AnalyzerTest, GoodputBelowSaturationEqualsOffered) {
+  const Gbps goodput = analyzer_.predicted_goodput(chain_, 1.0_gbps);
+  EXPECT_NEAR(goodput.value(), 1.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, GoodputCapsAtSustainable) {
+  const Gbps cap = analyzer_.max_sustainable_rate(chain_);
+  const Gbps goodput = analyzer_.predicted_goodput(chain_, 10.0_gbps);
+  EXPECT_NEAR(goodput.value(), cap.value(), 1e-9);
+}
+
+TEST_F(AnalyzerTest, GoodputAppliesPassRatios) {
+  ChainBuilder builder{"dropper"};
+  builder.add(NfType::kFirewall, "fw", Location::kSmartNic, 1.0, 0.5);
+  const auto chain = builder.build();
+  const Gbps goodput = analyzer_.predicted_goodput(chain, 1.0_gbps);
+  EXPECT_NEAR(goodput.value(), 0.5, 1e-9);
+}
+
+TEST_F(AnalyzerTest, EmptyChainIsWireBound) {
+  ServiceChain empty{"empty"};
+  empty.set_egress(Attachment::kWire);
+  const auto util = analyzer_.utilization(empty, 5.0_gbps);
+  EXPECT_DOUBLE_EQ(util.smartnic, 0.0);
+  EXPECT_DOUBLE_EQ(util.cpu, 0.0);
+  // Only the NIC's 2x10GbE ports limit a pass-through chain.
+  EXPECT_DOUBLE_EQ(util.wire, 0.25);
+  EXPECT_NEAR(analyzer_.max_sustainable_rate(empty).value(), 20.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, WireCapacityBoundsAbsurdlyFastChains) {
+  // A chain of one huge-capacity NF is still wire-bound at 20 Gbps.
+  NfSpec fat;
+  fat.name = "fat";
+  fat.capacity = {Gbps{1000.0}, Gbps{1000.0}};
+  ServiceChain chain{"fat-chain"};
+  chain.set_egress(Attachment::kWire);
+  chain.add_node(fat, Location::kSmartNic);
+  EXPECT_NEAR(analyzer_.max_sustainable_rate(chain).value(), 20.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, HostToHostChainHasNoWireTerm) {
+  ServiceChain chain{"internal"};
+  chain.set_ingress(Attachment::kHost);
+  chain.set_egress(Attachment::kHost);
+  NfSpec spec;
+  spec.name = "mon";
+  spec.capacity = {3.2_gbps, 10.0_gbps};
+  chain.add_node(spec, Location::kCpu);
+  EXPECT_DOUBLE_EQ(analyzer_.utilization(chain, 5.0_gbps).wire, 0.0);
+}
+
+TEST_F(AnalyzerTest, DescribeMentionsOverload) {
+  const auto util = analyzer_.utilization(chain_, 2.2_gbps);
+  EXPECT_NE(util.describe().find("OVERLOADED"), std::string::npos);
+}
+
+// Linearity sweep across packet-independent rates: bottleneck * T*(chain)
+// == 1 for several chains.
+class SustainableRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SustainableRateSweep, BottleneckAtCapIsOne) {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  ChainBuilder builder{"sweep"};
+  builder.add(NfType::kMonitor, "mon", Location::kSmartNic, GetParam());
+  builder.add(NfType::kLoadBalancer, "lb", Location::kCpu);
+  const auto chain = builder.build();
+  const Gbps cap = analyzer.max_sustainable_rate(chain);
+  EXPECT_NEAR(analyzer.utilization(chain, cap).bottleneck(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadFactors, SustainableRateSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,157 @@
+// Border identification tests, culminating in PAM's load-bearing invariant:
+// migrating a border vNF never increases PCIe crossings.
+
+#include <gtest/gtest.h>
+
+#include "chain/border.hpp"
+#include "chain/chain_builder.hpp"
+#include "common/rng.hpp"
+
+namespace pam {
+namespace {
+
+ServiceChain make_chain(std::initializer_list<Location> placement,
+                        Attachment ingress = Attachment::kWire,
+                        Attachment egress = Attachment::kHost) {
+  ChainBuilder builder{"test"};
+  builder.ingress(ingress).egress(egress);
+  int i = 0;
+  for (const Location loc : placement) {
+    builder.add(NfType::kFirewall, "nf" + std::to_string(i++), loc);
+  }
+  return builder.build();
+}
+
+TEST(Border, PaperFigure1Borders) {
+  const auto chain = paper_figure1_chain();
+  const auto borders = find_borders(chain);
+  // Logger (index 2) is the only border: its downstream (LoadBalancer) is
+  // on the CPU.  Firewall heads the chain at the wire, so it is not one.
+  EXPECT_TRUE(borders.left.empty());
+  ASSERT_EQ(borders.right.size(), 1u);
+  EXPECT_EQ(borders.right[0], 2u);
+  EXPECT_EQ(borders.all(), std::vector<std::size_t>{2});
+}
+
+TEST(Border, NoCpuNeighboursNoBorders) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kSmartNic},
+                                Attachment::kWire, Attachment::kWire);
+  EXPECT_TRUE(find_borders(chain).empty());
+}
+
+TEST(Border, HostEgressMakesLastNfABorder) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kSmartNic},
+                                Attachment::kWire, Attachment::kHost);
+  const auto borders = find_borders(chain);
+  ASSERT_EQ(borders.right.size(), 1u);
+  EXPECT_EQ(borders.right[0], 1u);
+}
+
+TEST(Border, HostIngressMakesFirstNfABorder) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kSmartNic},
+                                Attachment::kHost, Attachment::kWire);
+  const auto borders = find_borders(chain);
+  ASSERT_EQ(borders.left.size(), 1u);
+  EXPECT_EQ(borders.left[0], 0u);
+}
+
+TEST(Border, CpuResidentIsNeverABorder) {
+  const auto chain = make_chain({Location::kCpu, Location::kCpu});
+  EXPECT_TRUE(find_borders(chain).empty());
+  EXPECT_FALSE(is_border(chain, 0));
+}
+
+TEST(Border, SandwichedNfIsInBothSets) {
+  const auto chain = make_chain(
+      {Location::kCpu, Location::kSmartNic, Location::kCpu});
+  const auto borders = find_borders(chain);
+  ASSERT_EQ(borders.left.size(), 1u);
+  ASSERT_EQ(borders.right.size(), 1u);
+  EXPECT_EQ(borders.left[0], 1u);
+  EXPECT_EQ(borders.right[0], 1u);
+  EXPECT_EQ(borders.all().size(), 1u);  // deduplicated
+}
+
+TEST(Border, MultipleSegmentsMultipleBorders) {
+  // S S C S S with wire/wire: nf1 (right border), nf3 (left border).
+  const auto chain = make_chain(
+      {Location::kSmartNic, Location::kSmartNic, Location::kCpu,
+       Location::kSmartNic, Location::kSmartNic},
+      Attachment::kWire, Attachment::kWire);
+  const auto borders = find_borders(chain);
+  ASSERT_EQ(borders.left.size(), 1u);
+  ASSERT_EQ(borders.right.size(), 1u);
+  EXPECT_EQ(borders.right[0], 1u);
+  EXPECT_EQ(borders.left[0], 3u);
+}
+
+TEST(Border, ContainsAndDescribe) {
+  const auto chain = paper_figure1_chain();
+  const auto borders = find_borders(chain);
+  EXPECT_TRUE(borders.contains(2));
+  EXPECT_FALSE(borders.contains(0));
+  EXPECT_EQ(borders.describe(chain), "BL={} BR={Logger}");
+}
+
+TEST(Border, IsBorderAgreesWithFindBorders) {
+  const auto chain = make_chain(
+      {Location::kSmartNic, Location::kCpu, Location::kSmartNic, Location::kSmartNic});
+  const auto borders = find_borders(chain);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(is_border(chain, i), borders.contains(i)) << i;
+  }
+}
+
+// THE PAM INVARIANT (DESIGN.md §7.1): migrating any border vNF to the CPU
+// never increases the chain's PCIe crossing count — checked over randomised
+// chains, placements and endpoint attachments.
+class BorderMigrationSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BorderMigrationSafety, BorderMovesNeverAddCrossings) {
+  Rng rng{GetParam() * 7919};
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.bounded(10);
+    ChainBuilder builder{"rand"};
+    builder.ingress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+    builder.egress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.add(NfType::kFirewall, "nf" + std::to_string(i),
+                  rng.chance(0.5) ? Location::kSmartNic : Location::kCpu);
+    }
+    const auto chain = builder.build();
+    for (const std::size_t idx : find_borders(chain).all()) {
+      EXPECT_LE(chain.crossing_delta_if_migrated(idx), 0)
+          << chain.describe() << " border " << idx;
+    }
+  }
+}
+
+TEST_P(BorderMigrationSafety, NonBorderSmartNicMovesAlwaysAddCrossings) {
+  // The complementary fact: migrating a SmartNIC NF that is NOT a border
+  // adds exactly 2 crossings (both neighbours are SmartNIC-side).
+  Rng rng{GetParam() * 104729};
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.bounded(10);
+    ChainBuilder builder{"rand"};
+    builder.ingress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+    builder.egress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.add(NfType::kFirewall, "nf" + std::to_string(i),
+                  rng.chance(0.5) ? Location::kSmartNic : Location::kCpu);
+    }
+    const auto chain = builder.build();
+    const auto borders = find_borders(chain);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chain.location_of(i) == Location::kSmartNic && !borders.contains(i)) {
+        EXPECT_EQ(chain.crossing_delta_if_migrated(i), 2)
+            << chain.describe() << " node " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BorderMigrationSafety,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace pam

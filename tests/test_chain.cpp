@@ -1,0 +1,209 @@
+// ServiceChain tests: crossing arithmetic, neighbour sides, per-NF offered
+// rates under pass ratios, validation, and the crossing-delta oracle.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "common/rng.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+ServiceChain make_chain(std::initializer_list<Location> placement,
+                        Attachment ingress = Attachment::kWire,
+                        Attachment egress = Attachment::kHost) {
+  ChainBuilder builder{"test"};
+  builder.ingress(ingress).egress(egress);
+  int i = 0;
+  for (const Location loc : placement) {
+    builder.add(NfType::kFirewall, "nf" + std::to_string(i++), loc);
+  }
+  return builder.build();
+}
+
+TEST(ServiceChain, EmptyChainCrossings) {
+  ServiceChain wire_to_host{"c"};
+  wire_to_host.set_ingress(Attachment::kWire);
+  wire_to_host.set_egress(Attachment::kHost);
+  EXPECT_EQ(wire_to_host.pcie_crossings(), 1u);  // wire side != host side
+
+  ServiceChain wire_to_wire{"c"};
+  wire_to_wire.set_egress(Attachment::kWire);
+  EXPECT_EQ(wire_to_wire.pcie_crossings(), 0u);
+}
+
+TEST(ServiceChain, AllSmartNicWireToWire) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kSmartNic},
+                                Attachment::kWire, Attachment::kWire);
+  EXPECT_EQ(chain.pcie_crossings(), 0u);
+}
+
+TEST(ServiceChain, AllCpuWireToWire) {
+  const auto chain = make_chain({Location::kCpu, Location::kCpu},
+                                Attachment::kWire, Attachment::kWire);
+  EXPECT_EQ(chain.pcie_crossings(), 2u);  // up once, down once
+}
+
+TEST(ServiceChain, PaperFigure1HasOneCrossing) {
+  const auto chain = paper_figure1_chain();
+  EXPECT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain.pcie_crossings(), 1u);
+}
+
+TEST(ServiceChain, AlternatingPlacementMaximisesCrossings) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kCpu,
+                                 Location::kSmartNic, Location::kCpu},
+                                Attachment::kWire, Attachment::kHost);
+  // wire|S = 0, S->C, C->S, S->C, C|host = 0 -> 3 crossings.
+  EXPECT_EQ(chain.pcie_crossings(), 3u);
+}
+
+TEST(ServiceChain, UpstreamDownstreamSides) {
+  const auto chain = make_chain({Location::kSmartNic, Location::kCpu},
+                                Attachment::kWire, Attachment::kHost);
+  EXPECT_EQ(chain.upstream_side(0), Location::kSmartNic);   // wire
+  EXPECT_EQ(chain.downstream_side(0), Location::kCpu);      // nf1
+  EXPECT_EQ(chain.upstream_side(1), Location::kSmartNic);   // nf0
+  EXPECT_EQ(chain.downstream_side(1), Location::kCpu);      // host
+  EXPECT_THROW((void)chain.upstream_side(2), std::out_of_range);
+}
+
+TEST(ServiceChain, IndexOfFindsByName) {
+  const auto chain = paper_figure1_chain();
+  ASSERT_TRUE(chain.index_of("Monitor").has_value());
+  EXPECT_EQ(*chain.index_of("Monitor"), 1u);
+  EXPECT_FALSE(chain.index_of("Nope").has_value());
+}
+
+TEST(ServiceChain, SetLocationChangesCrossings) {
+  auto chain = paper_figure1_chain();
+  chain.set_location(1, Location::kCpu);  // Monitor mid-chain -> CPU
+  EXPECT_EQ(chain.pcie_crossings(), 3u);
+}
+
+TEST(ServiceChain, OfferedAtAppliesUpstreamPassRatios) {
+  ChainBuilder builder{"drops"};
+  builder.add(NfType::kFirewall, "fw", Location::kSmartNic, 1.0, 0.5);
+  builder.add(NfType::kRateLimiter, "rl", Location::kSmartNic, 1.0, 0.8);
+  builder.add(NfType::kMonitor, "mon", Location::kSmartNic);
+  const auto chain = builder.build();
+  EXPECT_DOUBLE_EQ(chain.offered_at(0, 2_gbps).value(), 2.0);
+  EXPECT_DOUBLE_EQ(chain.offered_at(1, 2_gbps).value(), 1.0);   // after fw
+  EXPECT_DOUBLE_EQ(chain.offered_at(2, 2_gbps).value(), 0.8);   // after rl
+  EXPECT_DOUBLE_EQ(chain.rate_at_boundary(3, 2_gbps).value(), 0.8);
+}
+
+TEST(ServiceChain, ValidateRejectsDuplicateNames) {
+  ServiceChain chain{"dup"};
+  NfSpec spec;
+  spec.name = "same";
+  spec.capacity = {1_gbps, 1_gbps};
+  chain.add_node(spec, Location::kSmartNic);
+  chain.add_node(spec, Location::kCpu);
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+}
+
+TEST(ServiceChain, ValidateRejectsBadCapacity) {
+  ServiceChain chain{"bad"};
+  NfSpec spec;
+  spec.name = "x";
+  spec.capacity = {Gbps{0.0}, 1_gbps};
+  chain.add_node(spec, Location::kSmartNic);
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+}
+
+TEST(ServiceChain, ValidateRejectsBadRatios) {
+  ServiceChain chain{"bad"};
+  NfSpec spec;
+  spec.name = "x";
+  spec.capacity = {1_gbps, 1_gbps};
+  spec.load_factor = 1.5;
+  chain.add_node(spec, Location::kSmartNic);
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+  chain = ServiceChain{"bad2"};
+  spec.load_factor = 1.0;
+  spec.pass_ratio = -0.1;
+  chain.add_node(spec, Location::kSmartNic);
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+}
+
+TEST(ServiceChain, ValidateRejectsEmptyName) {
+  ServiceChain chain{"bad"};
+  NfSpec spec;
+  spec.capacity = {1_gbps, 1_gbps};
+  chain.add_node(spec, Location::kSmartNic);
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+}
+
+TEST(ServiceChain, DescribeShowsTopology) {
+  const auto chain = paper_figure1_chain();
+  EXPECT_EQ(chain.describe(),
+            "wire ->[S]Firewall ->[S]Monitor ->[S]Logger ->[C]LoadBalancer -> host");
+}
+
+TEST(CrossingDelta, MidSegmentMigrationCostsTwo) {
+  const auto chain = paper_figure1_chain();
+  EXPECT_EQ(chain.crossing_delta_if_migrated(1), 2);  // Monitor
+}
+
+TEST(CrossingDelta, BorderMigrationIsFree) {
+  const auto chain = paper_figure1_chain();
+  EXPECT_EQ(chain.crossing_delta_if_migrated(2), 0);  // Logger
+}
+
+TEST(CrossingDelta, DoubleCpuNeighbourSavesTwo) {
+  const auto chain = make_chain({Location::kCpu, Location::kSmartNic, Location::kCpu},
+                                Attachment::kWire, Attachment::kHost);
+  EXPECT_EQ(chain.crossing_delta_if_migrated(1), -2);
+}
+
+// Property: crossing_delta_if_migrated equals recount-after-move, for random
+// chains, placements and endpoint attachments.
+class CrossingDeltaOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossingDeltaOracle, DeltaMatchesRecount) {
+  Rng rng{GetParam()};
+  const std::size_t n = 1 + rng.bounded(8);
+  ChainBuilder builder{"rand"};
+  builder.ingress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+  builder.egress(rng.chance(0.5) ? Attachment::kWire : Attachment::kHost);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(NfType::kFirewall, "nf" + std::to_string(i),
+                rng.chance(0.5) ? Location::kSmartNic : Location::kCpu);
+  }
+  const auto chain = builder.build();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto moved = chain;
+    moved.set_location(i, other(chain.location_of(i)));
+    const int expected = static_cast<int>(moved.pcie_crossings()) -
+                         static_cast<int>(chain.pcie_crossings());
+    EXPECT_EQ(chain.crossing_delta_if_migrated(i), expected)
+        << chain.describe() << " node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, CrossingDeltaOracle,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ChainBuilder, AddCustomOverridesCapacity) {
+  NfSpec custom;
+  custom.name = "bespoke";
+  custom.type = NfType::kMonitor;
+  custom.capacity = {7_gbps, 9_gbps};
+  const auto chain = ChainBuilder{"c"}.add_custom(custom, Location::kCpu).build();
+  EXPECT_DOUBLE_EQ(chain.node(0).spec.capacity.smartnic.value(), 7.0);
+  EXPECT_EQ(chain.node(0).location, Location::kCpu);
+}
+
+TEST(ChainBuilder, UsesCapacityTable) {
+  const auto chain = paper_figure1_chain();
+  EXPECT_DOUBLE_EQ(chain.node(0).spec.capacity.smartnic.value(), 10.0);
+  EXPECT_DOUBLE_EQ(chain.node(1).spec.capacity.smartnic.value(), 3.2);
+  EXPECT_DOUBLE_EQ(chain.node(2).spec.capacity.smartnic.value(), 2.0);
+  EXPECT_DOUBLE_EQ(chain.node(2).spec.load_factor, 0.5);  // sampling Logger
+}
+
+}  // namespace
+}  // namespace pam

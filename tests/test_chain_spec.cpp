@@ -1,0 +1,136 @@
+// Chain-spec parser tests: grammar coverage, defaults, round trips, errors.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "chain/chain_spec.hpp"
+
+namespace pam {
+namespace {
+
+TEST(ChainSpec, ParsesPaperChain) {
+  const auto result = parse_chain_spec(
+      "wire | S:Firewall S:Monitor S:Logger@0.5 C:LoadBalancer | host");
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ServiceChain& chain = result.value();
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain.ingress(), Attachment::kWire);
+  EXPECT_EQ(chain.egress(), Attachment::kHost);
+  EXPECT_EQ(chain.node(0).spec.type, NfType::kFirewall);
+  EXPECT_EQ(chain.node(0).location, Location::kSmartNic);
+  EXPECT_EQ(chain.node(3).location, Location::kCpu);
+  EXPECT_DOUBLE_EQ(chain.node(2).spec.load_factor, 0.5);
+  EXPECT_EQ(chain.pcie_crossings(), 1u);
+  // Same placement semantics as the canonical builder chain.
+  EXPECT_EQ(chain.pcie_crossings(), paper_figure1_chain().pcie_crossings());
+}
+
+TEST(ChainSpec, DefaultNamesAreIndexed) {
+  const auto result = parse_chain_spec("wire | S:Monitor S:Monitor | wire");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().node(0).spec.name, "Monitor0");
+  EXPECT_EQ(result.value().node(1).spec.name, "Monitor1");
+}
+
+TEST(ChainSpec, ExplicitNameTag) {
+  const auto result = parse_chain_spec("wire | S:NAT=cgnat-east | wire");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().node(0).spec.name, "cgnat-east");
+}
+
+TEST(ChainSpec, PassRatioTag) {
+  const auto result = parse_chain_spec("wire | S:Firewall%0.9 | wire");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result.value().node(0).spec.pass_ratio, 0.9);
+}
+
+TEST(ChainSpec, CapacityOverrideTag) {
+  const auto result = parse_chain_spec("wire | C:Monitor#3.2/10 | host");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result.value().node(0).spec.capacity.smartnic.value(), 3.2);
+  EXPECT_DOUBLE_EQ(result.value().node(0).spec.capacity.cpu.value(), 10.0);
+}
+
+TEST(ChainSpec, CombinedTags) {
+  const auto result =
+      parse_chain_spec("host | S:Logger=sampler@0.25%0.99#2/4 | wire");
+  ASSERT_TRUE(result.has_value());
+  const auto& spec = result.value().node(0).spec;
+  EXPECT_EQ(spec.name, "sampler");
+  EXPECT_DOUBLE_EQ(spec.load_factor, 0.25);
+  EXPECT_DOUBLE_EQ(spec.pass_ratio, 0.99);
+  EXPECT_DOUBLE_EQ(spec.capacity.smartnic.value(), 2.0);
+  EXPECT_EQ(result.value().ingress(), Attachment::kHost);
+  EXPECT_EQ(result.value().egress(), Attachment::kWire);
+}
+
+TEST(ChainSpec, WhitespaceTolerant) {
+  const auto result = parse_chain_spec("  wire  |   S:Firewall    C:DPI  |  host ");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+struct BadSpecCase {
+  const char* spec;
+  const char* why;
+};
+
+class ChainSpecRejects : public ::testing::TestWithParam<BadSpecCase> {};
+
+TEST_P(ChainSpecRejects, MalformedSpecs) {
+  const auto result = parse_chain_spec(GetParam().spec);
+  EXPECT_FALSE(result.has_value()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ChainSpecRejects,
+    ::testing::Values(
+        BadSpecCase{"wire | S:Firewall", "missing egress section"},
+        BadSpecCase{"wire | S:Firewall | host | extra", "too many sections"},
+        BadSpecCase{"lan | S:Firewall | host", "bad ingress keyword"},
+        BadSpecCase{"wire | S:Firewall | everywhere", "bad egress keyword"},
+        BadSpecCase{"wire |  | host", "no NFs"},
+        BadSpecCase{"wire | X:Firewall | host", "bad side"},
+        BadSpecCase{"wire | SFirewall | host", "missing colon"},
+        BadSpecCase{"wire | S:Router | host", "unknown NF type"},
+        BadSpecCase{"wire | S:Logger@2.0 | host", "load factor > 1"},
+        BadSpecCase{"wire | S:Logger@0 | host", "load factor 0"},
+        BadSpecCase{"wire | S:Firewall%1.5 | host", "pass ratio > 1"},
+        BadSpecCase{"wire | S:Monitor#junk | host", "bad capacity"},
+        BadSpecCase{"wire | S:Monitor#3.2 | host", "capacity missing slash"},
+        BadSpecCase{"wire | S:Monitor#0/4 | host", "zero capacity"},
+        BadSpecCase{"wire | S:NAT= | host", "empty name"},
+        BadSpecCase{"wire | S:NAT=a S:NAT=a | host", "duplicate names"}));
+
+TEST(ChainSpec, RoundTripThroughToChainSpec) {
+  const ServiceChain original = paper_figure1_chain();
+  const std::string spec = to_chain_spec(original);
+  const auto reparsed = parse_chain_spec(spec, original.name());
+  ASSERT_TRUE(reparsed.has_value()) << spec << ": " << reparsed.error().what();
+  const ServiceChain& copy = reparsed.value();
+  ASSERT_EQ(copy.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(copy.node(i).spec.name, original.node(i).spec.name);
+    EXPECT_EQ(copy.node(i).spec.type, original.node(i).spec.type);
+    EXPECT_EQ(copy.node(i).location, original.node(i).location);
+    EXPECT_DOUBLE_EQ(copy.node(i).spec.load_factor,
+                     original.node(i).spec.load_factor);
+    EXPECT_DOUBLE_EQ(copy.node(i).spec.capacity.smartnic.value(),
+                     original.node(i).spec.capacity.smartnic.value());
+  }
+  EXPECT_EQ(copy.pcie_crossings(), original.pcie_crossings());
+}
+
+TEST(ChainSpec, ParsedChainWorksWithAnalyzer) {
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const auto parsed = parse_chain_spec(
+      "wire | S:Firewall S:Monitor S:Logger@0.5 C:LoadBalancer | host");
+  ASSERT_TRUE(parsed.has_value());
+  const auto util = analyzer.utilization(parsed.value(), paper_overload_rate());
+  EXPECT_NEAR(util.smartnic, 1.4575, 1e-9);  // identical to the builder chain
+}
+
+}  // namespace
+}  // namespace pam

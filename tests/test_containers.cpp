@@ -1,0 +1,133 @@
+// Tests for RingBuffer (the Logger's record store and the migration
+// engine's packet buffer) and Result<T, E>.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.hpp"
+#include "common/ring_buffer.hpp"
+
+namespace pam {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb{4};
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> rb{4};
+  rb.push_overwrite(1);
+  rb.push_overwrite(2);
+  rb.push_overwrite(3);
+  EXPECT_EQ(rb.pop().value(), 1);
+  EXPECT_EQ(rb.pop().value(), 2);
+  EXPECT_EQ(rb.pop().value(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, OverwriteDropsOldest) {
+  RingBuffer<int> rb{3};
+  EXPECT_FALSE(rb.push_overwrite(1));
+  EXPECT_FALSE(rb.push_overwrite(2));
+  EXPECT_FALSE(rb.push_overwrite(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_TRUE(rb.push_overwrite(4));  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 2);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+}
+
+TEST(RingBuffer, TryPushRespectsCapacity) {
+  RingBuffer<int> rb{2};
+  EXPECT_TRUE(rb.try_push(1));
+  EXPECT_TRUE(rb.try_push(2));
+  EXPECT_FALSE(rb.try_push(3));
+  EXPECT_EQ(rb.at(0), 1);
+}
+
+TEST(RingBuffer, WrapAroundManyTimes) {
+  RingBuffer<int> rb{5};
+  for (int i = 0; i < 1000; ++i) {
+    rb.push_overwrite(i);
+  }
+  EXPECT_EQ(rb.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(rb.at(k), 995 + static_cast<int>(k));
+  }
+}
+
+TEST(RingBuffer, InterleavedPushPop) {
+  RingBuffer<int> rb{3};
+  rb.push_overwrite(1);
+  rb.push_overwrite(2);
+  EXPECT_EQ(rb.pop().value(), 1);
+  rb.push_overwrite(3);
+  rb.push_overwrite(4);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop().value(), 2);
+  EXPECT_EQ(rb.pop().value(), 3);
+  EXPECT_EQ(rb.pop().value(), 4);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb{3};
+  rb.push_overwrite(1);
+  rb.push_overwrite(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push_overwrite(9);
+  EXPECT_EQ(rb.at(0), 9);
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> rb{2};
+  rb.push_overwrite(std::make_unique<int>(5));
+  auto out = rb.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+TEST(Result, OkPath) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, ErrPath) {
+  Result<int> r = Error{"boom"};
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().what(), "boom");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MapTransformsValue) {
+  Result<int> r = 10;
+  const auto mapped = r.map([](int x) { return std::to_string(x * 2); });
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped.value(), "20");
+}
+
+TEST(Result, MapPropagatesError) {
+  Result<int> r = Error{"nope"};
+  const auto mapped = r.map([](int x) { return x * 2; });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.error().what(), "nope");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,117 @@
+// Deterministic event scheduler tests: ordering, tie-breaking, clamping and
+// the run_until horizon semantics the simulator depends on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace pam {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now().ns(), 0);
+  EXPECT_FALSE(q.run_one());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::microseconds(30), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::microseconds(10), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::microseconds(20), [&] { order.push_back(2); });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().us(), 30.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime::microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (q.run_one()) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow) {
+  EventQueue q;
+  bool second_ran = false;
+  q.schedule_at(SimTime::microseconds(10), [&] {
+    q.schedule_at(SimTime::microseconds(5), [&] {
+      second_ran = true;
+      EXPECT_EQ(q.now().us(), 10.0);  // clamped, time never goes backwards
+    });
+  });
+  while (q.run_one()) {
+  }
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime fired = SimTime::zero();
+  q.schedule_at(SimTime::microseconds(10), [&] {
+    q.schedule_after(SimTime::microseconds(7), [&] { fired = q.now(); });
+  });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(fired.us(), 17.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(SimTime::microseconds(10), [&] { ++ran; });
+  q.schedule_at(SimTime::microseconds(20), [&] { ++ran; });
+  q.schedule_at(SimTime::microseconds(30), [&] { ++ran; });
+  q.run_until(SimTime::microseconds(20));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now().us(), 20.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(SimTime::milliseconds(5));
+  EXPECT_EQ(q.now().ms(), 5.0);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      q.schedule_after(SimTime::microseconds(1), recurse);
+    }
+  };
+  q.schedule_at(SimTime::zero(), recurse);
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.now().us(), 99.0);
+}
+
+TEST(EventQueue, InterleavedRunUntilCalls) {
+  EventQueue q;
+  int ran = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.schedule_at(SimTime::microseconds(i), [&] { ++ran; });
+  }
+  q.run_until(SimTime::microseconds(5));
+  EXPECT_EQ(ran, 5);
+  q.run_until(SimTime::microseconds(10));
+  EXPECT_EQ(ran, 10);
+}
+
+}  // namespace
+}  // namespace pam

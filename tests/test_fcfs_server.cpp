@@ -1,0 +1,139 @@
+// FCFS server tests: FIFO discipline, busy accounting, drop-tail and the
+// utilisation arithmetic the device models rely on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fcfs_server.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TEST(FcfsServer, ServesSingleJob) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  bool done = false;
+  ASSERT_TRUE(srv.submit(10_us, [&] { done = true; }));
+  EXPECT_TRUE(srv.busy());
+  while (q.run_one()) {
+  }
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(srv.busy());
+  EXPECT_EQ(q.now().us(), 10.0);
+  EXPECT_EQ(srv.jobs_completed(), 1u);
+}
+
+TEST(FcfsServer, FifoOrder) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(srv.submit(1_us, [&order, i] { order.push_back(i); }));
+  }
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.now().us(), 5.0);
+}
+
+TEST(FcfsServer, QueueLengthTracksWaiting) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  (void)srv.submit(10_us, [] {});
+  (void)srv.submit(10_us, [] {});
+  (void)srv.submit(10_us, [] {});
+  EXPECT_EQ(srv.queue_length(), 2u);  // one in service, two waiting
+  EXPECT_EQ(srv.max_queue_seen(), 2u);
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(srv.queue_length(), 0u);
+}
+
+TEST(FcfsServer, DropTailRejectsBeyondCapacity) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 2};
+  EXPECT_TRUE(srv.submit(10_us, [] {}));   // in service
+  EXPECT_TRUE(srv.submit(10_us, [] {}));   // queued 1
+  EXPECT_TRUE(srv.submit(10_us, [] {}));   // queued 2
+  EXPECT_FALSE(srv.submit(10_us, [] {}));  // rejected
+  EXPECT_EQ(srv.jobs_rejected(), 1u);
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(srv.jobs_completed(), 3u);
+}
+
+TEST(FcfsServer, BusyTimeAccumulates) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  (void)srv.submit(10_us, [] {});
+  (void)srv.submit(20_us, [] {});
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(srv.busy_time().us(), 30.0);
+  EXPECT_DOUBLE_EQ(srv.utilization(SimTime::microseconds(60)), 0.5);
+}
+
+TEST(FcfsServer, UtilizationZeroElapsed) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  EXPECT_DOUBLE_EQ(srv.utilization(SimTime::zero()), 0.0);
+}
+
+TEST(FcfsServer, CompletionMaySubmitMoreWork) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  int chained = 0;
+  std::function<void()> chain = [&] {
+    if (++chained < 5) {
+      (void)srv.submit(2_us, chain);
+    }
+  };
+  (void)srv.submit(2_us, chain);
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(chained, 5);
+  EXPECT_EQ(q.now().us(), 10.0);
+}
+
+TEST(FcfsServer, ResubmissionLandsBehindQueuedJobs) {
+  // Work submitted from a completion must not overtake already-queued jobs.
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  std::vector<char> order;
+  (void)srv.submit(1_us, [&] {
+    order.push_back('a');
+    (void)srv.submit(1_us, [&] { order.push_back('c'); });
+  });
+  (void)srv.submit(1_us, [&] { order.push_back('b'); });
+  while (q.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(FcfsServer, ZeroServiceJobsComplete) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 16};
+  bool done = false;
+  (void)srv.submit(SimTime::zero(), [&] { done = true; });
+  while (q.run_one()) {
+  }
+  EXPECT_TRUE(done);
+  EXPECT_EQ(q.now().ns(), 0);
+}
+
+TEST(FcfsServer, SaturationUtilizationIsOne) {
+  EventQueue q;
+  FcfsServer srv{q, "dev", 1024};
+  // Offer exactly 100 us of work and run for 100 us.
+  for (int i = 0; i < 100; ++i) {
+    (void)srv.submit(1_us, [] {});
+  }
+  q.run_until(SimTime::microseconds(100));
+  EXPECT_NEAR(srv.utilization(SimTime::microseconds(100)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,133 @@
+// FPGA SmartNIC tests: reconfiguration cost model, PR-region accounting,
+// and its effect on migration downtime (the paper's FPGA future work).
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "device/fpga.hpp"
+#include "migration/migration_engine.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TEST(FpgaSmartNic, ReconfigurationTimeComposition) {
+  FpgaParams params;
+  params.reconfig_setup = SimTime::milliseconds(1);
+  params.bitstream_size = Bytes::mib(4);
+  params.icap_bandwidth = 3.2_gbps;
+  const FpgaSmartNic nic{"fpga", 2, 10.0_gbps, params};
+  // 1 ms + 4 MiB x 8 / 3.2 Gbps = 1 ms + 10.486 ms.
+  EXPECT_NEAR(nic.reconfiguration_time().ms(), 1.0 + 10.486, 0.01);
+}
+
+TEST(FpgaSmartNic, IsASmartNicLocationDevice) {
+  const FpgaSmartNic nic = FpgaSmartNic::reference_board();
+  EXPECT_EQ(nic.location(), Location::kSmartNic);
+  EXPECT_EQ(nic.ports(), 2u);
+  EXPECT_DOUBLE_EQ(nic.port_speed().value(), 10.0);
+}
+
+TEST(FpgaSmartNic, RegionAccounting) {
+  FpgaParams params;
+  params.pr_regions = 2;
+  FpgaSmartNic nic{"fpga", 2, 10.0_gbps, params};
+  EXPECT_TRUE(nic.has_free_region());
+  NfSpec spec;
+  spec.name = "a";
+  spec.capacity = {10.0_gbps, 4.0_gbps};
+  nic.add_resident({spec, 1.0_gbps});
+  spec.name = "b";
+  nic.add_resident({spec, 1.0_gbps});
+  EXPECT_EQ(nic.regions_in_use(), 2u);
+  EXPECT_FALSE(nic.has_free_region());
+}
+
+TEST(FpgaSmartNic, SharesResourceModelWithNpu) {
+  // Same linear utilisation semantics as the base Device.
+  FpgaSmartNic nic = FpgaSmartNic::reference_board();
+  NfSpec spec;
+  spec.name = "mon";
+  spec.capacity = {3.2_gbps, 10.0_gbps};
+  nic.add_resident({spec, 1.6_gbps});
+  EXPECT_DOUBLE_EQ(nic.utilization(), 0.5);
+}
+
+TEST(MigrationCostModel, NpuIsFree) {
+  EXPECT_EQ(MigrationCostModel::npu().smartnic_reconfiguration.ns(), 0);
+}
+
+TEST(MigrationCostModel, FpgaChargesReconfiguration) {
+  const FpgaSmartNic nic = FpgaSmartNic::reference_board();
+  const auto model = MigrationCostModel::fpga(nic);
+  EXPECT_EQ(model.smartnic_reconfiguration, nic.reconfiguration_time());
+  EXPECT_GT(model.smartnic_reconfiguration, SimTime::milliseconds(10));
+}
+
+TEST(MigrationCostModel, ScaleInDowntimeGrowsOnFpga) {
+  // Pull the Logger back to the SmartNIC under both cost models; the FPGA
+  // migration must pay the partial-reconfiguration time.
+  auto run_with = [](SimTime reconfig) {
+    Server server = Server::paper_testbed();
+    auto chain = paper_figure1_chain();
+    chain.set_location(2, Location::kCpu);  // Logger currently on CPU
+    TrafficSourceConfig cfg;
+    cfg.rate = RateProfile::constant(0.5_gbps);
+    cfg.sizes = PacketSizeDistribution::fixed(512);
+    ChainSimulator sim{chain, server, cfg};
+    MigrationEngineOptions opts;
+    opts.smartnic_reconfiguration = reconfig;
+    MigrationEngine engine{sim, opts};
+    MigrationPlan plan;
+    plan.policy_name = "test";
+    MigrationStep step;
+    step.node_index = 2;
+    step.nf_name = "Logger";
+    step.from = Location::kCpu;
+    step.to = Location::kSmartNic;
+    plan.steps.push_back(step);
+    sim.schedule_at(SimTime::milliseconds(10), [&] { engine.execute(plan); });
+    (void)sim.run(SimTime::milliseconds(60), SimTime::milliseconds(1));
+    return engine.records().at(0);
+  };
+
+  const auto npu = run_with(MigrationCostModel::npu().smartnic_reconfiguration);
+  const auto fpga = run_with(
+      MigrationCostModel::fpga(FpgaSmartNic::reference_board()).smartnic_reconfiguration);
+  EXPECT_GT(fpga.downtime(), npu.downtime() + SimTime::milliseconds(10));
+  // Longer pause window -> more packets parked (still zero lost).
+  EXPECT_GT(fpga.packets_buffered, npu.packets_buffered);
+}
+
+TEST(MigrationCostModel, PushAsideUnaffectedByFpga) {
+  // PAM's forward direction (SmartNIC -> CPU) does not reconfigure the NIC
+  // fabric, so its downtime is identical under both models.
+  auto run_with = [](SimTime reconfig) {
+    Server server = Server::paper_testbed();
+    TrafficSourceConfig cfg;
+    cfg.rate = RateProfile::constant(0.5_gbps);
+    cfg.sizes = PacketSizeDistribution::fixed(512);
+    ChainSimulator sim{paper_figure1_chain(), server, cfg};
+    MigrationEngineOptions opts;
+    opts.smartnic_reconfiguration = reconfig;
+    MigrationEngine engine{sim, opts};
+    MigrationPlan plan;
+    plan.policy_name = "test";
+    MigrationStep step;
+    step.node_index = 2;
+    step.nf_name = "Logger";
+    step.from = Location::kSmartNic;
+    step.to = Location::kCpu;
+    plan.steps.push_back(step);
+    sim.schedule_at(SimTime::milliseconds(10), [&] { engine.execute(plan); });
+    (void)sim.run(SimTime::milliseconds(60), SimTime::milliseconds(1));
+    return engine.records().at(0).downtime();
+  };
+  const auto npu = run_with(SimTime::zero());
+  const auto fpga = run_with(SimTime::milliseconds(11));
+  EXPECT_EQ(npu.ns(), fpga.ns());
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,206 @@
+// Wire-format header tests: write/parse round trips, checksum correctness,
+// and rejection of truncated or non-IPv4 frames.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "packet/headers.hpp"
+
+namespace pam {
+namespace {
+
+TEST(ByteOrder, Be16RoundTrip) {
+  std::uint8_t buf[2];
+  store_be16(buf, 0xabcd);
+  EXPECT_EQ(buf[0], 0xab);
+  EXPECT_EQ(buf[1], 0xcd);
+  EXPECT_EQ(load_be16(buf), 0xabcd);
+}
+
+TEST(ByteOrder, Be32RoundTrip) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+TEST(Ethernet, WriteParseRoundTrip) {
+  EthernetHeader h;
+  h.dst = {1, 2, 3, 4, 5, 6};
+  h.src = {7, 8, 9, 10, 11, 12};
+  h.ether_type = EthernetHeader::kEtherTypeIpv4;
+  std::vector<std::uint8_t> buf(EthernetHeader::kSize);
+  h.write(buf);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(Ethernet, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(EthernetHeader::kSize - 1);
+  EXPECT_FALSE(EthernetHeader::parse(buf).has_value());
+}
+
+TEST(Ethernet, MacToString) {
+  EXPECT_EQ(mac_to_string({0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}),
+            "de:ad:be:ef:00:01");
+}
+
+TEST(Ipv4, WriteParseRoundTrip) {
+  Ipv4Header h;
+  h.src = 0x0a000001;
+  h.dst = 0xc0000202;
+  h.protocol = IpProto::kTcp;
+  h.ttl = 17;
+  h.dscp = 46;
+  h.total_length = 1480;
+  h.identification = 0x1234;
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize);
+  h.write(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->protocol, IpProto::kTcp);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->dscp, 46);
+  EXPECT_EQ(parsed->total_length, 1480);
+  EXPECT_EQ(parsed->identification, 0x1234);
+}
+
+TEST(Ipv4, WriteProducesValidChecksum) {
+  Ipv4Header h;
+  h.src = 0x01020304;
+  h.dst = 0x05060708;
+  h.total_length = 100;
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize);
+  h.write(buf);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(buf));
+}
+
+TEST(Ipv4, CorruptionBreaksChecksum) {
+  Ipv4Header h;
+  h.src = 0x01020304;
+  h.dst = 0x05060708;
+  h.total_length = 100;
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize);
+  h.write(buf);
+  buf[13] ^= 0x01;  // flip one src-address bit
+  EXPECT_FALSE(Ipv4Header::verify_checksum(buf));
+}
+
+TEST(Ipv4, ChecksumKnownVector) {
+  // RFC 1071 example-style check: checksum of a buffer containing its own
+  // correct checksum folds to zero; an empty buffer checksums to 0xffff.
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(Ipv4Header::compute_checksum(empty), 0xffff);
+}
+
+TEST(Ipv4, ChecksumOddLength) {
+  const std::vector<std::uint8_t> buf = {0x01, 0x02, 0x03};
+  // Odd trailing byte is padded on the right: words 0x0102, 0x0300.
+  const std::uint32_t sum = 0x0102 + 0x0300;
+  EXPECT_EQ(Ipv4Header::compute_checksum(buf),
+            static_cast<std::uint16_t>(~sum & 0xffff));
+}
+
+TEST(Ipv4, ParseRejectsNonV4) {
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize, 0);
+  buf[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize - 1, 0);
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4, ParseRejectsBadIhl) {
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize, 0);
+  buf[0] = 0x43;  // version 4 but IHL 3 words (< 20 bytes)
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Tcp, WriteParseRoundTrip) {
+  TcpHeader h;
+  h.src_port = 49152;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 0xfeedface;
+  h.flags = TcpHeader::kFlagSyn | TcpHeader::kFlagAck;
+  h.window = 29200;
+  std::vector<std::uint8_t> buf(TcpHeader::kMinSize);
+  h.write(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 49152);
+  EXPECT_EQ(parsed->dst_port, 443);
+  EXPECT_EQ(parsed->seq, 0xdeadbeef);
+  EXPECT_EQ(parsed->ack, 0xfeedface);
+  EXPECT_TRUE(parsed->syn());
+  EXPECT_TRUE(parsed->ack_set());
+  EXPECT_FALSE(parsed->fin());
+  EXPECT_FALSE(parsed->rst());
+  EXPECT_EQ(parsed->window, 29200);
+}
+
+TEST(Tcp, FlagHelpers) {
+  TcpHeader h;
+  h.flags = TcpHeader::kFlagFin | TcpHeader::kFlagRst;
+  EXPECT_TRUE(h.fin());
+  EXPECT_TRUE(h.rst());
+  EXPECT_FALSE(h.syn());
+}
+
+TEST(Tcp, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(TcpHeader::kMinSize - 1);
+  EXPECT_FALSE(TcpHeader::parse(buf).has_value());
+}
+
+TEST(Udp, WriteParseRoundTrip) {
+  UdpHeader h;
+  h.src_port = 5353;
+  h.dst_port = 53;
+  h.length = 512;
+  std::vector<std::uint8_t> buf(UdpHeader::kSize);
+  h.write(buf);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 5353);
+  EXPECT_EQ(parsed->dst_port, 53);
+  EXPECT_EQ(parsed->length, 512);
+}
+
+TEST(Udp, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(UdpHeader::kSize - 1);
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+}
+
+// Round-trip property across a spread of field values.
+class Ipv4FieldSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4FieldSweep, AddressesSurviveRoundTrip) {
+  Ipv4Header h;
+  h.src = GetParam();
+  h.dst = ~GetParam();
+  h.total_length = 64;
+  std::vector<std::uint8_t> buf(Ipv4Header::kMinSize);
+  h.write(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(buf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, Ipv4FieldSweep,
+                         ::testing::Values(0u, 1u, 0x0a0a0a0au, 0x7f000001u,
+                                           0xc0a80000u, 0xe0000001u, 0xffffffffu));
+
+}  // namespace
+}  // namespace pam

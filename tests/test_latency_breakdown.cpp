@@ -1,0 +1,94 @@
+// Latency breakdown tests: the decomposition must sum exactly to the
+// analyzer's structural latency and attribute the naive penalty to PCIe.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "chain/latency_breakdown.hpp"
+#include "trafficgen/packet_size_dist.hpp"
+
+namespace pam {
+namespace {
+
+class BreakdownFixture : public ::testing::Test {
+ protected:
+  Server server_ = Server::paper_testbed();
+  ChainAnalyzer analyzer_{server_};
+  ServiceChain chain_ = paper_figure1_chain();
+};
+
+TEST_F(BreakdownFixture, SumsToStructuralLatency) {
+  for (const std::size_t size : paper_size_sweep()) {
+    const auto breakdown = breakdown_latency(chain_, server_, Bytes{size});
+    const SimTime structural = analyzer_.structural_latency(chain_, Bytes{size});
+    EXPECT_NEAR(static_cast<double>(breakdown.total.ns()),
+                static_cast<double>(structural.ns()), 2.0)
+        << size;
+  }
+}
+
+TEST_F(BreakdownFixture, ItemCountMatchesTopology) {
+  const auto breakdown = breakdown_latency(chain_, server_, Bytes{512});
+  // 4 NFs x (overhead + service) + 1 crossing = 9 items.
+  EXPECT_EQ(breakdown.items.size(), 9u);
+}
+
+TEST_F(BreakdownFixture, NaivePenaltyIsPcie) {
+  auto naive = chain_;
+  naive.set_location(1, Location::kCpu);
+  const auto base = breakdown_latency(chain_, server_, Bytes{512});
+  const auto moved = breakdown_latency(naive, server_, Bytes{512});
+  // The naive layout has three crossing line items vs one.
+  auto count_crossings = [](const LatencyBreakdown& b) {
+    std::size_t n = 0;
+    for (const auto& item : b.items) {
+      n += item.label.find("PCIe") != std::string::npos ? 1u : 0u;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_crossings(base), 1u);
+  EXPECT_EQ(count_crossings(moved), 3u);
+  EXPECT_GT(moved.crossing_share(), base.crossing_share() * 2.0);
+}
+
+TEST_F(BreakdownFixture, CrossingShareBounds) {
+  const auto breakdown = breakdown_latency(chain_, server_, Bytes{512});
+  EXPECT_GT(breakdown.crossing_share(), 0.0);
+  EXPECT_LT(breakdown.crossing_share(), 1.0);
+}
+
+TEST_F(BreakdownFixture, LabelsNameEveryNf) {
+  const auto breakdown = breakdown_latency(chain_, server_, Bytes{512});
+  const std::string text = breakdown.render();
+  for (const auto& node : chain_.nodes()) {
+    EXPECT_NE(text.find(node.spec.name), std::string::npos) << node.spec.name;
+  }
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST_F(BreakdownFixture, SamplingScalesServiceItem) {
+  // Logger (load_factor 0.5) service item is half the full-rate service.
+  const auto breakdown = breakdown_latency(chain_, server_, Bytes{512});
+  const SimTime full = serialization_delay(Bytes{512}, Gbps{2.0});
+  for (const auto& item : breakdown.items) {
+    if (item.label.find("Logger service") != std::string::npos) {
+      EXPECT_NEAR(static_cast<double>(item.amount.ns()),
+                  static_cast<double>(full.ns()) * 0.5, 1.0);
+      return;
+    }
+  }
+  FAIL() << "Logger service item not found";
+}
+
+TEST_F(BreakdownFixture, EmptyChainWireToWireIsZero) {
+  ServiceChain empty{"empty"};
+  empty.set_egress(Attachment::kWire);
+  const auto breakdown = breakdown_latency(empty, server_, Bytes{512});
+  EXPECT_EQ(breakdown.total.ns(), 0);
+  EXPECT_TRUE(breakdown.items.empty());
+  EXPECT_DOUBLE_EQ(breakdown.crossing_share(), 0.0);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,91 @@
+// Logger (diagnostics) tests: level filtering, sink capture, formatting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace pam {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+
+  SinkCapture() {
+    Logger::instance().set_sink([this](LogLevel level, std::string_view message) {
+      lines.emplace_back(level, std::string{message});
+    });
+  }
+  ~SinkCapture() {
+    Logger::instance().reset_sink();
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+};
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, FiltersBelowLevel) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("hidden %d", 1);
+  log_info("hidden too");
+  log_warn("visible %d", 2);
+  log_error("also visible");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.lines[0].second, "visible 2");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::kError);
+}
+
+TEST(Logging, TraceLevelPassesEverything) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kTrace);
+  log_trace("a");
+  log_debug("b");
+  log_info("c");
+  EXPECT_EQ(capture.lines.size(), 3u);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("even errors");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Logging, FormatsArguments) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  log_info("rate=%.2f Gbps name=%s n=%d", 3.14159, "Logger", 42);
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "rate=3.14 Gbps name=Logger n=42");
+}
+
+TEST(Logging, LongMessagesNotTruncated) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  const std::string big(5000, 'x');
+  log_info("%s", big.c_str());
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second.size(), 5000u);
+}
+
+TEST(Logging, EnabledPredicate) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().set_level(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,95 @@
+// MigrationPlan data-type tests: application, staleness detection and
+// reporting.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "core/migration_plan.hpp"
+
+namespace pam {
+namespace {
+
+MigrationStep step(std::size_t idx, std::string name,
+                   Location from = Location::kSmartNic,
+                   Location to = Location::kCpu, int delta = 0) {
+  MigrationStep s;
+  s.node_index = idx;
+  s.nf_name = std::move(name);
+  s.from = from;
+  s.to = to;
+  s.crossing_delta = delta;
+  return s;
+}
+
+TEST(MigrationPlan, ApplyMovesNodes) {
+  const auto chain = paper_figure1_chain();
+  MigrationPlan plan;
+  plan.steps.push_back(step(2, "Logger"));
+  const auto after = plan.apply_to(chain);
+  EXPECT_EQ(after.location_of(2), Location::kCpu);
+  EXPECT_EQ(chain.location_of(2), Location::kSmartNic);  // input untouched
+}
+
+TEST(MigrationPlan, ApplySequentialSteps) {
+  const auto chain = paper_figure1_chain();
+  MigrationPlan plan;
+  plan.steps.push_back(step(2, "Logger"));
+  plan.steps.push_back(step(1, "Monitor"));
+  const auto after = plan.apply_to(chain);
+  EXPECT_EQ(after.location_of(1), Location::kCpu);
+  EXPECT_EQ(after.location_of(2), Location::kCpu);
+}
+
+TEST(MigrationPlan, StalePlanThrows) {
+  const auto chain = paper_figure1_chain();
+  MigrationPlan plan;
+  plan.steps.push_back(step(3, "LoadBalancer"));  // already on CPU
+  EXPECT_THROW((void)plan.apply_to(chain), std::invalid_argument);
+}
+
+TEST(MigrationPlan, OutOfRangeIndexThrows) {
+  const auto chain = paper_figure1_chain();
+  MigrationPlan plan;
+  plan.steps.push_back(step(99, "ghost"));
+  EXPECT_THROW((void)plan.apply_to(chain), std::invalid_argument);
+}
+
+TEST(MigrationPlan, TotalCrossingDelta) {
+  MigrationPlan plan;
+  plan.steps.push_back(step(0, "a", Location::kSmartNic, Location::kCpu, 2));
+  plan.steps.push_back(step(1, "b", Location::kSmartNic, Location::kCpu, -2));
+  plan.steps.push_back(step(2, "c", Location::kSmartNic, Location::kCpu, 0));
+  EXPECT_EQ(plan.total_crossing_delta(), 0);
+}
+
+TEST(MigrationPlan, EmptyPlan) {
+  MigrationPlan plan;
+  plan.policy_name = "X";
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.total_crossing_delta(), 0);
+  const auto chain = paper_figure1_chain();
+  const auto after = plan.apply_to(chain);
+  EXPECT_EQ(after.pcie_crossings(), chain.pcie_crossings());
+  EXPECT_NE(plan.describe().find("no migration needed"), std::string::npos);
+}
+
+TEST(MigrationPlan, DescribeInfeasible) {
+  MigrationPlan plan;
+  plan.policy_name = "PAM";
+  plan.feasible = false;
+  plan.infeasibility_reason = "both devices hot";
+  EXPECT_NE(plan.describe().find("INFEASIBLE"), std::string::npos);
+  EXPECT_NE(plan.describe().find("both devices hot"), std::string::npos);
+}
+
+TEST(MigrationPlan, DescribeListsSteps) {
+  MigrationPlan plan;
+  plan.policy_name = "PAM";
+  plan.steps.push_back(step(2, "Logger", Location::kSmartNic, Location::kCpu, 0));
+  const auto text = plan.describe();
+  EXPECT_NE(text.find("Logger"), std::string::npos);
+  EXPECT_NE(text.find("SmartNIC->CPU"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pam

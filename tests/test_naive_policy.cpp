@@ -1,0 +1,125 @@
+// Baseline policy tests: the two naive variants and the no-op original.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "core/naive_policy.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+class NaiveFixture : public ::testing::Test {
+ protected:
+  Server server_ = Server::paper_testbed();
+  ChainAnalyzer analyzer_{server_};
+  ServiceChain chain_ = paper_figure1_chain();
+  Gbps overload_ = paper_overload_rate();
+};
+
+TEST_F(NaiveFixture, BottleneckVariantMigratesMonitor) {
+  const NaiveBottleneckPolicy naive;
+  const auto plan = naive.plan(chain_, analyzer_, overload_);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  // Monitor has the largest SmartNIC share (0.6875 vs Logger's 0.55).
+  EXPECT_EQ(plan.steps[0].nf_name, "Monitor");
+  EXPECT_EQ(plan.steps[0].crossing_delta, 2);  // the paper's Figure 1(b)
+}
+
+TEST_F(NaiveFixture, BottleneckVariantAddsTwoCrossings) {
+  const NaiveBottleneckPolicy naive;
+  const auto after = naive.plan(chain_, analyzer_, overload_).apply_to(chain_);
+  EXPECT_EQ(after.pcie_crossings(), chain_.pcie_crossings() + 2);
+}
+
+TEST_F(NaiveFixture, BottleneckVariantDoesAlleviate) {
+  const NaiveBottleneckPolicy naive;
+  const auto after = naive.plan(chain_, analyzer_, overload_).apply_to(chain_);
+  const auto util = analyzer_.utilization(after, overload_);
+  EXPECT_LT(util.smartnic, 1.0);
+  EXPECT_LT(util.cpu, 1.0);
+}
+
+TEST_F(NaiveFixture, MinCapacityVariantMigratesLogger) {
+  // The poster's §3 wording: min theta_S on the SmartNIC = Logger (2 Gbps).
+  // In the Figure-1 chain Logger happens to be a border, so this variant
+  // coincides with PAM here — exactly the ambiguity DESIGN.md §3.3 records.
+  const NaiveMinCapacityPolicy naive;
+  const auto plan = naive.plan(chain_, analyzer_, overload_);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].nf_name, "Logger");
+  EXPECT_EQ(plan.steps[0].crossing_delta, 0);
+}
+
+TEST_F(NaiveFixture, MinCapacityPicksMidChainWhenCheapest) {
+  // Rearrange so the min-capacity NF is mid-segment: fw log mon on the
+  // SmartNIC, lb on CPU.  Logger is cheapest but now sits between two
+  // SmartNIC NFs -> min-capacity migration costs 2 crossings.
+  const auto chain = ChainBuilder{"mid"}
+                         .add(NfType::kFirewall, "fw", Location::kSmartNic)
+                         .add(NfType::kLogger, "log", Location::kSmartNic, 0.5)
+                         .add(NfType::kMonitor, "mon", Location::kSmartNic)
+                         .add(NfType::kLoadBalancer, "lb", Location::kCpu)
+                         .build();
+  const NaiveMinCapacityPolicy naive;
+  const auto plan = naive.plan(chain, analyzer_, overload_);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.steps[0].nf_name, "log");
+  EXPECT_EQ(plan.steps[0].crossing_delta, 2);
+}
+
+TEST_F(NaiveFixture, NoMigrationBelowThreshold) {
+  const NaiveBottleneckPolicy bottleneck;
+  const NaiveMinCapacityPolicy min_capacity;
+  EXPECT_TRUE(bottleneck.plan(chain_, analyzer_, paper_baseline_rate()).empty());
+  EXPECT_TRUE(min_capacity.plan(chain_, analyzer_, paper_baseline_rate()).empty());
+}
+
+TEST_F(NaiveFixture, InfeasibleWhenCpuFull) {
+  const auto chain = ChainBuilder{"hot"}
+                         .add(NfType::kLogger, "log", Location::kSmartNic, 1.0)
+                         .add(NfType::kDpi, "heavy", Location::kCpu)
+                         .build();
+  const NaiveBottleneckPolicy naive;
+  const auto plan = naive.plan(chain, analyzer_, 2.9_gbps);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.steps.empty());
+}
+
+TEST_F(NaiveFixture, BottleneckLoopsUntilAlleviated) {
+  // Two heavy NFs on the SmartNIC force two naive migrations.
+  const auto chain = ChainBuilder{"two-heavy"}
+                         .add(NfType::kMonitor, "mon1", Location::kSmartNic)
+                         .add(NfType::kMonitor, "mon2", Location::kSmartNic)
+                         .add(NfType::kFirewall, "fw", Location::kSmartNic)
+                         .build();
+  // At 1.8: S = .5625 + .5625 + .18 = 1.305; one monitor off -> .7425 < 1.
+  const NaiveBottleneckPolicy naive;
+  const auto plan = naive.plan(chain, analyzer_, 1.8_gbps);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.steps.size(), 1u);  // removing one monitor suffices
+  const auto after = plan.apply_to(chain);
+  EXPECT_LT(analyzer_.utilization(after, 1.8_gbps).smartnic, 1.0);
+}
+
+TEST_F(NaiveFixture, OriginalPolicyNeverActs) {
+  const NoMigrationPolicy original;
+  const auto plan = original.plan(chain_, analyzer_, 10.0_gbps);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.policy_name, "Original");
+  EXPECT_FALSE(plan.trace.empty());
+}
+
+TEST_F(NaiveFixture, PolicyNames) {
+  EXPECT_EQ(NaiveBottleneckPolicy{}.name(), "NaiveBottleneck");
+  EXPECT_EQ(NaiveMinCapacityPolicy{}.name(), "NaiveMinCapacity");
+  EXPECT_EQ(NoMigrationPolicy{}.name(), "Original");
+}
+
+}  // namespace
+}  // namespace pam

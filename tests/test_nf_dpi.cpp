@@ -1,0 +1,225 @@
+// DPI tests: the Aho–Corasick automaton is cross-checked against a naive
+// scanner over randomised inputs, plus IDS/IPS mode behaviour and state
+// migration (automaton rebuild).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nf/dpi.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace pam {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+/// Reference implementation: count all (pattern, end-offset) matches by
+/// brute force.
+std::size_t naive_count(const std::vector<std::string>& patterns,
+                        const std::string& text) {
+  std::size_t count = 0;
+  for (const auto& p : patterns) {
+    if (p.empty() || p.size() > text.size()) {
+      continue;
+    }
+    for (std::size_t i = 0; i + p.size() <= text.size(); ++i) {
+      if (text.compare(i, p.size(), p) == 0) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.add_pattern("abc");
+  ac.compile();
+  const auto data = bytes_of("xxabcyyabc");
+  const auto matches = ac.find_all(data);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].end_offset, 5u);
+  EXPECT_EQ(matches[1].end_offset, 10u);
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  AhoCorasick ac;
+  const auto a = ac.add_pattern("he");
+  const auto b = ac.add_pattern("she");
+  const auto c = ac.add_pattern("hers");
+  ac.compile();
+  const auto matches = ac.find_all(bytes_of("ushers"));
+  // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+  ASSERT_EQ(matches.size(), 3u);
+  std::vector<std::size_t> ids;
+  for (const auto& m : matches) {
+    ids.push_back(m.pattern_id);
+  }
+  EXPECT_NE(std::find(ids.begin(), ids.end(), a), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), b), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), c), ids.end());
+}
+
+TEST(AhoCorasick, SelfOverlappingPattern) {
+  AhoCorasick ac;
+  ac.add_pattern("aa");
+  ac.compile();
+  EXPECT_EQ(ac.find_all(bytes_of("aaaa")).size(), 3u);
+}
+
+TEST(AhoCorasick, NoMatchOnCleanInput) {
+  AhoCorasick ac;
+  ac.add_pattern("virus");
+  ac.compile();
+  EXPECT_TRUE(ac.find_all(bytes_of("perfectly clean payload")).empty());
+  EXPECT_FALSE(ac.contains_any(bytes_of("perfectly clean payload")));
+}
+
+TEST(AhoCorasick, ContainsAnyShortCircuits) {
+  AhoCorasick ac;
+  ac.add_pattern("x");
+  ac.compile();
+  EXPECT_TRUE(ac.contains_any(bytes_of("aaax")));
+}
+
+TEST(AhoCorasick, EmptyPatternRejected) {
+  AhoCorasick ac;
+  EXPECT_THROW(ac.add_pattern(""), std::invalid_argument);
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern(std::string("\x00\xff\x00", 3));
+  ac.compile();
+  const std::vector<std::uint8_t> data = {0xaa, 0x00, 0xff, 0x00, 0xbb};
+  EXPECT_EQ(ac.find_all(data).size(), 1u);
+}
+
+TEST(AhoCorasick, CompileIsIdempotent) {
+  AhoCorasick ac;
+  ac.add_pattern("ab");
+  ac.compile();
+  ac.compile();
+  EXPECT_EQ(ac.find_all(bytes_of("abab")).size(), 2u);
+}
+
+// Property: AC match count equals the brute-force count on random inputs.
+class AcVersusNaive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcVersusNaive, MatchCountsAgree) {
+  Rng rng{GetParam()};
+  // Small alphabet maximises overlaps and failure-link traversal.
+  const char alphabet[] = "abc";
+  std::vector<std::string> patterns;
+  const std::size_t n_patterns = 1 + rng.bounded(6);
+  for (std::size_t i = 0; i < n_patterns; ++i) {
+    std::string p;
+    const std::size_t len = 1 + rng.bounded(5);
+    for (std::size_t j = 0; j < len; ++j) {
+      p.push_back(alphabet[rng.bounded(3)]);
+    }
+    patterns.push_back(p);
+  }
+  std::string text;
+  for (std::size_t i = 0; i < 400; ++i) {
+    text.push_back(alphabet[rng.bounded(3)]);
+  }
+
+  AhoCorasick ac;
+  std::vector<std::string> unique;
+  for (const auto& p : patterns) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+      ac.add_pattern(p);
+    }
+  }
+  ac.compile();
+  EXPECT_EQ(ac.find_all(bytes_of(text)).size(), naive_count(unique, text));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomisedInputs, AcVersusNaive,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Dpi, AlertModeForwardsAndCounts) {
+  Dpi dpi{"ids", DpiAction::kAlert};
+  dpi.add_signature("EVIL");
+  Packet p;
+  PacketBuilder{}
+      .size(256)
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_text("xxEVILxx")
+      .build_into(p);
+  EXPECT_EQ(dpi.handle(p, SimTime::zero()), Verdict::kForward);
+  EXPECT_EQ(dpi.total_hits(), 1u);
+  EXPECT_EQ(dpi.hits_for("EVIL"), 1u);
+}
+
+TEST(Dpi, BlockModeDrops) {
+  Dpi dpi{"ips", DpiAction::kBlock};
+  dpi.add_signature("EVIL");
+  Packet p;
+  PacketBuilder{}
+      .size(256)
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_text("EVIL")
+      .build_into(p);
+  EXPECT_EQ(dpi.handle(p, SimTime::zero()), Verdict::kDrop);
+}
+
+TEST(Dpi, CleanTrafficUnaffected) {
+  Dpi dpi{"ips", DpiAction::kBlock};
+  dpi.add_signature("THIS-STRING-CANNOT-APPEAR");
+  Packet p;
+  PacketBuilder{}
+      .size(512)
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_text("ordinary data")
+      .build_into(p);
+  EXPECT_EQ(dpi.handle(p, SimTime::zero()), Verdict::kForward);
+  EXPECT_EQ(dpi.total_hits(), 0u);
+}
+
+TEST(Dpi, NoSignaturesForwardsEverything) {
+  Dpi dpi{"ids"};
+  Packet p;
+  PacketBuilder{}.size(128).flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp}).build_into(p);
+  EXPECT_EQ(dpi.handle(p, SimTime::zero()), Verdict::kForward);
+}
+
+TEST(Dpi, StateRoundTripRebuildsAutomaton) {
+  Dpi dpi{"ids", DpiAction::kBlock};
+  dpi.add_signature("ALPHA");
+  dpi.add_signature("BETA");
+  Packet p;
+  PacketBuilder{}
+      .size(256)
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_text("ALPHA BETA ALPHA")
+      .build_into(p);
+  (void)dpi.handle(p, SimTime::zero());
+  EXPECT_EQ(dpi.total_hits(), 3u);
+
+  Dpi restored{"ids2", DpiAction::kAlert};
+  restored.import_state(dpi.export_state());
+  EXPECT_EQ(restored.signature_count(), 2u);
+  EXPECT_EQ(restored.total_hits(), 3u);
+  EXPECT_EQ(restored.hits_for("ALPHA"), 2u);
+  EXPECT_EQ(restored.hits_for("BETA"), 1u);
+
+  // The rebuilt automaton still matches (and the restored action blocks).
+  Packet q;
+  PacketBuilder{}
+      .size(128)
+      .flow(FiveTuple{1, 2, 3, 4, IpProto::kUdp})
+      .payload_text("BETA")
+      .build_into(q);
+  EXPECT_EQ(restored.handle(q, SimTime::zero()), Verdict::kDrop);
+}
+
+}  // namespace
+}  // namespace pam

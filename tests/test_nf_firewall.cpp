@@ -1,0 +1,202 @@
+// Firewall NF tests: prefix/port/protocol matching, rule precedence,
+// fail-closed behaviour and migration state round trips.
+
+#include <gtest/gtest.h>
+
+#include "nf/firewall.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace pam {
+namespace {
+
+FiveTuple tuple(std::uint32_t src, std::uint16_t dport,
+                IpProto proto = IpProto::kTcp) {
+  return FiveTuple{src, 0xc0000202, 50000, dport, proto};
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix any{0, 0};
+  EXPECT_TRUE(any.matches(0));
+  EXPECT_TRUE(any.matches(0xffffffff));
+}
+
+TEST(Ipv4Prefix, Slash8) {
+  const Ipv4Prefix ten{0x0a000000, 8};
+  EXPECT_TRUE(ten.matches(0x0a000001));
+  EXPECT_TRUE(ten.matches(0x0affffff));
+  EXPECT_FALSE(ten.matches(0x0b000001));
+}
+
+TEST(Ipv4Prefix, Slash32ExactMatch) {
+  const Ipv4Prefix host{0x0a000001, 32};
+  EXPECT_TRUE(host.matches(0x0a000001));
+  EXPECT_FALSE(host.matches(0x0a000002));
+}
+
+TEST(Ipv4Prefix, MaskedBitsIgnoredInRule) {
+  // 10.0.0.99/24 behaves like 10.0.0.0/24.
+  const Ipv4Prefix p{0x0a000063, 24};
+  EXPECT_TRUE(p.matches(0x0a000001));
+  EXPECT_FALSE(p.matches(0x0a000101));
+}
+
+TEST(Ipv4Prefix, ToString) {
+  EXPECT_EQ((Ipv4Prefix{0x0a000000, 8}).to_string(), "10.0.0.0/8");
+}
+
+TEST(PortRange, DefaultMatchesAll) {
+  const PortRange all{};
+  EXPECT_TRUE(all.matches(0));
+  EXPECT_TRUE(all.matches(65535));
+}
+
+TEST(PortRange, BoundsInclusive) {
+  const PortRange r{100, 200};
+  EXPECT_TRUE(r.matches(100));
+  EXPECT_TRUE(r.matches(200));
+  EXPECT_FALSE(r.matches(99));
+  EXPECT_FALSE(r.matches(201));
+}
+
+TEST(Firewall, DefaultActionAppliesWithoutRules) {
+  const Firewall accept{"fw", FirewallAction::kAccept};
+  EXPECT_EQ(accept.classify(tuple(0x0a000001, 80)), FirewallAction::kAccept);
+  const Firewall deny{"fw", FirewallAction::kDeny};
+  EXPECT_EQ(deny.classify(tuple(0x0a000001, 80)), FirewallAction::kDeny);
+}
+
+TEST(Firewall, FirstMatchWins) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  FirewallRule allow;
+  allow.src = Ipv4Prefix{0x0a000000, 8};
+  allow.action = FirewallAction::kAccept;
+  FirewallRule block;
+  block.src = Ipv4Prefix{0x0a000000, 8};
+  block.action = FirewallAction::kDeny;
+  fw.add_rule(allow);
+  fw.add_rule(block);  // shadowed
+  EXPECT_EQ(fw.classify(tuple(0x0a123456, 80)), FirewallAction::kAccept);
+}
+
+TEST(Firewall, MatchesOnAllDimensions) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  FirewallRule rule;
+  rule.src = Ipv4Prefix{0x0a000000, 8};
+  rule.dst_ports = PortRange{443, 443};
+  rule.proto = IpProto::kTcp;
+  rule.action = FirewallAction::kAccept;
+  fw.add_rule(rule);
+
+  EXPECT_EQ(fw.classify(tuple(0x0a000001, 443, IpProto::kTcp)), FirewallAction::kAccept);
+  // wrong source net
+  EXPECT_EQ(fw.classify(tuple(0x0b000001, 443, IpProto::kTcp)), FirewallAction::kDeny);
+  // wrong port
+  EXPECT_EQ(fw.classify(tuple(0x0a000001, 80, IpProto::kTcp)), FirewallAction::kDeny);
+  // wrong protocol
+  EXPECT_EQ(fw.classify(tuple(0x0a000001, 443, IpProto::kUdp)), FirewallAction::kDeny);
+}
+
+TEST(Firewall, AnyProtocolRule) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  FirewallRule rule;
+  rule.proto = std::nullopt;
+  rule.action = FirewallAction::kAccept;
+  fw.add_rule(rule);
+  EXPECT_EQ(fw.classify(tuple(1, 1, IpProto::kTcp)), FirewallAction::kAccept);
+  EXPECT_EQ(fw.classify(tuple(1, 1, IpProto::kUdp)), FirewallAction::kAccept);
+}
+
+TEST(Firewall, ProcessDropsDeniedPackets) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  Packet p;
+  PacketBuilder{}.size(128).flow(tuple(0x0a000001, 80)).build_into(p);
+  EXPECT_EQ(fw.handle(p, SimTime::zero()), Verdict::kDrop);
+  EXPECT_EQ(fw.counters().packets_in, 1u);
+  EXPECT_EQ(fw.counters().packets_dropped, 1u);
+  EXPECT_EQ(fw.counters().packets_forwarded(), 0u);
+}
+
+TEST(Firewall, ProcessForwardsAcceptedPackets) {
+  Firewall fw{"fw", FirewallAction::kAccept};
+  Packet p;
+  PacketBuilder{}.size(128).flow(tuple(0x0a000001, 80)).build_into(p);
+  EXPECT_EQ(fw.handle(p, SimTime::zero()), Verdict::kForward);
+  EXPECT_DOUBLE_EQ(fw.counters().observed_pass_ratio(), 1.0);
+}
+
+TEST(Firewall, FailsClosedOnNonIp) {
+  Firewall fw{"fw", FirewallAction::kAccept};
+  Packet p{64};  // zeroed frame, not IPv4
+  EXPECT_EQ(fw.handle(p, SimTime::zero()), Verdict::kDrop);
+}
+
+TEST(Firewall, StateRoundTripPreservesRules) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  FirewallRule rule;
+  rule.src = Ipv4Prefix{0x0a000000, 8};
+  rule.dst = Ipv4Prefix{0xc0000200, 24};
+  rule.src_ports = PortRange{1024, 65535};
+  rule.dst_ports = PortRange{443, 443};
+  rule.proto = IpProto::kTcp;
+  rule.action = FirewallAction::kAccept;
+  fw.add_rule(rule);
+
+  const NfState snapshot = fw.export_state();
+  EXPECT_GT(snapshot.size().value(), 0u);
+
+  Firewall restored{"fw2", FirewallAction::kAccept};
+  restored.import_state(snapshot);
+  EXPECT_EQ(restored.rule_count(), 1u);
+  EXPECT_EQ(restored.classify(tuple(0x0a000001, 443, IpProto::kTcp)),
+            FirewallAction::kAccept);
+  EXPECT_EQ(restored.classify(tuple(0x0b000001, 443, IpProto::kTcp)),
+            FirewallAction::kDeny);  // default action restored too
+}
+
+TEST(Firewall, ImportRejectsTruncatedBlob) {
+  Firewall fw{"fw"};
+  FirewallRule rule;
+  fw.add_rule(rule);
+  NfState snapshot = fw.export_state();
+  snapshot.blob.resize(snapshot.blob.size() / 2);
+  Firewall other{"fw2"};
+  EXPECT_THROW(other.import_state(snapshot), std::runtime_error);
+}
+
+TEST(Firewall, ClearRules) {
+  Firewall fw{"fw", FirewallAction::kDeny};
+  FirewallRule rule;
+  rule.action = FirewallAction::kAccept;
+  fw.add_rule(rule);
+  EXPECT_EQ(fw.classify(tuple(1, 1)), FirewallAction::kAccept);
+  fw.clear_rules();
+  EXPECT_EQ(fw.rule_count(), 0u);
+  EXPECT_EQ(fw.classify(tuple(1, 1)), FirewallAction::kDeny);
+}
+
+// Property sweep: prefix length semantics — addresses agreeing on the first
+// `len` bits match, addresses differing inside the prefix do not.
+class PrefixLengthSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(PrefixLengthSweep, MatchBoundary) {
+  const std::uint8_t len = GetParam();
+  const std::uint32_t base = 0xac100000;  // 172.16.0.0
+  const Ipv4Prefix p{base, len};
+  EXPECT_TRUE(p.matches(base));
+  if (len > 0 && len <= 32) {
+    // Flip the last bit *inside* the prefix -> must not match.
+    const std::uint32_t inside_flip = base ^ (1u << (32 - len));
+    EXPECT_FALSE(p.matches(inside_flip)) << "len=" << int(len);
+  }
+  if (len < 32) {
+    // Flip a bit *outside* the prefix -> still matches.
+    const std::uint32_t outside_flip = base ^ 1u;
+    EXPECT_TRUE(p.matches(outside_flip)) << "len=" << int(len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep,
+                         ::testing::Values(1, 4, 8, 12, 16, 20, 24, 28, 31, 32));
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,143 @@
+// Logger NF tests: deterministic sampling, bounded ring behaviour and exact
+// state migration (including the sampling phase counter).
+
+#include <gtest/gtest.h>
+
+#include "nf/logger_nf.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace pam {
+namespace {
+
+Packet make_packet(std::uint64_t id, std::size_t size = 128) {
+  Packet p;
+  FiveTuple t{0x0a000001, 0xc0000202, 1234, 80, IpProto::kUdp};
+  PacketBuilder{}.size(size).flow(t).build_into(p);
+  p.set_id(id);
+  return p;
+}
+
+TEST(LoggerNf, NeverDrops) {
+  LoggerNf logger{"log", 2};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p = make_packet(i);
+    EXPECT_EQ(logger.handle(p, SimTime::microseconds(static_cast<double>(i))),
+              Verdict::kForward);
+  }
+  EXPECT_EQ(logger.counters().packets_dropped, 0u);
+}
+
+TEST(LoggerNf, SampleEveryPacket) {
+  LoggerNf logger{"log", 1};
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    Packet p = make_packet(i);
+    (void)logger.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(logger.records_written(), 7u);
+}
+
+TEST(LoggerNf, SamplingFractionMatchesRate) {
+  LoggerNf logger{"log", 2};
+  EXPECT_DOUBLE_EQ(logger.sampling_fraction(), 0.5);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Packet p = make_packet(i);
+    (void)logger.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(logger.records_written(), 50u);
+}
+
+TEST(LoggerNf, ZeroSampleEveryCoercedToOne) {
+  LoggerNf logger{"log", 0};
+  EXPECT_EQ(logger.sample_every(), 1u);
+}
+
+TEST(LoggerNf, RecordsCarryFlowAndSize) {
+  LoggerNf logger{"log", 1};
+  Packet p = make_packet(42, 777);
+  (void)logger.handle(p, SimTime::microseconds(9));
+  ASSERT_EQ(logger.ring().size(), 1u);
+  const LogRecord& rec = logger.ring().at(0);
+  EXPECT_EQ(rec.packet_id, 42u);
+  EXPECT_EQ(rec.wire_bytes, 777u);
+  EXPECT_EQ(rec.timestamp.us(), 9.0);
+  EXPECT_EQ(rec.flow.dst_port, 80);
+}
+
+TEST(LoggerNf, RingOverwritesOldest) {
+  LoggerNf logger{"log", 1, 4};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Packet p = make_packet(i);
+    (void)logger.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(logger.records_written(), 10u);
+  ASSERT_EQ(logger.ring().size(), 4u);
+  EXPECT_EQ(logger.ring().at(0).packet_id, 6u);
+  EXPECT_EQ(logger.ring().at(3).packet_id, 9u);
+}
+
+TEST(LoggerNf, StateRoundTripPreservesPhase) {
+  LoggerNf logger{"log", 3};
+  // Three packets: 1 sampled (the 3rd), phase now 0; push 1 more -> phase 1.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Packet p = make_packet(i);
+    (void)logger.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(logger.records_written(), 1u);
+
+  LoggerNf restored{"log2", 1, 16};
+  restored.import_state(logger.export_state());
+  EXPECT_EQ(restored.sample_every(), 3u);
+  EXPECT_EQ(restored.records_written(), 1u);
+
+  // The restored logger must sample the *same* upcoming packet as the
+  // original would: two more packets complete the current group of 3.
+  for (std::uint64_t i = 4; i < 6; ++i) {
+    Packet p = make_packet(i);
+    (void)restored.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(restored.records_written(), 2u);
+}
+
+TEST(LoggerNf, StateRoundTripPreservesRing) {
+  LoggerNf logger{"log", 1, 8};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Packet p = make_packet(i, 100 + i);
+    (void)logger.handle(p, SimTime::microseconds(static_cast<double>(i)));
+  }
+  LoggerNf restored{"log2", 1, 8};
+  restored.import_state(logger.export_state());
+  ASSERT_EQ(restored.ring().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(restored.ring().at(i).packet_id, logger.ring().at(i).packet_id);
+    EXPECT_EQ(restored.ring().at(i).wire_bytes, logger.ring().at(i).wire_bytes);
+  }
+}
+
+TEST(LoggerNf, ImportRejectsTruncatedBlob) {
+  LoggerNf logger{"log", 1};
+  Packet p = make_packet(1);
+  (void)logger.handle(p, SimTime::zero());
+  NfState snapshot = logger.export_state();
+  snapshot.blob.resize(snapshot.blob.size() - 3);
+  LoggerNf other{"log2"};
+  EXPECT_THROW(other.import_state(snapshot), std::runtime_error);
+}
+
+// The sampling rate is exactly 1/k for every k across a long stream.
+class SamplingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamplingSweep, ExactSampleCount) {
+  const std::uint32_t k = GetParam();
+  LoggerNf logger{"log", k};
+  constexpr std::uint64_t kPackets = 600;  // divisible by 1..6
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    Packet p = make_packet(i);
+    (void)logger.handle(p, SimTime::zero());
+  }
+  EXPECT_EQ(logger.records_written(), kPackets / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,155 @@
+// NAT tests: allocation, translation correctness on wire bytes, stability,
+// pool exhaustion, garbage collection and state migration.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nf/nat.hpp"
+#include "packet/packet_builder.hpp"
+
+namespace pam {
+namespace {
+
+constexpr std::uint32_t kPublicIp = (203u << 24) | (113u << 8) | 1u;
+
+FiveTuple flow(std::uint16_t src_port) {
+  return FiveTuple{0x0a000001, 0xc0000202, src_port, 80, IpProto::kTcp};
+}
+
+Packet make_packet(const FiveTuple& t) {
+  Packet p;
+  PacketBuilder{}.size(128).flow(t).build_into(p);
+  return p;
+}
+
+TEST(Nat, TranslatesSourceAddressAndPort) {
+  Nat nat{"nat", kPublicIp, 10000, 10010};
+  Packet p = make_packet(flow(5555));
+  EXPECT_EQ(nat.handle(p, SimTime::zero()), Verdict::kForward);
+  const auto t = p.five_tuple();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->src_ip, kPublicIp);
+  EXPECT_EQ(t->src_port, 10000);
+  EXPECT_EQ(t->dst_ip, 0xc0000202u);   // destination untouched
+  EXPECT_EQ(t->dst_port, 80);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(p.l3()));
+}
+
+TEST(Nat, MappingIsStableAcrossPackets) {
+  Nat nat{"nat", kPublicIp};
+  const FiveTuple t = flow(4242);
+  Packet first = make_packet(t);
+  (void)nat.handle(first, SimTime::zero());
+  const auto mapped_port = first.five_tuple()->src_port;
+  for (int i = 1; i <= 10; ++i) {
+    Packet p = make_packet(t);
+    (void)nat.handle(p, SimTime::seconds(i));
+    EXPECT_EQ(p.five_tuple()->src_port, mapped_port);
+  }
+  EXPECT_EQ(nat.active_mappings(), 1u);
+}
+
+TEST(Nat, DistinctFlowsGetDistinctPorts) {
+  Nat nat{"nat", kPublicIp, 20000, 20100};
+  std::set<std::uint16_t> ports;
+  for (std::uint16_t sp = 1; sp <= 50; ++sp) {
+    Packet p = make_packet(flow(sp));
+    (void)nat.handle(p, SimTime::zero());
+    ports.insert(p.five_tuple()->src_port);
+  }
+  EXPECT_EQ(ports.size(), 50u);
+  EXPECT_EQ(nat.active_mappings(), 50u);
+}
+
+TEST(Nat, LookupReportsMapping) {
+  Nat nat{"nat", kPublicIp, 30000, 30001};
+  EXPECT_FALSE(nat.lookup(flow(1)).has_value());
+  Packet p = make_packet(flow(1));
+  (void)nat.handle(p, SimTime::zero());
+  const auto port = nat.lookup(flow(1));
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 30000);
+}
+
+TEST(Nat, PoolExhaustionDrops) {
+  Nat nat{"nat", kPublicIp, 40000, 40001};  // pool of exactly 2
+  Packet a = make_packet(flow(1));
+  Packet b = make_packet(flow(2));
+  Packet c = make_packet(flow(3));
+  EXPECT_EQ(nat.handle(a, SimTime::zero()), Verdict::kForward);
+  EXPECT_EQ(nat.handle(b, SimTime::zero()), Verdict::kForward);
+  EXPECT_EQ(nat.handle(c, SimTime::zero()), Verdict::kDrop);
+  EXPECT_EQ(nat.exhaustion_drops(), 1u);
+  EXPECT_EQ(nat.active_mappings(), 2u);
+}
+
+TEST(Nat, GarbageCollectionFreesIdleMappings) {
+  Nat nat{"nat", kPublicIp, 50000, 50001, SimTime::seconds(10)};
+  Packet a = make_packet(flow(1));
+  (void)nat.handle(a, SimTime::zero());
+  Packet b = make_packet(flow(2));
+  (void)nat.handle(b, SimTime::seconds(9));
+
+  // flow(1) idle for 20 s, flow(2) only 11... wait: at t=20, idle(1)=20>10,
+  // idle(2)=11>10 -> both collected.
+  EXPECT_EQ(nat.collect_garbage(SimTime::seconds(20)), 2u);
+  EXPECT_EQ(nat.active_mappings(), 0u);
+
+  // Freed port becomes available again.
+  Packet c = make_packet(flow(3));
+  EXPECT_EQ(nat.handle(c, SimTime::seconds(21)), Verdict::kForward);
+}
+
+TEST(Nat, GarbageCollectionSparesActive) {
+  Nat nat{"nat", kPublicIp, 50000, 50010, SimTime::seconds(10)};
+  Packet a = make_packet(flow(1));
+  (void)nat.handle(a, SimTime::zero());
+  Packet refresh = make_packet(flow(1));
+  (void)nat.handle(refresh, SimTime::seconds(8));
+  EXPECT_EQ(nat.collect_garbage(SimTime::seconds(15)), 0u);
+  EXPECT_EQ(nat.active_mappings(), 1u);
+}
+
+TEST(Nat, DropsNonIp) {
+  Nat nat{"nat", kPublicIp};
+  Packet p{64};
+  EXPECT_EQ(nat.handle(p, SimTime::zero()), Verdict::kDrop);
+}
+
+TEST(Nat, StateRoundTripKeepsMappings) {
+  Nat nat{"nat", kPublicIp, 60000, 60100};
+  for (std::uint16_t sp = 1; sp <= 20; ++sp) {
+    Packet p = make_packet(flow(sp));
+    (void)nat.handle(p, SimTime::microseconds(sp));
+  }
+  Nat restored{"nat2", 0};
+  restored.import_state(nat.export_state());
+  EXPECT_EQ(restored.active_mappings(), 20u);
+  for (std::uint16_t sp = 1; sp <= 20; ++sp) {
+    EXPECT_EQ(restored.lookup(flow(sp)), nat.lookup(flow(sp)));
+  }
+  // The restored NAT keeps translating existing flows identically...
+  Packet p = make_packet(flow(7));
+  (void)restored.handle(p, SimTime::seconds(1));
+  EXPECT_EQ(p.five_tuple()->src_port, *nat.lookup(flow(7)));
+  // ...and allocates fresh ports for new flows without colliding.
+  Packet fresh = make_packet(flow(999));
+  (void)restored.handle(fresh, SimTime::seconds(1));
+  for (std::uint16_t sp = 1; sp <= 20; ++sp) {
+    EXPECT_NE(fresh.five_tuple()->src_port, *nat.lookup(flow(sp)));
+  }
+}
+
+TEST(Nat, ImportRejectsTruncatedBlob) {
+  Nat nat{"nat", kPublicIp};
+  Packet p = make_packet(flow(1));
+  (void)nat.handle(p, SimTime::zero());
+  NfState snapshot = nat.export_state();
+  snapshot.blob.resize(snapshot.blob.size() - 4);
+  Nat other{"nat2", 0};
+  EXPECT_THROW(other.import_state(snapshot), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,236 @@
+// Packet, PacketPool and PacketBuilder tests: the builder must produce
+// frames whose headers parse back exactly, and the pool must recycle without
+// leaking.
+
+#include <gtest/gtest.h>
+
+#include "packet/packet_builder.hpp"
+#include "packet/packet_pool.hpp"
+
+namespace pam {
+namespace {
+
+FiveTuple sample_tuple(IpProto proto = IpProto::kUdp) {
+  FiveTuple t;
+  t.src_ip = 0x0a000001;  // 10.0.0.1
+  t.dst_ip = 0xc0000202;  // 192.0.2.2
+  t.src_port = 40000;
+  t.dst_port = 443;
+  t.proto = proto;
+  return t;
+}
+
+TEST(Packet, ResetInitialises) {
+  Packet p{128};
+  EXPECT_EQ(p.size(), 128u);
+  EXPECT_EQ(p.wire_bytes().value(), 128u);
+  EXPECT_EQ(p.pcie_crossings(), 0u);
+  EXPECT_EQ(p.hops(), 0u);
+  p.note_pcie_crossing();
+  p.note_hop();
+  p.reset(256);
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.pcie_crossings(), 0u);
+  EXPECT_EQ(p.hops(), 0u);
+}
+
+TEST(Packet, MetadataAccessors) {
+  Packet p{64};
+  p.set_id(99);
+  p.set_ingress_time(SimTime::microseconds(5));
+  p.note_pcie_crossing();
+  p.note_pcie_crossing();
+  EXPECT_EQ(p.id(), 99u);
+  EXPECT_EQ(p.ingress_time().us(), 5.0);
+  EXPECT_EQ(p.pcie_crossings(), 2u);
+}
+
+TEST(Packet, HeaderViewOffsets) {
+  Packet p{128};
+  EXPECT_EQ(p.l3().size(), 128u - 14u);
+  EXPECT_EQ(p.l4().size(), 128u - 34u);
+  EXPECT_EQ(p.payload().size(), 128u - 42u);
+}
+
+TEST(PacketBuilder, BuildsParseableUdpFrame) {
+  Packet p;
+  PacketBuilder{}.size(256).flow(sample_tuple(IpProto::kUdp)).build_into(p);
+  const auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, IpProto::kUdp);
+  EXPECT_EQ(ip->total_length, 256u - 14u);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(p.l3()));
+  const auto tuple = p.five_tuple();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(*tuple, sample_tuple(IpProto::kUdp));
+}
+
+TEST(PacketBuilder, BuildsParseableTcpFrame) {
+  Packet p;
+  PacketBuilder{}
+      .size(128)
+      .flow(sample_tuple(IpProto::kTcp))
+      .tcp_flags(TcpHeader::kFlagSyn)
+      .build_into(p);
+  const auto tuple = p.five_tuple();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->proto, IpProto::kTcp);
+  const auto tcp = TcpHeader::parse(p.l4());
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_TRUE(tcp->syn());
+}
+
+TEST(PacketBuilder, PayloadTextPlanted) {
+  Packet p;
+  PacketBuilder{}.size(256).flow(sample_tuple()).payload_text("NEEDLE").build_into(p);
+  const auto payload = p.payload();
+  const std::string head(reinterpret_cast<const char*>(payload.data()), 6);
+  EXPECT_EQ(head, "NEEDLE");
+}
+
+TEST(PacketBuilder, PayloadDeterministicPerSeed) {
+  Packet a;
+  Packet b;
+  PacketBuilder{}.size(512).flow(sample_tuple()).payload_seed(7).build_into(a);
+  PacketBuilder{}.size(512).flow(sample_tuple()).payload_seed(7).build_into(b);
+  EXPECT_TRUE(std::equal(a.data().begin(), a.data().end(), b.data().begin()));
+  Packet c;
+  PacketBuilder{}.size(512).flow(sample_tuple()).payload_seed(8).build_into(c);
+  EXPECT_FALSE(std::equal(a.data().begin(), a.data().end(), c.data().begin()));
+}
+
+TEST(Packet, RewriteAddrsUpdatesChecksum) {
+  Packet p;
+  PacketBuilder{}.size(128).flow(sample_tuple()).build_into(p);
+  p.rewrite_ipv4_addrs(0x01010101, 0x02020202);
+  const auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->src, 0x01010101u);
+  EXPECT_EQ(ip->dst, 0x02020202u);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(p.l3()));
+}
+
+TEST(Packet, RewritePortsBothProtocols) {
+  for (const auto proto : {IpProto::kUdp, IpProto::kTcp}) {
+    Packet p;
+    PacketBuilder{}.size(128).flow(sample_tuple(proto)).build_into(p);
+    p.rewrite_ports(1111, 2222);
+    const auto tuple = p.five_tuple();
+    ASSERT_TRUE(tuple.has_value());
+    EXPECT_EQ(tuple->src_port, 1111);
+    EXPECT_EQ(tuple->dst_port, 2222);
+  }
+}
+
+TEST(Packet, NonIpv4FrameHasNoTuple) {
+  Packet p{64};  // all zeros: ether_type 0 -> not IPv4
+  EXPECT_FALSE(p.ipv4().has_value());
+  EXPECT_FALSE(p.five_tuple().has_value());
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple t = sample_tuple();
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.dst_ip, t.src_ip);
+  EXPECT_EQ(r.src_port, t.dst_port);
+  EXPECT_EQ(r.dst_port, t.src_port);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  const FiveTuple base = sample_tuple();
+  FiveTuple other = base;
+  other.src_port++;
+  EXPECT_NE(hash_value(base), hash_value(other));
+  other = base;
+  other.proto = IpProto::kTcp;
+  EXPECT_NE(hash_value(base), hash_value(other));
+  EXPECT_EQ(hash_value(base), hash_value(sample_tuple()));
+}
+
+TEST(FiveTuple, ToStringFormat) {
+  EXPECT_EQ(sample_tuple().to_string(), "udp 10.0.0.1:40000 -> 192.0.2.2:443");
+}
+
+TEST(PacketPool, AcquireRelease) {
+  PacketPool pool{4, 8};
+  {
+    auto p = pool.acquire(128);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->size(), 128u);
+    EXPECT_EQ(pool.in_use(), 1u);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPool, GrowsUpToMax) {
+  PacketPool pool{1, 3};
+  auto a = pool.acquire(64);
+  auto b = pool.acquire(64);
+  auto c = pool.acquire(64);
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(c);
+  EXPECT_EQ(pool.capacity(), 3u);
+  auto d = pool.acquire(64);
+  EXPECT_FALSE(d);  // exhausted
+  EXPECT_EQ(pool.exhaustions(), 1u);
+}
+
+TEST(PacketPool, RecyclesInsteadOfGrowing) {
+  PacketPool pool{2, 8};
+  for (int i = 0; i < 100; ++i) {
+    auto p = pool.acquire(64);
+    ASSERT_TRUE(p);
+  }
+  EXPECT_EQ(pool.capacity(), 2u);
+  EXPECT_EQ(pool.allocations(), 100u);
+}
+
+TEST(PacketPool, MoveTransfersOwnership) {
+  PacketPool pool{2, 8};
+  auto a = pool.acquire(64);
+  PacketPtr b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — testing moved-from state
+  EXPECT_TRUE(b);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(PacketPool, ReleaseAndReacquireReusesMemory) {
+  PacketPool pool{1, 4};
+  Packet* first;
+  {
+    auto p = pool.acquire(64);
+    first = p.get();
+  }
+  auto q = pool.acquire(256);
+  EXPECT_EQ(q.get(), first);
+  EXPECT_EQ(q->size(), 256u);
+}
+
+// Builder validity across the paper's full size sweep and both L4 protocols.
+class BuilderSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, IpProto>> {};
+
+TEST_P(BuilderSweep, FrameIsInternallyConsistent) {
+  const auto [size, proto] = GetParam();
+  Packet p;
+  PacketBuilder{}.size(size).flow(sample_tuple(proto)).build_into(p);
+  EXPECT_EQ(p.size(), size);
+  const auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->total_length, size - EthernetHeader::kSize);
+  EXPECT_TRUE(Ipv4Header::verify_checksum(p.l3()));
+  const auto tuple = p.five_tuple();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->proto, proto);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, BuilderSweep,
+    ::testing::Combine(::testing::Values(64, 128, 256, 512, 1024, 1500),
+                       ::testing::Values(IpProto::kUdp, IpProto::kTcp)));
+
+}  // namespace
+}  // namespace pam

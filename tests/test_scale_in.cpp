@@ -1,0 +1,142 @@
+// Scale-in (reverse PAM) tests: pulling vNFs back to the SmartNIC when the
+// spike subsides, without creating crossings or re-triggering overload.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "core/pam_policy.hpp"
+#include "core/scale_in_policy.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+class ScaleInFixture : public ::testing::Test {
+ protected:
+  Server server_ = Server::paper_testbed();
+  ChainAnalyzer analyzer_{server_};
+
+  /// The post-PAM placement: Logger on the CPU.
+  ServiceChain post_pam_chain() {
+    auto chain = paper_figure1_chain();
+    chain.set_location(2, Location::kCpu);
+    return chain;
+  }
+};
+
+TEST_F(ScaleInFixture, PullsLoggerBackWhenLoadDrops) {
+  const auto chain = post_pam_chain();
+  const ScaleInPolicy policy;
+  // Load back at baseline: SmartNIC with Logger restored = 0.795 < 0.8.
+  const auto plan = policy.plan(chain, analyzer_, paper_baseline_rate());
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].nf_name, "Logger");
+  EXPECT_EQ(plan.steps[0].from, Location::kCpu);
+  EXPECT_EQ(plan.steps[0].to, Location::kSmartNic);
+  EXPECT_LE(plan.steps[0].crossing_delta, 0);
+
+  const auto after = plan.apply_to(chain);
+  EXPECT_EQ(after.location_of(2), Location::kSmartNic);
+  EXPECT_LE(after.pcie_crossings(), chain.pcie_crossings());
+  EXPECT_LT(analyzer_.utilization(after, paper_baseline_rate()).smartnic, 0.8);
+}
+
+TEST_F(ScaleInFixture, RefusesWhenLoadStillHigh) {
+  const auto chain = post_pam_chain();
+  const ScaleInPolicy policy;
+  // At the overload rate, restoring the Logger would put S back at 1.46.
+  const auto plan = policy.plan(chain, analyzer_, paper_overload_rate());
+  EXPECT_TRUE(plan.empty());
+  // The rejection is recorded in the trace.
+  bool rejected = false;
+  for (const auto& line : plan.trace) {
+    rejected |= line.find("reject") != std::string::npos;
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST_F(ScaleInFixture, CeilingProvidesHysteresis) {
+  const auto chain = post_pam_chain();
+  // A ceiling below the post-restore utilisation blocks the move even at a
+  // rate the default ceiling would accept.
+  ScaleInOptions tight;
+  tight.smartnic_ceiling = 0.5;
+  const ScaleInPolicy policy{tight};
+  const auto plan = policy.plan(chain, analyzer_, paper_baseline_rate());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(ScaleInFixture, NoReverseBordersNoAction) {
+  // Host-to-host chain entirely on the CPU: every neighbour of every NF is
+  // CPU-side, so any return to the SmartNIC would ADD two crossings —
+  // there are no reverse borders and the policy must not act.
+  const auto chain = ChainBuilder{"all-cpu-hosted"}
+                         .ingress(Attachment::kHost)
+                         .egress(Attachment::kHost)
+                         .add(NfType::kMonitor, "mon", Location::kCpu)
+                         .add(NfType::kLoadBalancer, "lb", Location::kCpu)
+                         .add(NfType::kLogger, "log", Location::kCpu, 0.5)
+                         .build();
+  const ScaleInPolicy policy;
+  const auto plan = policy.plan(chain, analyzer_, 0.5_gbps);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(ScaleInFixture, CrossingsNeverIncrease) {
+  // Mixed placement: whatever scale-in does, crossings must not grow.
+  const auto chain = ChainBuilder{"mixed"}
+                         .egress(Attachment::kHost)
+                         .add(NfType::kMonitor, "mon", Location::kCpu)
+                         .add(NfType::kLoadBalancer, "lb", Location::kCpu)
+                         .add(NfType::kLogger, "log", Location::kCpu, 0.5)
+                         .build();
+  const ScaleInPolicy policy;
+  const auto plan = policy.plan(chain, analyzer_, 0.5_gbps);
+  const auto after = plan.apply_to(chain);
+  EXPECT_LE(after.pcie_crossings(), chain.pcie_crossings());
+}
+
+TEST_F(ScaleInFixture, DrainsCpuCompletelyAtLowLoad) {
+  // Everything on the CPU, tiny load: scale-in walks the whole chain back.
+  const auto chain = ChainBuilder{"all-cpu"}
+                         .egress(Attachment::kWire)
+                         .add(NfType::kFirewall, "fw", Location::kCpu)
+                         .add(NfType::kMonitor, "mon", Location::kCpu)
+                         .add(NfType::kLogger, "log", Location::kCpu, 0.5)
+                         .build();
+  const ScaleInPolicy policy;
+  const auto plan = policy.plan(chain, analyzer_, 0.3_gbps);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.steps.size(), 3u);
+  const auto after = plan.apply_to(chain);
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after.location_of(i), Location::kSmartNic);
+  }
+  EXPECT_EQ(after.pcie_crossings(), 0u);  // wire-to-wire, all offloaded
+}
+
+TEST_F(ScaleInFixture, RoundTripWithPam) {
+  // Full cycle: PAM pushes aside at the spike; scale-in restores at calm;
+  // the placement returns to the original.
+  const auto original = paper_figure1_chain();
+  const PamPolicy pam_policy;
+  const auto pushed = pam_policy.plan(original, analyzer_, paper_overload_rate())
+                          .apply_to(original);
+  ASSERT_EQ(pushed.location_of(2), Location::kCpu);
+
+  const ScaleInPolicy scale_in;
+  const auto restored =
+      scale_in.plan(pushed, analyzer_, paper_baseline_rate()).apply_to(pushed);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.location_of(i), original.location_of(i)) << i;
+  }
+}
+
+TEST_F(ScaleInFixture, PolicyName) {
+  EXPECT_EQ(ScaleInPolicy{}.name(), "PAM-ScaleIn");
+}
+
+}  // namespace
+}  // namespace pam

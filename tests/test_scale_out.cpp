@@ -1,0 +1,72 @@
+// Scale-out planner tests (OpenNF fallback sizing).
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_builder.hpp"
+#include "control/scale_out.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+class ScaleOutFixture : public ::testing::Test {
+ protected:
+  Server server_ = Server::paper_testbed();
+  ChainAnalyzer analyzer_{server_};
+  ServiceChain chain_ = paper_figure1_chain();  // sustainable ~1.509 Gbps
+};
+
+TEST_F(ScaleOutFixture, SingleReplicaWhenLoadFits) {
+  const ScaleOutPlanner planner{0.9};
+  const auto decision = planner.plan(chain_, analyzer_, 1.0_gbps);
+  EXPECT_EQ(decision.replicas, 1u);
+  EXPECT_DOUBLE_EQ(decision.per_replica_rate.value(), 1.0);
+  EXPECT_LT(decision.per_replica_bottleneck, 0.9);
+}
+
+TEST_F(ScaleOutFixture, SplitsWhenOverloaded) {
+  const ScaleOutPlanner planner{0.9};
+  // 1.509 * 0.9 = 1.358 sustainable per replica; 6 Gbps -> 5 replicas.
+  const auto decision = planner.plan(chain_, analyzer_, 6.0_gbps);
+  EXPECT_EQ(decision.replicas, 5u);
+  EXPECT_NEAR(decision.per_replica_rate.value(), 1.2, 1e-9);
+  EXPECT_LT(decision.per_replica_bottleneck, 0.9);
+}
+
+TEST_F(ScaleOutFixture, WeightsSumToOne) {
+  const ScaleOutPlanner planner;
+  const auto decision = planner.plan(chain_, analyzer_, 6.0_gbps);
+  double sum = 0.0;
+  for (const double w : decision.split_weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(decision.split_weights.size(), decision.replicas);
+}
+
+TEST_F(ScaleOutFixture, TighterHeadroomNeedsMoreReplicas) {
+  const ScaleOutPlanner loose{1.0};
+  const ScaleOutPlanner tight{0.5};
+  const auto a = loose.plan(chain_, analyzer_, 4.0_gbps);
+  const auto b = tight.plan(chain_, analyzer_, 4.0_gbps);
+  EXPECT_GT(b.replicas, a.replicas);
+}
+
+TEST_F(ScaleOutFixture, RationaleIsInformative) {
+  const ScaleOutPlanner planner;
+  const auto decision = planner.plan(chain_, analyzer_, 6.0_gbps);
+  EXPECT_NE(decision.rationale.find("replicas"), std::string::npos);
+}
+
+TEST_F(ScaleOutFixture, PerReplicaBottleneckConsistent) {
+  const ScaleOutPlanner planner{0.85};
+  const auto decision = planner.plan(chain_, analyzer_, 5.0_gbps);
+  const auto util = analyzer_.utilization(chain_, decision.per_replica_rate);
+  EXPECT_NEAR(decision.per_replica_bottleneck, util.bottleneck(), 1e-12);
+  EXPECT_LE(decision.per_replica_bottleneck, 0.85 + 1e-9);
+}
+
+}  // namespace
+}  // namespace pam

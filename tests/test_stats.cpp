@@ -1,0 +1,176 @@
+// Tests for the measurement primitives: running moments, quantile
+// reservoirs, histograms and the throughput meter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (const double x : {3.0, 1.0, 4.0, 1.0, 5.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStats, VarianceMatchesDirectFormula) {
+  RunningStats s;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) {
+    s.add(x);
+  }
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic example: sigma^2 = 4
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(QuantileReservoir, ExactBelowCapacity) {
+  QuantileReservoir q{1024};
+  for (int i = 1; i <= 100; ++i) {
+    q.add(i);
+  }
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.median(), 50.5, 0.5);
+  EXPECT_NEAR(q.quantile(0.99), 99.0, 1.1);
+}
+
+TEST(QuantileReservoir, EmptyReturnsZero) {
+  QuantileReservoir q;
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QuantileReservoir, ReservoirApproximatesUnderOverflow) {
+  QuantileReservoir q{512, 99};
+  for (int i = 0; i < 100000; ++i) {
+    q.add(i % 1000);  // uniform over [0, 1000)
+  }
+  EXPECT_EQ(q.count(), 100000u);
+  EXPECT_NEAR(q.median(), 500.0, 80.0);
+  EXPECT_NEAR(q.quantile(0.9), 900.0, 80.0);
+}
+
+TEST(LatencyRecorder, RecordsSimTimes) {
+  LatencyRecorder rec;
+  rec.record(SimTime::microseconds(10));
+  rec.record(SimTime::microseconds(20));
+  rec.record(SimTime::microseconds(30));
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_EQ(rec.mean().us(), 20.0);
+  EXPECT_EQ(rec.min().us(), 10.0);
+  EXPECT_EQ(rec.max().us(), 30.0);
+  EXPECT_NEAR(rec.quantile(0.5).us(), 20.0, 0.01);
+  EXPECT_FALSE(rec.summary().empty());
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h{0.0, 100.0, 10};
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bucket 0
+  h.add(9.999);  // bucket 0
+  h.add(10.0);   // bucket 1
+  h.add(99.9);   // bucket 9
+  h.add(100.0);  // overflow
+  h.add(1e9);    // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h{10.0, 20.0, 5};
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 20.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBucket) {
+  Histogram h{0.0, 10.0, 4};
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.0);
+  const std::string render = h.render(20);
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 4);
+}
+
+TEST(ThroughputMeter, AverageRateMatchesHandComputation) {
+  ThroughputMeter m{SimTime::milliseconds(1)};
+  // 1000 packets x 1250 B over 10 ms = 1 Gbps.
+  for (int i = 0; i < 1000; ++i) {
+    m.record(SimTime::microseconds(10.0 * i), Bytes{1250});
+  }
+  EXPECT_EQ(m.total_packets(), 1000u);
+  EXPECT_EQ(m.total_bytes().value(), 1'250'000u);
+  EXPECT_NEAR(m.average_rate().value(), 1.0, 0.01);
+}
+
+TEST(ThroughputMeter, EmptyIsZero) {
+  ThroughputMeter m;
+  EXPECT_DOUBLE_EQ(m.average_rate().value(), 0.0);
+}
+
+TEST(ThroughputMeter, WindowRatesRoll) {
+  ThroughputMeter m{SimTime::milliseconds(1)};
+  for (int i = 0; i < 5000; ++i) {
+    m.record(SimTime::microseconds(2.0 * i), Bytes{125});
+  }
+  // 10 ms of traffic over 1 ms windows -> ~9 completed windows.
+  EXPECT_GE(m.window_rates().size(), 8u);
+  for (const auto& rate : m.window_rates()) {
+    EXPECT_NEAR(rate.value(), 0.5, 0.05);  // 125 B / 2 us = 0.5 Gbps
+  }
+}
+
+}  // namespace
+}  // namespace pam

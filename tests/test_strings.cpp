@@ -1,0 +1,98 @@
+// Tests for string helpers, including the IPv4 parse/format round trip the
+// firewall configuration path relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace pam {
+namespace {
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(format("x=%d y=%.1f s=%s", 3, 2.5, "hi"), "x=3 y=2.5 s=hi");
+}
+
+TEST(Format, EmptyAndLong) {
+  EXPECT_EQ(format("%s", ""), "");
+  const std::string big(3000, 'a');
+  EXPECT_EQ(format("%s", big.c_str()).size(), 3000u);
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Ipv4ToString, KnownValues) {
+  EXPECT_EQ(ipv4_to_string(0), "0.0.0.0");
+  EXPECT_EQ(ipv4_to_string(0xffffffffu), "255.255.255.255");
+  EXPECT_EQ(ipv4_to_string((10u << 24) | (0u << 16) | (0u << 8) | 1u), "10.0.0.1");
+  EXPECT_EQ(ipv4_to_string((192u << 24) | (168u << 16) | (1u << 8) | 42u), "192.168.1.42");
+}
+
+TEST(ParseIpv4, ValidAddresses) {
+  std::uint32_t out = 0;
+  ASSERT_TRUE(parse_ipv4("10.0.0.1", out));
+  EXPECT_EQ(out, (10u << 24) | 1u);
+  ASSERT_TRUE(parse_ipv4("255.255.255.255", out));
+  EXPECT_EQ(out, 0xffffffffu);
+  ASSERT_TRUE(parse_ipv4("0.0.0.0", out));
+  EXPECT_EQ(out, 0u);
+}
+
+class ParseIpv4Rejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParseIpv4Rejects, MalformedInput) {
+  std::uint32_t out = 0;
+  EXPECT_FALSE(parse_ipv4(GetParam(), out)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, ParseIpv4Rejects,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.0.0.1",
+                                           "1..2.3", "a.b.c.d", "1.2.3.",
+                                           ".1.2.3", "1.2.3.4x", "1234.1.1.1"));
+
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, FormatThenParse) {
+  std::uint32_t out = 0;
+  ASSERT_TRUE(parse_ipv4(ipv4_to_string(GetParam()), out));
+  EXPECT_EQ(out, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, Ipv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0x01020304u, 0x0a000001u,
+                                           0xc0a80101u, 0xcb007101u, 0xffffffffu));
+
+TEST(TableRow, PadsCells) {
+  const auto row = table_row({"a", "bb"}, {3, 4});
+  EXPECT_EQ(row, "| a   | bb   |");
+}
+
+}  // namespace
+}  // namespace pam

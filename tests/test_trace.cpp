@@ -1,0 +1,197 @@
+// Packet trace tests: binary round trip, corruption handling, rate math,
+// and simulator replay/capture integration.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chain/chain_builder.hpp"
+#include "packet/packet_builder.hpp"
+#include "packet/trace.hpp"
+#include "sim/chain_simulator.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+PacketTrace sample_trace(std::size_t n = 10, std::size_t size = 128) {
+  PacketTrace trace;
+  Packet pkt;
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketBuilder{}
+        .size(size)
+        .flow(FiveTuple{0x0a000001u + static_cast<std::uint32_t>(i), 0xc0000202,
+                        1000, 80, IpProto::kUdp})
+        .build_into(pkt);
+    trace.append(SimTime::microseconds(10.0 * static_cast<double>(i)), pkt.data());
+  }
+  return trace;
+}
+
+TEST(PacketTrace, AccumulatesRecords) {
+  const PacketTrace trace = sample_trace(5, 200);
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.total_bytes().value(), 1000u);
+  EXPECT_EQ(trace.duration().us(), 40.0);
+  EXPECT_EQ(trace.at(2).timestamp.us(), 20.0);
+  EXPECT_EQ(trace.at(2).frame.size(), 200u);
+}
+
+TEST(PacketTrace, AverageRate) {
+  // 10 frames x 128 B over 90 us: 10240 bits / 90e-6 s = 0.1138 Gbps.
+  const PacketTrace trace = sample_trace();
+  EXPECT_NEAR(trace.average_rate().value(), 10.0 * 128.0 * 8.0 / 90e-6 / 1e9,
+              1e-6);
+}
+
+TEST(PacketTrace, EmptyTraceSafeMetrics) {
+  const PacketTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.duration().ns(), 0);
+  EXPECT_DOUBLE_EQ(trace.average_rate().value(), 0.0);
+}
+
+TEST(PacketTrace, StreamRoundTrip) {
+  const PacketTrace original = sample_trace(7, 300);
+  std::stringstream buffer;
+  original.write_to(buffer);
+  const auto loaded = PacketTrace::read_from(buffer);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().what();
+  const PacketTrace& copy = loaded.value();
+  ASSERT_EQ(copy.size(), original.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy.at(i).timestamp, original.at(i).timestamp);
+    EXPECT_EQ(copy.at(i).frame, original.at(i).frame);
+  }
+}
+
+TEST(PacketTrace, RejectsBadMagic) {
+  std::stringstream buffer{"NOTATRACExxxxxxxxxxxxxxx"};
+  EXPECT_FALSE(PacketTrace::read_from(buffer).has_value());
+}
+
+TEST(PacketTrace, RejectsTruncation) {
+  const PacketTrace original = sample_trace(3);
+  std::stringstream buffer;
+  original.write_to(buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream cut{bytes};
+  EXPECT_FALSE(PacketTrace::read_from(cut).has_value());
+}
+
+TEST(PacketTrace, FileRoundTrip) {
+  const PacketTrace original = sample_trace(4, 96);
+  const std::string path = "/tmp/pam_trace_test.bin";
+  const auto saved = original.save(path);
+  ASSERT_TRUE(saved.has_value()) << saved.error().what();
+  const auto loaded = PacketTrace::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded.value().size(), 4u);
+  EXPECT_FALSE(PacketTrace::load("/nonexistent/nope.bin").has_value());
+}
+
+TEST(TraceReplay, SimulatorReplaysCapture) {
+  auto trace = std::make_shared<PacketTrace>();
+  Packet pkt;
+  // 100 frames, 512 B, one every 4 us (~1 Gbps).
+  for (int i = 0; i < 100; ++i) {
+    PacketBuilder{}
+        .size(512)
+        .flow(FiveTuple{0x0a000001, 0xc0000202, 1000, 80, IpProto::kUdp})
+        .build_into(pkt);
+    trace->append(SimTime::microseconds(4.0 * i), pkt.data());
+  }
+
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.replay = trace;
+  ChainSimulator sim{paper_figure1_chain(), server, cfg};
+  const auto report = sim.run(SimTime::milliseconds(5), SimTime::microseconds(1));
+  EXPECT_EQ(report.injected, 100u);
+  EXPECT_EQ(report.delivered, 100u);
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TraceReplay, LoopRepeatsCapture) {
+  auto trace = std::make_shared<PacketTrace>();
+  Packet pkt;
+  for (int i = 0; i < 10; ++i) {
+    PacketBuilder{}
+        .size(256)
+        .flow(FiveTuple{0x0a000001, 0xc0000202, 1000, 80, IpProto::kUdp})
+        .build_into(pkt);
+    trace->append(SimTime::microseconds(5.0 * i), pkt.data());
+  }
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.replay = trace;
+  cfg.replay_loop = true;
+  ChainSimulator sim{paper_figure1_chain(), server, cfg};
+  const auto report = sim.run(SimTime::milliseconds(1), SimTime::microseconds(1));
+  EXPECT_GT(report.injected, 100u);  // many loops of the 50 us capture
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TraceReplay, RuntFramesCountedAsNicDrops) {
+  auto trace = std::make_shared<PacketTrace>();
+  const std::vector<std::uint8_t> runt(32, 0xab);
+  trace->append(SimTime::microseconds(1), runt);
+  trace->append(SimTime::microseconds(2), runt);
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.replay = trace;
+  ChainSimulator sim{paper_figure1_chain(), server, cfg};
+  const auto report = sim.run(SimTime::milliseconds(1), SimTime::microseconds(1));
+  EXPECT_EQ(report.injected, 2u);
+  EXPECT_EQ(report.dropped_queue_nic, 2u);
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TraceCapture, EgressCaptureMatchesDeliveredFrames) {
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.rate = RateProfile::constant(0.5_gbps);
+  cfg.sizes = PacketSizeDistribution::fixed(256);
+  cfg.seed = 9;
+  ChainSimulator sim{paper_figure1_chain(), server, cfg};
+  PacketTrace capture;
+  sim.capture_egress(&capture);
+  const auto report = sim.run(SimTime::milliseconds(3), SimTime::microseconds(1));
+  EXPECT_EQ(capture.size(), report.delivered);
+  // Captured frames are the full 256 B and timestamps are monotone.
+  SimTime prev = SimTime::zero();
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    EXPECT_EQ(capture.at(i).frame.size(), 256u);
+    EXPECT_GE(capture.at(i).timestamp, prev);
+    prev = capture.at(i).timestamp;
+  }
+}
+
+TEST(TraceCapture, CaptureThenReplayPreservesLoad) {
+  // Record the egress of one run, replay it into a second chain.
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.rate = RateProfile::constant(0.8_gbps);
+  cfg.sizes = PacketSizeDistribution::fixed(512);
+  cfg.seed = 10;
+  auto capture = std::make_shared<PacketTrace>();
+  {
+    ChainSimulator sim{paper_figure1_chain(), server, cfg};
+    sim.capture_egress(capture.get());
+    (void)sim.run(SimTime::milliseconds(4), SimTime::microseconds(1));
+  }
+  ASSERT_GT(capture->size(), 0u);
+
+  Server server2 = Server::paper_testbed();
+  TrafficSourceConfig replay_cfg;
+  replay_cfg.replay = capture;
+  ChainSimulator sim2{paper_figure1_chain(), server2, replay_cfg};
+  const auto report = sim2.run(SimTime::milliseconds(6), SimTime::microseconds(1));
+  EXPECT_EQ(report.injected, capture->size());
+  EXPECT_TRUE(report.conserved());
+}
+
+}  // namespace
+}  // namespace pam

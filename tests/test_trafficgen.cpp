@@ -1,0 +1,204 @@
+// Workload generator tests: packet-size distributions, rate profiles and
+// flow generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "trafficgen/flow_generator.hpp"
+#include "trafficgen/packet_size_dist.hpp"
+#include "trafficgen/rate_profile.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TEST(PacketSizeDist, FixedAlwaysSame) {
+  const auto dist = PacketSizeDistribution::fixed(512);
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.sample(rng), 512u);
+  }
+  EXPECT_DOUBLE_EQ(dist.mean(), 512.0);
+}
+
+TEST(PacketSizeDist, UniformWithinBounds) {
+  const auto dist = PacketSizeDistribution::uniform(64, 1500);
+  Rng rng{2};
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = dist.sample(rng);
+    ASSERT_GE(s, 64u);
+    ASSERT_LE(s, 1500u);
+  }
+  EXPECT_DOUBLE_EQ(dist.mean(), 782.0);
+}
+
+TEST(PacketSizeDist, UniformSampleMeanMatches) {
+  const auto dist = PacketSizeDistribution::uniform(64, 1500);
+  Rng rng{3};
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(dist.sample(rng));
+  }
+  EXPECT_NEAR(sum / kN, dist.mean(), 5.0);
+}
+
+TEST(PacketSizeDist, ImixProportions) {
+  const auto dist = PacketSizeDistribution::imix();
+  Rng rng{4};
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 120000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[dist.sample(rng)];
+  }
+  ASSERT_EQ(counts.size(), 3u);
+  // 7:4:1 by count.
+  EXPECT_NEAR(static_cast<double>(counts[64]) / kN, 7.0 / 12.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[570]) / kN, 4.0 / 12.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1500]) / kN, 1.0 / 12.0, 0.01);
+  // IMIX mean = (7*64 + 4*570 + 1500)/12 = 352.33.
+  EXPECT_NEAR(dist.mean(), 352.33, 0.01);
+}
+
+TEST(PacketSizeDist, DiscreteValidation) {
+  EXPECT_THROW((void)PacketSizeDistribution::discrete({}), std::invalid_argument);
+  EXPECT_THROW((void)PacketSizeDistribution::discrete({{64, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PacketSizeDistribution::discrete({{64, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(PacketSizeDist, DescribeNonEmpty) {
+  EXPECT_FALSE(PacketSizeDistribution::fixed(64).describe().empty());
+  EXPECT_FALSE(PacketSizeDistribution::uniform(64, 128).describe().empty());
+  EXPECT_FALSE(PacketSizeDistribution::imix().describe().empty());
+}
+
+TEST(PacketSizeDist, PaperSweepMatchesEvaluation) {
+  const auto& sweep = paper_size_sweep();
+  ASSERT_GE(sweep.size(), 2u);
+  EXPECT_EQ(sweep.front(), 64u);    // "from 64B ..."
+  EXPECT_EQ(sweep.back(), 1500u);   // "... to 1500B"
+}
+
+TEST(RateProfile, ConstantForever) {
+  const auto p = RateProfile::constant(2.5_gbps);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::zero()).value(), 2.5);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::seconds(1e6)).value(), 2.5);
+}
+
+TEST(RateProfile, StepSwitchesAtBoundary) {
+  const auto p = RateProfile::step(1.0_gbps, 2.2_gbps, SimTime::milliseconds(60));
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(59)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(60)).value(), 2.2);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(200)).value(), 2.2);
+}
+
+TEST(RateProfile, ScheduleIsPiecewiseConstant) {
+  const auto p = RateProfile::schedule({{SimTime::zero(), 1.0_gbps},
+                                        {SimTime::milliseconds(10), 3.0_gbps},
+                                        {SimTime::milliseconds(20), 0.5_gbps}});
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(5)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(15)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(25)).value(), 0.5);
+}
+
+TEST(RateProfile, ScheduleSortsPoints) {
+  const auto p = RateProfile::schedule({{SimTime::milliseconds(10), 3.0_gbps},
+                                        {SimTime::zero(), 1.0_gbps}});
+  EXPECT_DOUBLE_EQ(p.at(SimTime::zero()).value(), 1.0);
+}
+
+TEST(RateProfile, SinusoidOscillatesAroundBase) {
+  const auto p = RateProfile::sinusoid(2.0_gbps, 1.0_gbps, SimTime::seconds(1));
+  EXPECT_NEAR(p.at(SimTime::zero()).value(), 2.0, 1e-9);
+  EXPECT_NEAR(p.at(SimTime::milliseconds(250)).value(), 3.0, 1e-6);  // peak
+  EXPECT_NEAR(p.at(SimTime::milliseconds(750)).value(), 1.0, 1e-6);  // trough
+}
+
+TEST(RateProfile, SinusoidClampsAtFloor) {
+  const auto p = RateProfile::sinusoid(0.5_gbps, 2.0_gbps, SimTime::seconds(1),
+                                       Gbps{0.1});
+  EXPECT_DOUBLE_EQ(p.at(SimTime::milliseconds(750)).value(), 0.1);
+}
+
+TEST(RateProfile, DescribeNonEmpty) {
+  EXPECT_FALSE(RateProfile::constant(1.0_gbps).describe().empty());
+  EXPECT_FALSE(
+      RateProfile::step(1.0_gbps, 2.0_gbps, SimTime::zero()).describe().empty());
+  EXPECT_FALSE(RateProfile::sinusoid(1.0_gbps, 0.5_gbps, SimTime::seconds(1))
+                   .describe()
+                   .empty());
+}
+
+TEST(FlowGenerator, DeterministicGivenSeed) {
+  FlowGeneratorConfig cfg;
+  cfg.flow_count = 64;
+  FlowGenerator a{cfg, 9};
+  FlowGenerator b{cfg, 9};
+  Rng ra{5};
+  Rng rb{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(ra), b.next(rb));
+  }
+}
+
+TEST(FlowGenerator, GeneratesRequestedPopulation) {
+  FlowGeneratorConfig cfg;
+  cfg.flow_count = 100;
+  const FlowGenerator gen{cfg, 1};
+  EXPECT_EQ(gen.flow_count(), 100u);
+  std::set<FiveTuple> unique(gen.flows().begin(), gen.flows().end());
+  EXPECT_GT(unique.size(), 95u);  // collisions possible but rare
+}
+
+TEST(FlowGenerator, FlowsTargetService) {
+  FlowGeneratorConfig cfg;
+  cfg.flow_count = 32;
+  const FlowGenerator gen{cfg, 2};
+  for (const auto& flow : gen.flows()) {
+    EXPECT_EQ(flow.dst_ip, cfg.service_ip);
+    EXPECT_EQ(flow.dst_port, cfg.service_port);
+    EXPECT_EQ(flow.src_ip >> 24, 10u);  // client net 10/8
+    EXPECT_GE(flow.src_port, 1024);
+  }
+}
+
+TEST(FlowGenerator, ZipfSkewConcentratesTraffic) {
+  FlowGeneratorConfig cfg;
+  cfg.flow_count = 100;
+  cfg.zipf_skew = 1.2;
+  FlowGenerator gen{cfg, 3};
+  Rng rng{4};
+  std::map<FiveTuple, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[gen.next(rng)];
+  }
+  int top = 0;
+  for (const auto& [flow, count] : counts) {
+    top = std::max(top, count);
+  }
+  // Under Zipf(1.2) the most popular flow carries a large share.
+  EXPECT_GT(top, kN / 10);
+}
+
+TEST(FlowGenerator, TcpFractionRespected) {
+  FlowGeneratorConfig cfg;
+  cfg.flow_count = 2000;
+  cfg.tcp_fraction = 0.7;
+  const FlowGenerator gen{cfg, 5};
+  int tcp = 0;
+  for (const auto& flow : gen.flows()) {
+    tcp += flow.proto == IpProto::kTcp ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(tcp) / 2000.0, 0.7, 0.05);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,156 @@
+// Unit tests for the strong unit types (SimTime, Gbps, Bytes) and the
+// rate/time conversion helpers every performance model builds on.
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, FactoryConversions) {
+  EXPECT_EQ(SimTime::nanoseconds(1500).ns(), 1500);
+  EXPECT_EQ(SimTime::microseconds(2.5).ns(), 2500);
+  EXPECT_EQ(SimTime::milliseconds(1.0).ns(), 1'000'000);
+  EXPECT_EQ(SimTime::seconds(0.001).ns(), 1'000'000);
+}
+
+TEST(SimTime, AccessorsRoundTrip) {
+  const SimTime t = SimTime::microseconds(123.456);
+  EXPECT_NEAR(t.us(), 123.456, 1e-3);
+  EXPECT_NEAR(t.ms(), 0.123456, 1e-6);
+  EXPECT_NEAR(t.sec(), 0.000123456, 1e-9);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::microseconds(10);
+  const SimTime b = SimTime::microseconds(4);
+  EXPECT_EQ((a + b).us(), 14.0);
+  EXPECT_EQ((a - b).us(), 6.0);
+  EXPECT_EQ((a * 2.5).us(), 25.0);
+  EXPECT_EQ((2.5 * a).us(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::microseconds(1);
+  t += SimTime::microseconds(2);
+  EXPECT_EQ(t.us(), 3.0);
+  t -= SimTime::microseconds(1);
+  EXPECT_EQ(t.us(), 2.0);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::microseconds(1), SimTime::microseconds(2));
+  EXPECT_GE(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+}
+
+TEST(SimTime, Literals) {
+  EXPECT_EQ((5_us).ns(), 5000);
+  EXPECT_EQ((1.5_ms).ns(), 1'500'000);
+  EXPECT_EQ((2_s).ns(), 2'000'000'000);
+  EXPECT_EQ((100_ns).ns(), 100);
+}
+
+TEST(SimTime, ToStringAdaptsUnit) {
+  EXPECT_EQ(SimTime::nanoseconds(500).to_string(), "500 ns");
+  EXPECT_NE(SimTime::microseconds(12).to_string().find("us"), std::string::npos);
+  EXPECT_NE(SimTime::milliseconds(12).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::seconds(12).to_string().find("s"), std::string::npos);
+}
+
+TEST(Gbps, Conversions) {
+  EXPECT_DOUBLE_EQ(Gbps{1.0}.mbps(), 1000.0);
+  EXPECT_DOUBLE_EQ(Gbps{1.0}.bits_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(Gbps::from_mbps(500).value(), 0.5);
+  EXPECT_DOUBLE_EQ(Gbps::from_bits_per_sec(3.2e9).value(), 3.2);
+}
+
+TEST(Gbps, Arithmetic) {
+  const Gbps a{3.0};
+  const Gbps b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Gbps, Literals) {
+  EXPECT_DOUBLE_EQ((3.2_gbps).value(), 3.2);
+  EXPECT_DOUBLE_EQ((10_gbps).value(), 10.0);
+}
+
+TEST(Gbps, ToString) {
+  EXPECT_NE(Gbps{2.0}.to_string().find("Gbps"), std::string::npos);
+  // Sub-1 Gbps rates render in Mbps for readability.
+  EXPECT_NE(Gbps{0.5}.to_string().find("Mbps"), std::string::npos);
+}
+
+TEST(Bytes, BasicsAndLiterals) {
+  EXPECT_EQ((1500_bytes).value(), 1500u);
+  EXPECT_DOUBLE_EQ((64_bytes).bits(), 512.0);
+  EXPECT_EQ(Bytes::kib(2).value(), 2048u);
+  EXPECT_EQ(Bytes::mib(1).value(), 1048576u);
+  EXPECT_EQ((Bytes{10} + Bytes{5}).value(), 15u);
+}
+
+TEST(Bytes, ToStringAdaptsUnit) {
+  EXPECT_EQ(Bytes{64}.to_string(), "64 B");
+  EXPECT_NE(Bytes::kib(4).to_string().find("KiB"), std::string::npos);
+  EXPECT_NE(Bytes::mib(4).to_string().find("MiB"), std::string::npos);
+}
+
+TEST(SerializationDelay, MatchesHandComputation) {
+  // 1500 B at 10 Gbps: 1500*8/10e9 s = 1.2 us.
+  EXPECT_EQ(serialization_delay(1500_bytes, 10_gbps).ns(), 1200);
+  // 64 B at 2 Gbps: 512/2e9 = 256 ns.
+  EXPECT_EQ(serialization_delay(64_bytes, 2_gbps).ns(), 256);
+}
+
+TEST(SerializationDelay, ScalesInverselyWithRate) {
+  const auto slow = serialization_delay(1000_bytes, 1_gbps);
+  const auto fast = serialization_delay(1000_bytes, 4_gbps);
+  EXPECT_EQ(slow.ns(), 4 * fast.ns());
+}
+
+TEST(RateOf, InvertsSerializationDelay) {
+  const Bytes size{1200};
+  const Gbps rate{3.2};
+  const SimTime t = serialization_delay(size, rate);
+  EXPECT_NEAR(rate_of(size, t).value(), rate.value(), 1e-6);
+}
+
+TEST(RateOf, ZeroOrNegativeElapsedIsZeroRate) {
+  EXPECT_DOUBLE_EQ(rate_of(1000_bytes, SimTime::zero()).value(), 0.0);
+  EXPECT_DOUBLE_EQ(rate_of(1000_bytes, SimTime::nanoseconds(-5)).value(), 0.0);
+}
+
+// Property sweep: serialisation delay is linear in size for a spread of
+// realistic NF capacities.
+class SerializationLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(SerializationLinearity, DoublingSizeDoublesDelay) {
+  const Gbps rate{GetParam()};
+  for (const std::uint64_t size : {64ull, 256ull, 512ull, 750ull}) {
+    const auto one = serialization_delay(Bytes{size}, rate);
+    const auto two = serialization_delay(Bytes{2 * size}, rate);
+    EXPECT_NEAR(static_cast<double>(two.ns()),
+                2.0 * static_cast<double>(one.ns()), 1.0)
+        << "size=" << size << " rate=" << rate.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCapacities, SerializationLinearity,
+                         ::testing::Values(2.0, 3.2, 4.0, 10.0, 12.0, 32.0));
+
+}  // namespace
+}  // namespace pam
