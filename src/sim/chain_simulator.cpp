@@ -58,17 +58,25 @@ void ChainSimulator::schedule_after(SimTime delay, std::function<void()> fn) {
 void ChainSimulator::schedule_periodic(SimTime start, SimTime period,
                                        std::function<void()> fn) {
   assert(period.ns() > 0);
+  // Self-rescheduling closure.  `shared_fn` keeps a single callback
+  // instance across firings (stateful callbacks keep their state); the
+  // simulator owns the holder via periodic_tasks_ and the closure captures
+  // only a weak_ptr to it, so no shared_ptr cycle forms and everything is
+  // reclaimed with the simulator.
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  // Self-rescheduling closure via a shared holder.
   auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, period, shared_fn, holder]() {
+  std::weak_ptr<std::function<void()>> weak_holder = holder;
+  *holder = [this, period, shared_fn, weak_holder]() {
     if (stopped_ || queue_.now() > horizon_) {
       return;
     }
     (*shared_fn)();
-    queue_.schedule_after(period, *holder);
+    if (auto strong = weak_holder.lock()) {
+      queue_.schedule_after(period, *strong);
+    }
   };
   queue_.schedule_at(start, *holder);
+  periodic_tasks_.push_back(std::move(holder));
 }
 
 void ChainSimulator::replace_nf(std::size_t i, std::unique_ptr<NetworkFunction> fresh) {

@@ -138,6 +138,11 @@ class ChainSimulator {
   std::vector<bool> paused_;
   std::vector<std::vector<Parked>> buffers_;
 
+  /// Owners of the self-rescheduling closures from schedule_periodic();
+  /// queued copies hold only weak_ptrs, so destroying the simulator
+  /// reclaims them (no shared_ptr cycle).
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_tasks_;
+
   struct NodeStats {
     std::uint64_t packets = 0;
     LatencyRecorder residence;  ///< queue wait + service per visit

@@ -1,0 +1,50 @@
+// Library-boundary smoke tests: every layer from device up to the analyzer
+// must construct and compose without throwing.  These exist so CI fails fast
+// (and legibly) on layering/link breaks, before the deeper behavioural
+// suites even run.
+
+#include <gtest/gtest.h>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+
+namespace pam {
+namespace {
+
+TEST(BuildSanity, PaperTestbedConstructs) {
+  const Server server = Server::paper_testbed();
+  EXPECT_FALSE(server.describe().empty());
+  EXPECT_GT(server.pcie().bandwidth().value(), 0.0);
+}
+
+TEST(BuildSanity, PaperFigure1ChainBuilds) {
+  const ServiceChain chain = paper_figure1_chain();
+  EXPECT_GE(chain.size(), 4u);  // Firewall, Monitor, Logger, LoadBalancer
+}
+
+TEST(BuildSanity, AnalyzerAnalysesWithoutThrowing) {
+  const Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const ServiceChain chain = paper_figure1_chain();
+
+  UtilizationReport report;
+  EXPECT_NO_THROW(report = analyzer.utilization(chain, paper_overload_rate()));
+  EXPECT_GT(report.bottleneck(), 0.0);
+  EXPECT_GT(analyzer.max_sustainable_rate(chain).value(), 0.0);
+}
+
+TEST(BuildSanity, PoliciesProducePlans) {
+  const Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const ServiceChain chain = paper_figure1_chain();
+
+  const PamPolicy pam_policy;
+  const NaiveBottleneckPolicy naive_policy;
+  EXPECT_NO_THROW(pam_policy.plan(chain, analyzer, paper_overload_rate()));
+  EXPECT_NO_THROW(naive_policy.plan(chain, analyzer, paper_overload_rate()));
+}
+
+}  // namespace
+}  // namespace pam
