@@ -2,59 +2,12 @@
 // naive bottleneck migration (b), and after PAM (c), with the PCIe-crossing
 // arithmetic that drives the whole paper.
 //
+// Thin wrapper over the shared experiment runner; the scenario definition
+// lives in scenarios/fig1-crossings.scn (JSON metrics: `pam_exp run
+// fig1-crossings --json`).
+//
 //   $ ./build/bench/bench_fig1_crossings
 
-#include <cstdio>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/border.hpp"
-#include "chain/chain_builder.hpp"
-#include "core/naive_policy.hpp"
-#include "core/pam_policy.hpp"
-
-int main() {
-  using namespace pam;
-
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-  const ServiceChain original = paper_figure1_chain();
-  const Gbps rate = paper_overload_rate();
-
-  const NaiveBottleneckPolicy naive;
-  const PamPolicy pam_policy;
-  const auto naive_plan = naive.plan(original, analyzer, rate);
-  const auto pam_plan = pam_policy.plan(original, analyzer, rate);
-  const auto after_naive = naive_plan.apply_to(original);
-  const auto after_pam = pam_plan.apply_to(original);
-
-  std::printf("=== Figure 1: layouts and PCIe crossings (overload at %s) ===\n\n",
-              rate.to_string().c_str());
-
-  const struct {
-    const char* label;
-    const ServiceChain* chain;
-    const MigrationPlan* plan;
-  } rows[] = {
-      {"(a) before migration", &original, nullptr},
-      {"(b) naive solution  ", &after_naive, &naive_plan},
-      {"(c) PAM             ", &after_pam, &pam_plan},
-  };
-  for (const auto& row : rows) {
-    std::printf("%s\n  %s\n", row.label, row.chain->describe().c_str());
-    const auto util = analyzer.utilization(*row.chain, rate);
-    std::printf("  crossings/pkt = %u   %s\n", row.chain->pcie_crossings(),
-                util.describe().c_str());
-    if (row.plan != nullptr) {
-      std::printf("  migration: %s\n", row.plan->describe().c_str());
-    }
-    std::printf("\n");
-  }
-
-  std::printf("border analysis of (a): %s\n",
-              find_borders(original).describe(original).c_str());
-  std::printf("\npaper reference: naive (Fig 1b) forces packets over PCIe two\n"
-              "more times; PAM (Fig 1c) migrates the border Logger at zero\n"
-              "additional crossings.\n");
-  std::printf("reproduced: naive %+d crossings, PAM %+d crossings.\n",
-              naive_plan.total_crossing_delta(), pam_plan.total_crossing_delta());
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("fig1-crossings", /*verbose=*/true); }

@@ -1,89 +1,14 @@
 // Reproduces **Figure 2(a)**: service-chain latency of Original / Naive /
-// PAM, averaged over the paper's 64B–1500B packet-size sweep, plus the
-// headline "PAM decreases the service chain latency by 18% on average
-// compared to the naive solution".
+// PAM over the paper's 64B-1500B packet-size sweep, plus the headline "PAM
+// decreases the service chain latency by 18% on average compared to the
+// naive solution".
 //
-// Measurement protocol (DESIGN.md §3.5): each configuration is measured by
-// the discrete-event simulator at the overload rate after its policy has
-// run (Original is additionally shown at the pre-spike baseline rate, since
-// an overloaded drop-tail configuration measures queue depth, not chain
-// latency).
+// Thin wrapper over the shared experiment runner; the measurement protocol
+// (who is measured at which rate, and why) is documented in
+// scenarios/fig2-latency.scn (JSON metrics: `pam_exp run fig2-latency --json`).
 //
 //   $ ./build/bench/bench_fig2_latency
 
-#include <cstdio>
-#include <vector>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/chain_analyzer.hpp"
-#include "chain/chain_builder.hpp"
-#include "core/naive_policy.hpp"
-#include "core/pam_policy.hpp"
-#include "sim/chain_simulator.hpp"
-
-namespace {
-
-using namespace pam;
-
-SimReport measure(const ServiceChain& chain, Gbps rate, std::size_t size) {
-  Server server = Server::paper_testbed();
-  TrafficSourceConfig cfg;
-  cfg.rate = RateProfile::constant(rate);
-  cfg.sizes = PacketSizeDistribution::fixed(size);
-  cfg.seed = 2018;
-  ChainSimulator sim{chain, server, cfg};
-  return sim.run(SimTime::milliseconds(80), SimTime::milliseconds(15));
-}
-
-}  // namespace
-
-int main() {
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-  const ServiceChain original = paper_figure1_chain();
-  const Gbps overload = paper_overload_rate();
-  const Gbps baseline = paper_baseline_rate();
-
-  const ServiceChain after_naive =
-      NaiveBottleneckPolicy{}.plan(original, analyzer, overload).apply_to(original);
-  const ServiceChain after_pam =
-      PamPolicy{}.plan(original, analyzer, overload).apply_to(original);
-
-  std::printf("=== Figure 2(a): service chain latency, 64B-1500B sweep ===\n");
-  std::printf("(mean / p99 in us; measured by DES at the stated rate)\n\n");
-  std::printf("%-8s | %-25s | %-25s | %-25s\n", "size", "Original @ baseline",
-              "Naive @ overload", "PAM @ overload");
-  std::printf("---------+---------------------------+---------------------------+--------------------------\n");
-
-  double sum_original = 0.0;
-  double sum_naive = 0.0;
-  double sum_pam = 0.0;
-  for (const std::size_t size : paper_size_sweep()) {
-    const auto rep_original = measure(original, baseline, size);
-    const auto rep_naive = measure(after_naive, overload, size);
-    const auto rep_pam = measure(after_pam, overload, size);
-    sum_original += rep_original.latency.mean().us();
-    sum_naive += rep_naive.latency.mean().us();
-    sum_pam += rep_pam.latency.mean().us();
-    std::printf("%5zu B  | %10.1f / %-10.1f  | %10.1f / %-10.1f  | %10.1f / %-10.1f\n",
-                size, rep_original.latency.mean().us(),
-                rep_original.latency.quantile(0.99).us(),
-                rep_naive.latency.mean().us(),
-                rep_naive.latency.quantile(0.99).us(),
-                rep_pam.latency.mean().us(),
-                rep_pam.latency.quantile(0.99).us());
-  }
-  const double n = static_cast<double>(paper_size_sweep().size());
-  const double avg_original = sum_original / n;
-  const double avg_naive = sum_naive / n;
-  const double avg_pam = sum_pam / n;
-  std::printf("---------+---------------------------+---------------------------+--------------------------\n");
-  std::printf("average  | %10.1f us%12s | %10.1f us%12s | %10.1f us\n",
-              avg_original, "", avg_naive, "", avg_pam);
-
-  std::printf("\n=== headline ===\n");
-  std::printf("PAM vs naive:    %.1f%% lower latency   (paper: 18%% lower)\n",
-              (avg_naive - avg_pam) / avg_naive * 100.0);
-  std::printf("PAM vs original: %+.1f%%                 (paper: 'almost unchanged')\n",
-              (avg_pam - avg_original) / avg_original * 100.0);
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("fig2-latency"); }

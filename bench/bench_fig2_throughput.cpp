@@ -1,69 +1,13 @@
 // Reproduces **Figure 2(b)**: service-chain throughput of Original / Naive /
-// PAM.  Two measurements per configuration:
-//   - analytic max sustainable rate (the fluid capacity), and
-//   - DES goodput at 20% overload of that capacity (what a rate sweep with
-//     a DPDK sender reports at the saturation plateau).
+// PAM — analytic max sustainable rate plus DES goodput at 20% overload of
+// that capacity (the saturation plateau a DPDK rate sweep reports).
+//
+// Thin wrapper over the shared experiment runner; the scenario definition
+// lives in scenarios/fig2-throughput.scn (JSON metrics: `pam_exp run
+// fig2-throughput --json`).
 //
 //   $ ./build/bench/bench_fig2_throughput
 
-#include <cstdio>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/chain_analyzer.hpp"
-#include "chain/chain_builder.hpp"
-#include "core/naive_policy.hpp"
-#include "core/pam_policy.hpp"
-#include "sim/chain_simulator.hpp"
-
-namespace {
-
-using namespace pam;
-
-Gbps plateau_goodput(const ServiceChain& chain, Gbps cap) {
-  Server server = Server::paper_testbed();
-  TrafficSourceConfig cfg;
-  cfg.rate = RateProfile::constant(cap * 1.2);
-  cfg.sizes = PacketSizeDistribution::imix();
-  cfg.seed = 7;
-  ChainSimulator sim{chain, server, cfg};
-  return sim.run(SimTime::milliseconds(100), SimTime::milliseconds(20)).egress_goodput;
-}
-
-}  // namespace
-
-int main() {
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-  const ServiceChain original = paper_figure1_chain();
-  const Gbps overload = paper_overload_rate();
-
-  const ServiceChain after_naive =
-      NaiveBottleneckPolicy{}.plan(original, analyzer, overload).apply_to(original);
-  const ServiceChain after_pam =
-      PamPolicy{}.plan(original, analyzer, overload).apply_to(original);
-
-  std::printf("=== Figure 2(b): service chain throughput ===\n\n");
-  std::printf("%-10s | %-16s | %-18s\n", "config", "analytic cap", "DES goodput (IMIX)");
-  std::printf("-----------+------------------+-------------------\n");
-
-  const struct {
-    const char* label;
-    const ServiceChain* chain;
-  } rows[] = {{"Original", &original}, {"Naive", &after_naive}, {"PAM", &after_pam}};
-
-  double caps[3] = {};
-  int i = 0;
-  for (const auto& row : rows) {
-    const Gbps cap = analyzer.max_sustainable_rate(*row.chain);
-    const Gbps goodput = plateau_goodput(*row.chain, cap);
-    caps[i++] = cap.value();
-    std::printf("%-10s | %-16s | %-18s\n", row.label, cap.to_string().c_str(),
-                goodput.to_string().c_str());
-  }
-  std::printf("\npaper shape: Original lowest (hot spot bound); naive and PAM\n"
-              "both restore throughput; PAM slightly above naive because the\n"
-              "naive layout pays host-side driver work for 3 PCIe crossings.\n");
-  std::printf("reproduced: PAM/naive = %+.1f%%, naive/original = %+.1f%%\n",
-              (caps[2] - caps[1]) / caps[1] * 100.0,
-              (caps[1] - caps[0]) / caps[0] * 100.0);
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("fig2-throughput"); }

@@ -1,93 +1,13 @@
-// Reproduces **Table 1**: "Capacity of vNFs on the SmartNIC and CPU".
+// Reproduces **Table 1**: "Capacity of vNFs on the SmartNIC and CPU" — each
+// vNF in isolation on one device, saturation point binary-searched by the
+// discrete-event simulator next to the configured θ and the analytic rate.
 //
-// Method mirrors the paper's measurement: each vNF runs in isolation on one
-// device, a DPDK-style sender sweeps the offered rate, and the capacity is
-// the largest rate sustained with a negligible loss ratio.  We binary-search
-// that saturation point with the discrete-event simulator and report it next
-// to the configured θ (the paper's number) and the analytic sustainable rate
-// (θ net of PCIe driver cost when traffic reaches the CPU over the link).
+// Thin wrapper over the shared experiment runner; the scenario definition
+// lives in scenarios/table1-capacity.scn (JSON metrics: `pam_exp run
+// table1-capacity --json`).
 //
 //   $ ./build/bench/bench_table1_capacity
 
-#include <cstdio>
-#include <vector>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/chain_analyzer.hpp"
-#include "chain/chain_builder.hpp"
-#include "sim/chain_simulator.hpp"
-
-namespace {
-
-using namespace pam;
-using namespace pam::literals;
-
-/// Loss ratio when `chain` is offered `rate` (IMIX-free: 512B fixed, the
-/// mid-sweep size).
-double loss_ratio(const ServiceChain& chain, Gbps rate) {
-  Server server = Server::paper_testbed();
-  TrafficSourceConfig cfg;
-  cfg.rate = RateProfile::constant(rate);
-  cfg.sizes = PacketSizeDistribution::fixed(512);
-  cfg.seed = 99;
-  ChainSimulator sim{chain, server, cfg};
-  const SimReport report =
-      sim.run(SimTime::milliseconds(40), SimTime::milliseconds(8));
-  return report.injected > 0
-             ? static_cast<double>(report.dropped_total()) /
-                   static_cast<double>(report.injected)
-             : 0.0;
-}
-
-/// Largest rate with < 0.5% loss, found by binary search.
-Gbps measured_capacity(const ServiceChain& chain, Gbps hint) {
-  double lo = 0.05;
-  double hi = hint.value() * 1.6;
-  for (int iter = 0; iter < 12; ++iter) {
-    const double mid = (lo + hi) / 2.0;
-    if (loss_ratio(chain, Gbps{mid}) < 0.005) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return Gbps{lo};
-}
-
-}  // namespace
-
-int main() {
-  std::printf("=== Table 1: Capacity of vNFs on the SmartNIC and CPU ===\n");
-  std::printf("(configured theta = paper's Table 1; realized = DES binary search at\n");
-  std::printf(" <0.5%% loss; analytic = theta net of PCIe driver cost for CPU-side NFs)\n\n");
-  std::printf("%-14s %-10s | %-12s %-12s %-12s\n", "vNF", "device",
-              "theta (cfg)", "analytic", "realized(DES)");
-  std::printf("---------------------------------------------------------------\n");
-
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-  const CapacityTable table = CapacityTable::paper_defaults();
-
-  const NfType paper_nfs[] = {NfType::kFirewall, NfType::kLogger,
-                              NfType::kMonitor, NfType::kLoadBalancer};
-  for (const NfType type : paper_nfs) {
-    for (const Location loc : {Location::kSmartNic, Location::kCpu}) {
-      ChainBuilder builder{"isolated"};
-      builder.egress(loc == Location::kSmartNic ? Attachment::kWire
-                                                : Attachment::kHost);
-      builder.add(type, "nf", loc);
-      const auto chain = builder.build();
-
-      const Gbps configured = table.lookup(type).on(loc);
-      const Gbps analytic = analyzer.max_sustainable_rate(chain);
-      const Gbps realized = measured_capacity(chain, analytic);
-      std::printf("%-14s %-10s | %-12s %-12s %-12s\n",
-                  std::string(to_string(type)).c_str(),
-                  std::string(to_string(loc)).c_str(),
-                  configured.to_string().c_str(), analytic.to_string().c_str(),
-                  realized.to_string().c_str());
-    }
-  }
-  std::printf("\npaper reference (Table 1): Firewall 10/4, Logger 2/4, "
-              "Monitor 3.2/10, LoadBalancer >10/4 Gbps (SmartNIC/CPU)\n");
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("table1-capacity"); }

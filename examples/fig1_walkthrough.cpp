@@ -1,83 +1,14 @@
-// Narrated walkthrough of the paper's Figure 1: the overload event, what
-// the naive (UNO-style) migration does to the chain, and what PAM does
-// instead — with live discrete-event measurements for all three layouts.
+// Walkthrough of the paper's Figure 1: the overload event, what the naive
+// (UNO-style) migration does to the chain, and what PAM does instead — with
+// the full policy decision traces and live discrete-event measurements for
+// all three layouts.
+//
+// Thin wrapper over the shared experiment runner (verbose mode prints the
+// per-step decision traces); the scenario definition lives in
+// scenarios/fig1-walkthrough.scn.
 //
 //   $ ./build/examples/fig1_walkthrough
 
-#include <cstdio>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/border.hpp"
-#include "chain/chain_builder.hpp"
-#include "core/naive_policy.hpp"
-#include "core/pam_policy.hpp"
-#include "device/server.hpp"
-#include "sim/chain_simulator.hpp"
-
-namespace {
-
-pam::SimReport measure(const pam::ServiceChain& chain, pam::Gbps rate) {
-  using namespace pam;
-  Server server = Server::paper_testbed();
-  TrafficSourceConfig traffic;
-  traffic.rate = RateProfile::constant(rate);
-  traffic.process = ArrivalProcess::kPoisson;
-  traffic.sizes = PacketSizeDistribution::imix();
-  traffic.seed = 7;
-  ChainSimulator sim{chain, server, traffic};
-  return sim.run(SimTime::milliseconds(120), SimTime::milliseconds(20));
-}
-
-}  // namespace
-
-int main() {
-  using namespace pam;
-
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-  const ServiceChain original = paper_figure1_chain();
-  const Gbps overload = paper_overload_rate();
-
-  std::printf("=== Figure 1(a): the chain before migration ===\n");
-  std::printf("%s\n", original.describe().c_str());
-  std::printf("crossings=%u, borders: %s\n", original.pcie_crossings(),
-              find_borders(original).describe(original).c_str());
-  std::printf("traffic spikes to %s -> %s\n\n", overload.to_string().c_str(),
-              analyzer.utilization(original, overload).describe().c_str());
-
-  std::printf("=== Figure 1(b): the naive solution migrates the bottleneck ===\n");
-  const NaiveBottleneckPolicy naive;
-  const MigrationPlan naive_plan = naive.plan(original, analyzer, overload);
-  std::printf("%s\n", naive_plan.describe().c_str());
-  const ServiceChain after_naive = naive_plan.apply_to(original);
-  std::printf("%s\ncrossings=%u (two more PCIe traversals, as in the paper)\n\n",
-              after_naive.describe().c_str(), after_naive.pcie_crossings());
-
-  std::printf("=== Figure 1(c): PAM pushes the border vNF aside ===\n");
-  const PamPolicy pam_policy;
-  const MigrationPlan pam_plan = pam_policy.plan(original, analyzer, overload);
-  std::printf("%s\n", pam_plan.describe().c_str());
-  for (const auto& line : pam_plan.trace) {
-    std::printf("  trace | %s\n", line.c_str());
-  }
-  const ServiceChain after_pam = pam_plan.apply_to(original);
-  std::printf("%s\ncrossings=%u (unchanged)\n\n", after_pam.describe().c_str(),
-              after_pam.pcie_crossings());
-
-  std::printf("=== discrete-event measurement at %s (IMIX, Poisson) ===\n",
-              overload.to_string().c_str());
-  struct Row {
-    const char* label;
-    const ServiceChain* chain;
-  } rows[] = {{"Original (overloaded)", &original},
-              {"Naive", &after_naive},
-              {"PAM", &after_pam}};
-  for (const auto& row : rows) {
-    const SimReport report = measure(*row.chain, overload);
-    std::printf("%-22s goodput %-10s latency mean %-10s p99 %-10s drops %llu\n",
-                row.label, report.egress_goodput.to_string().c_str(),
-                report.latency.mean().to_string().c_str(),
-                report.latency.quantile(0.99).to_string().c_str(),
-                static_cast<unsigned long long>(report.dropped_total()));
-  }
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("fig1-walkthrough", /*verbose=*/true); }

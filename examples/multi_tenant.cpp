@@ -1,77 +1,13 @@
 // Multi-tenant deployment: several service chains sharing one SmartNIC/CPU
-// pair, described with the textual chain-spec format, scaled by the
-// multi-chain PAM extension, and sized for scale-out when migration cannot
-// help — the "extend PAM" future work of the poster.
+// pair, scaled by the multi-chain PAM extension and sized for scale-out
+// when migration cannot help — the "extend PAM" future work of the poster.
+//
+// Thin wrapper over the shared experiment runner; the tenant chains are
+// defined (as textual chain specs) in scenarios/multi-tenant-burst.scn
+// (JSON metrics: `pam_exp run multi-tenant-burst --json`).
 //
 //   $ ./build/examples/multi_tenant
 
-#include <cstdio>
+#include "experiment/scenario_library.hpp"
 
-#include "chain/chain_spec.hpp"
-#include "chain/deployment.hpp"
-#include "control/scale_out.hpp"
-#include "core/multi_chain_pam.hpp"
-
-int main() {
-  using namespace pam;
-  using namespace pam::literals;
-
-  Server server = Server::paper_testbed();
-  const ChainAnalyzer analyzer{server};
-
-  // Three tenants, each defined by a one-line spec.
-  const struct {
-    const char* name;
-    const char* spec;
-    Gbps load;
-  } tenants[] = {
-      {"web", "wire | S:Firewall S:LoadBalancer | host", 1.8_gbps},
-      {"telemetry", "wire | S:Monitor S:Logger@0.5 C:LoadBalancer | host", 1.2_gbps},
-      {"security", "wire | S:RateLimiter S:DPI C:NAT | host", 0.6_gbps},
-  };
-
-  Deployment dep;
-  for (const auto& tenant : tenants) {
-    auto parsed = parse_chain_spec(tenant.spec, tenant.name);
-    if (!parsed) {
-      std::fprintf(stderr, "bad spec for %s: %s\n", tenant.name,
-                   parsed.error().what().c_str());
-      return 1;
-    }
-    dep.add(std::move(parsed).value(), tenant.load);
-  }
-
-  std::printf("%s\n\n", dep.describe().c_str());
-  std::printf("aggregate: %s, weighted crossings %.1f Gbps-crossings\n\n",
-              dep.utilization(analyzer).describe().c_str(),
-              dep.weighted_crossings());
-
-  const MultiChainPam pam;
-  const auto plan = pam.plan(dep, analyzer);
-  std::printf("--- multi-chain PAM decision ---\n");
-  for (const auto& line : plan.trace) {
-    std::printf("  %s\n", line.c_str());
-  }
-  if (plan.feasible && !plan.empty()) {
-    const auto after = plan.apply_to(dep);
-    std::printf("\nafter migration:\n%s\n", after.describe().c_str());
-    std::printf("aggregate now: %s (crossings delta %+d)\n",
-                after.utilization(analyzer).describe().c_str(),
-                plan.total_crossing_delta());
-  } else if (!plan.feasible) {
-    std::printf("\nmigration infeasible (%s)\n", plan.infeasibility_reason.c_str());
-  }
-
-  // What if all tenants double their traffic?  Size the OpenNF fallback for
-  // the heaviest chain.
-  std::printf("\n--- capacity planning at 2x load ---\n");
-  const ScaleOutPlanner planner;
-  for (std::size_t i = 0; i < dep.size(); ++i) {
-    const auto& deployed = dep.at(i);
-    const auto decision =
-        planner.plan(deployed.chain, analyzer, deployed.offered * 2.0);
-    std::printf("%-10s -> %zu replica(s): %s\n", deployed.chain.name().c_str(),
-                decision.replicas, decision.rationale.c_str());
-  }
-  return 0;
-}
+int main() { return pam::run_bundled_scenario("multi-tenant-burst", /*verbose=*/true); }

@@ -27,6 +27,7 @@
 
 namespace pam {
 
+/// Tunables of the PAM selection loop.  The defaults reproduce the paper.
 struct PamOptions {
   /// Target utilisation treated as "full" in Eq. 2/3.  1.0 matches the
   /// paper; operators may leave headroom (e.g. 0.9).
@@ -37,16 +38,27 @@ struct PamOptions {
   std::size_t max_migrations = 64;
 };
 
+/// The paper's Push Aside Migration policy: relieve an overloaded SmartNIC
+/// by migrating *border* vNFs (never the bottleneck itself), so that no
+/// migration ever adds a PCIe crossing.  See the file comment for the
+/// three-step algorithm this implements.
 class PamPolicy final : public MigrationPolicy {
  public:
+  /// Constructs the policy; `options` defaults reproduce the paper.
   explicit PamPolicy(PamOptions options = {}) : options_(options) {}
 
+  /// Returns "PAM".
   [[nodiscard]] std::string name() const override { return "PAM"; }
 
+  /// Runs Steps 1-3 against `chain` at `ingress_rate`.  The returned plan
+  /// carries a full decision trace (borders considered, constraints that
+  /// rejected candidates); it is empty when the SmartNIC is not overloaded
+  /// and infeasible when candidates run out while both devices stay hot.
   [[nodiscard]] MigrationPlan plan(const ServiceChain& chain,
                                    const ChainAnalyzer& analyzer,
                                    Gbps ingress_rate) const override;
 
+  /// The options this policy was constructed with.
   [[nodiscard]] const PamOptions& options() const noexcept { return options_; }
 
  private:

@@ -10,10 +10,18 @@
 
 namespace pam {
 
+/// Interface of every migration policy (PAM, the naive baselines, scale-in,
+/// "Original").  A policy is a pure decision function from the current
+/// placement and offered load to a MigrationPlan; executing the plan is the
+/// migration engine's job, and *when* to invoke the policy is the
+/// controller's (src/control).  Implementations must be stateless across
+/// calls so the same policy object can serve many chains.
 class MigrationPolicy {
  public:
   virtual ~MigrationPolicy() = default;
 
+  /// Human-readable policy name used in plans, reports and JSON metrics
+  /// (e.g. "PAM", "NaiveBottleneck").
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Computes the moves this policy makes when `chain` carries

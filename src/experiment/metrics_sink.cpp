@@ -1,0 +1,516 @@
+#include "experiment/metrics_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace pam {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (!stack_.empty()) {
+    if (has_element_.back() == '1') {
+      out_ << ",";
+    }
+    has_element_.back() = '1';
+    out_ << "\n";
+    indent();
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << "{";
+  stack_ += 'o';
+  has_element_ += '0';
+}
+
+void JsonWriter::end_object() {
+  const bool had = has_element_.back() == '1';
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) {
+    out_ << "\n";
+    indent();
+  }
+  out_ << "}";
+  if (stack_.empty()) {
+    out_ << "\n";
+  }
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << "[";
+  stack_ += 'a';
+  has_element_ += '0';
+}
+
+void JsonWriter::end_array() {
+  const bool had = has_element_.back() == '1';
+  stack_.pop_back();
+  has_element_.pop_back();
+  if (had) {
+    out_ << "\n";
+    indent();
+  }
+  out_ << "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_ << "\"" << json_escape(k) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  out_ << "\"" << json_escape(v) << "\"";
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  out_ << format("%.10g", v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << format("%llu", static_cast<unsigned long long>(v));
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << format("%lld", static_cast<long long>(v));
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separate();
+  out_ << "null";
+}
+
+namespace {
+
+void write_latency(JsonWriter& w, const LatencySummary& lat) {
+  w.begin_object();
+  w.key("mean_us"); w.value(lat.mean_us);
+  w.key("p50_us"); w.value(lat.p50_us);
+  w.key("p90_us"); w.value(lat.p90_us);
+  w.key("p99_us"); w.value(lat.p99_us);
+  w.key("max_us"); w.value(lat.max_us);
+  w.key("samples"); w.value(lat.samples);
+  w.end_object();
+}
+
+void write_run(JsonWriter& w, const MeasuredRun& run) {
+  w.begin_object();
+  w.key("size_bytes"); w.value(run.size_bytes);
+  w.key("offered_gbps"); w.value(run.offered_gbps);
+  w.key("goodput_gbps"); w.value(run.goodput_gbps);
+  w.key("latency"); write_latency(w, run.latency);
+  w.key("injected"); w.value(run.injected);
+  w.key("delivered"); w.value(run.delivered);
+  w.key("dropped");
+  w.begin_object();
+  w.key("queue_nic"); w.value(run.dropped_queue_nic);
+  w.key("queue_cpu"); w.value(run.dropped_queue_cpu);
+  w.key("queue_pcie"); w.value(run.dropped_queue_pcie);
+  w.key("by_nf"); w.value(run.dropped_by_nf);
+  w.key("total"); w.value(run.dropped_total());
+  w.end_object();
+  w.key("mean_crossings_per_packet"); w.value(run.mean_crossings_per_packet);
+  w.key("smartnic_utilization"); w.value(run.smartnic_utilization);
+  w.key("cpu_utilization"); w.value(run.cpu_utilization);
+  w.key("pcie_utilization"); w.value(run.pcie_utilization);
+  w.end_object();
+}
+
+void write_variant(JsonWriter& w, const VariantResult& vr) {
+  w.begin_object();
+  w.key("label"); w.value(vr.label);
+  w.key("policy"); w.value(to_string(vr.policy));
+  w.key("plan_rate_gbps"); w.value(vr.plan_rate_gbps);
+  w.key("measure_rate_gbps"); w.value(vr.measure_rate_gbps);
+  w.key("chain_before"); w.value(vr.chain_before);
+  w.key("chain_after"); w.value(vr.chain_after);
+  w.key("plan");
+  w.begin_object();
+  w.key("feasible"); w.value(vr.plan.feasible);
+  w.key("migrations"); w.value(vr.plan.steps.size());
+  w.key("crossing_delta"); w.value(vr.plan.total_crossing_delta());
+  w.key("steps");
+  w.begin_array();
+  for (const auto& step : vr.plan.steps) {
+    w.begin_object();
+    w.key("nf"); w.value(step.nf_name);
+    w.key("from"); w.value(to_string(step.from));
+    w.key("to"); w.value(to_string(step.to));
+    w.key("crossing_delta"); w.value(step.crossing_delta);
+    w.end_object();
+  }
+  w.end_array();
+  if (!vr.plan.feasible) {
+    w.key("infeasibility_reason");
+    w.value(vr.plan.infeasibility_reason);
+  }
+  w.end_object();
+  w.key("analytic");
+  w.begin_object();
+  w.key("max_rate_gbps"); w.value(vr.analytic.max_rate_gbps);
+  w.key("smartnic_utilization"); w.value(vr.analytic.smartnic_utilization);
+  w.key("cpu_utilization"); w.value(vr.analytic.cpu_utilization);
+  w.key("pcie_utilization"); w.value(vr.analytic.pcie_utilization);
+  w.key("pcie_crossings"); w.value(static_cast<std::uint64_t>(vr.analytic.pcie_crossings));
+  w.end_object();
+  w.key("runs");
+  w.begin_array();
+  for (const auto& run : vr.runs) {
+    write_run(w, run);
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(const RunResult& result, std::ostream& out) {
+  JsonWriter w{out};
+  w.begin_object();
+  w.key("scenario"); w.value(result.spec.name);
+  w.key("kind"); w.value(to_string(result.spec.kind));
+  if (!result.spec.description.empty()) {
+    w.key("description"); w.value(result.spec.description);
+  }
+  w.key("seed"); w.value(result.spec.seed);
+  w.key("duration_ms"); w.value(result.spec.duration_ms);
+  w.key("warmup_ms"); w.value(result.spec.warmup_ms);
+
+  switch (result.spec.kind) {
+    case ScenarioKind::kCompare: {
+      w.key("chain"); w.value(result.spec.chain);
+      w.key("plan_rate_gbps"); w.value(result.spec.plan_rate_gbps);
+      w.key("variants");
+      w.begin_array();
+      for (const auto& vr : result.variants) {
+        write_variant(w, vr);
+      }
+      w.end_array();
+      break;
+    }
+    case ScenarioKind::kCapacity: {
+      w.key("loss_threshold"); w.value(result.spec.capacity.loss_threshold);
+      w.key("size_bytes"); w.value(result.spec.capacity.size_bytes);
+      w.key("capacities");
+      w.begin_array();
+      for (const auto& row : result.capacities) {
+        w.begin_object();
+        w.key("nf"); w.value(row.nf);
+        w.key("device"); w.value(row.device);
+        w.key("configured_gbps"); w.value(row.configured_gbps);
+        w.key("analytic_gbps"); w.value(row.analytic_gbps);
+        w.key("realized_gbps"); w.value(row.realized_gbps);
+        w.end_object();
+      }
+      w.end_array();
+      break;
+    }
+    case ScenarioKind::kTimeline: {
+      const TimelineResult& tl = *result.timeline;
+      w.key("chain"); w.value(result.spec.chain);
+      w.key("chain_before"); w.value(tl.chain_before);
+      w.key("chain_after"); w.value(tl.chain_after);
+      w.key("migrations_executed"); w.value(tl.migrations_executed);
+      w.key("scale_out_requested"); w.value(tl.scale_out_requested);
+      w.key("events");
+      w.begin_array();
+      for (const auto& event : tl.events) {
+        w.begin_object();
+        w.key("at_ms"); w.value(event.at_ms);
+        w.key("what"); w.value(event.what);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("metrics"); write_run(w, tl.metrics);
+      break;
+    }
+    case ScenarioKind::kDeployment: {
+      const DeploymentResult& dr = *result.deployment;
+      w.key("aggregate");
+      w.begin_object();
+      w.key("smartnic_before"); w.value(dr.smartnic_before);
+      w.key("cpu_before"); w.value(dr.cpu_before);
+      w.key("smartnic_after"); w.value(dr.smartnic_after);
+      w.key("cpu_after"); w.value(dr.cpu_after);
+      w.key("weighted_crossings_before"); w.value(dr.weighted_crossings_before);
+      w.key("weighted_crossings_after"); w.value(dr.weighted_crossings_after);
+      w.key("feasible"); w.value(dr.feasible);
+      if (!dr.feasible) {
+        w.key("infeasibility_reason"); w.value(dr.infeasibility_reason);
+      }
+      w.key("total_crossing_delta"); w.value(dr.total_crossing_delta);
+      w.end_object();
+      w.key("chains");
+      w.begin_array();
+      for (const auto& cr : dr.chains) {
+        w.begin_object();
+        w.key("name"); w.value(cr.name);
+        w.key("chain_before"); w.value(cr.chain_before);
+        w.key("chain_after"); w.value(cr.chain_after);
+        w.key("offered_gbps"); w.value(cr.offered_gbps);
+        w.key("burst_gbps"); w.value(cr.burst_gbps);
+        w.key("replicas"); w.value(cr.replicas);
+        w.key("scale_out_rationale"); w.value(cr.scale_out_rationale);
+        w.end_object();
+      }
+      w.end_array();
+      break;
+    }
+  }
+  w.end_object();
+}
+
+namespace {
+
+void print_notes(const ScenarioSpec& spec, std::FILE* out) {
+  if (spec.notes.empty()) {
+    return;
+  }
+  std::fprintf(out, "\n");
+  for (const auto& note : spec.notes) {
+    std::fprintf(out, "note: %s\n", note.c_str());
+  }
+}
+
+void print_plan_trace(const MigrationPlan& plan, std::FILE* out) {
+  std::fprintf(out, "  plan: %s\n", plan.describe().c_str());
+  for (const auto& line : plan.trace) {
+    std::fprintf(out, "    trace | %s\n", line.c_str());
+  }
+}
+
+void print_compare(const RunResult& result, bool verbose, std::FILE* out) {
+  const ScenarioSpec& spec = result.spec;
+  std::fprintf(out, "chain: %s\n", spec.chain.c_str());
+  std::fprintf(out, "policies plan at %.3g Gbps\n\n", spec.plan_rate_gbps);
+
+  // Placement/model summary, one row per variant.
+  std::fprintf(out, "%-22s | %-9s | %5s | %6s | %9s | %-24s\n", "variant",
+               "policy", "moves", "xings", "cap Gbps", "analytic util @ measure");
+  std::fprintf(out, "-----------------------+-----------+-------+--------+-----------+-------------------------\n");
+  for (const auto& vr : result.variants) {
+    std::fprintf(out, "%-22s | %-9s | %5zu | %+4d=%u | %9.2f | nic %.2f cpu %.2f @ %.2f\n",
+                 vr.label.c_str(), std::string{to_string(vr.policy)}.c_str(),
+                 vr.plan.steps.size(), vr.plan.total_crossing_delta(),
+                 vr.analytic.pcie_crossings, vr.analytic.max_rate_gbps,
+                 vr.analytic.smartnic_utilization, vr.analytic.cpu_utilization,
+                 vr.measure_rate_gbps);
+  }
+  if (verbose) {
+    std::fprintf(out, "\n");
+    for (const auto& vr : result.variants) {
+      std::fprintf(out, "%s:\n", vr.label.c_str());
+      std::fprintf(out, "  before: %s\n", vr.chain_before.c_str());
+      std::fprintf(out, "  after:  %s\n", vr.chain_after.c_str());
+      print_plan_trace(vr.plan, out);
+    }
+  }
+
+  // DES measurements: rows = size points, columns = variants.
+  const bool have_runs = !result.variants.empty() && !result.variants.front().runs.empty();
+  if (have_runs) {
+    std::fprintf(out, "\nDES latency mean/p99 (us) and goodput:\n");
+    std::fprintf(out, "%-8s", "size");
+    for (const auto& vr : result.variants) {
+      std::fprintf(out, " | %-26s", vr.label.c_str());
+    }
+    std::fprintf(out, "\n");
+    const std::size_t rows = result.variants.front().runs.size();
+    std::vector<double> mean_sum(result.variants.size(), 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t size = result.variants.front().runs[r].size_bytes;
+      if (size != 0) {
+        std::fprintf(out, "%5zu B ", size);
+      } else {
+        std::fprintf(out, "%-8s", "mixed");
+      }
+      for (std::size_t v = 0; v < result.variants.size(); ++v) {
+        const MeasuredRun& run = result.variants[v].runs[r];
+        mean_sum[v] += run.latency.mean_us;
+        std::fprintf(out, " | %8.1f /%8.1f %7.2fG", run.latency.mean_us,
+                     run.latency.p99_us, run.goodput_gbps);
+      }
+      std::fprintf(out, "\n");
+    }
+    if (rows > 1) {
+      std::fprintf(out, "%-8s", "avg");
+      for (std::size_t v = 0; v < result.variants.size(); ++v) {
+        std::fprintf(out, " | %8.1f us mean%10s", mean_sum[v] / static_cast<double>(rows), "");
+      }
+      std::fprintf(out, "\n");
+    }
+    // Pairwise headlines over every ordered variant pair, so e.g. both
+    // "Naive vs Original" and the paper's "PAM decreases latency by 18%
+    // compared to the naive solution" are reproduced directly.
+    if (result.variants.size() > 1) {
+      std::fprintf(out, "\n");
+      for (std::size_t v = 1; v < result.variants.size(); ++v) {
+        for (std::size_t b = 0; b < v; ++b) {
+          const double base_mean = mean_sum[b] / static_cast<double>(rows);
+          const double base_cap = result.variants[b].analytic.max_rate_gbps;
+          const double mean = mean_sum[v] / static_cast<double>(rows);
+          std::fprintf(
+              out, "%s vs %s: %+.1f%% mean latency, %+.1f%% analytic capacity\n",
+              result.variants[v].label.c_str(), result.variants[b].label.c_str(),
+              base_mean > 0.0 ? (mean - base_mean) / base_mean * 100.0 : 0.0,
+              base_cap > 0.0
+                  ? (result.variants[v].analytic.max_rate_gbps - base_cap) /
+                        base_cap * 100.0
+                  : 0.0);
+        }
+      }
+    }
+  }
+}
+
+void print_capacity(const RunResult& result, std::FILE* out) {
+  std::fprintf(out, "(configured = capacity table theta; analytic = model max rate;\n");
+  std::fprintf(out, " realized = DES binary search at < %.2f%% loss, %zuB frames)\n\n",
+               result.spec.capacity.loss_threshold * 100.0,
+               result.spec.capacity.size_bytes);
+  std::fprintf(out, "%-14s %-10s | %12s %12s %12s\n", "vNF", "device",
+               "theta (cfg)", "analytic", "realized");
+  std::fprintf(out, "---------------------------------------------------------------\n");
+  for (const auto& row : result.capacities) {
+    std::fprintf(out, "%-14s %-10s | %9.2f G  %9.2f G  %9.2f G\n", row.nf.c_str(),
+                 row.device.c_str(), row.configured_gbps, row.analytic_gbps,
+                 row.realized_gbps);
+  }
+}
+
+void print_timeline(const RunResult& result, std::FILE* out) {
+  const TimelineResult& tl = *result.timeline;
+  std::fprintf(out, "chain before: %s\n", tl.chain_before.c_str());
+  std::fprintf(out, "chain after:  %s\n\n", tl.chain_after.c_str());
+  std::fprintf(out, "controller timeline:\n");
+  for (const auto& event : tl.events) {
+    std::fprintf(out, "  %8.2f ms | %s\n", event.at_ms, event.what.c_str());
+  }
+  if (tl.events.empty()) {
+    std::fprintf(out, "  (no controller events)\n");
+  }
+  std::fprintf(out, "\nmigrations executed: %zu%s\n", tl.migrations_executed,
+               tl.scale_out_requested ? "  (scale-out requested)" : "");
+  const MeasuredRun& m = tl.metrics;
+  std::fprintf(out,
+               "run metrics: goodput %.2f Gbps, latency mean %.1f us p99 %.1f us, "
+               "delivered %llu, dropped %llu\n",
+               m.goodput_gbps, m.latency.mean_us, m.latency.p99_us,
+               static_cast<unsigned long long>(m.delivered),
+               static_cast<unsigned long long>(m.dropped_total()));
+}
+
+void print_deployment(const RunResult& result, bool verbose, std::FILE* out) {
+  const DeploymentResult& dr = *result.deployment;
+  std::fprintf(out, "aggregate utilisation: nic %.2f cpu %.2f  ->  nic %.2f cpu %.2f\n",
+               dr.smartnic_before, dr.cpu_before, dr.smartnic_after, dr.cpu_after);
+  std::fprintf(out, "weighted crossings:    %.2f -> %.2f Gbps-crossings (delta %+d)\n",
+               dr.weighted_crossings_before, dr.weighted_crossings_after,
+               dr.total_crossing_delta);
+  if (!dr.feasible) {
+    std::fprintf(out, "multi-chain PAM infeasible: %s\n",
+                 dr.infeasibility_reason.c_str());
+  }
+  if (verbose) {
+    std::fprintf(out, "\nmulti-chain PAM decision:\n");
+    for (const auto& line : dr.trace) {
+      std::fprintf(out, "  %s\n", line.c_str());
+    }
+  }
+  std::fprintf(out, "\nscale-out sizing at %.2gx load:\n",
+               result.spec.deployment.burst_multiplier);
+  for (const auto& cr : dr.chains) {
+    std::fprintf(out, "  %-10s %5.2f -> %5.2f Gbps: %zu replica(s): %s\n",
+                 cr.name.c_str(), cr.offered_gbps, cr.burst_gbps, cr.replicas,
+                 cr.scale_out_rationale.c_str());
+    if (verbose) {
+      std::fprintf(out, "    before: %s\n    after:  %s\n", cr.chain_before.c_str(),
+                   cr.chain_after.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+void print_report(const RunResult& result, bool verbose, std::FILE* out) {
+  if (out == nullptr) {
+    out = stdout;
+  }
+  const ScenarioSpec& spec = result.spec;
+  std::fprintf(out, "=== %s [%s] ===\n", spec.name.c_str(),
+               std::string{to_string(spec.kind)}.c_str());
+  if (!spec.description.empty()) {
+    std::fprintf(out, "%s\n", spec.description.c_str());
+  }
+  std::fprintf(out, "\n");
+
+  switch (spec.kind) {
+    case ScenarioKind::kCompare:
+      print_compare(result, verbose, out);
+      break;
+    case ScenarioKind::kCapacity:
+      print_capacity(result, out);
+      break;
+    case ScenarioKind::kTimeline:
+      print_timeline(result, out);
+      break;
+    case ScenarioKind::kDeployment:
+      print_deployment(result, verbose, out);
+      break;
+  }
+  print_notes(spec, out);
+}
+
+}  // namespace pam

@@ -1,0 +1,260 @@
+// pam_exp — the experiment-runner CLI.
+//
+//   pam_exp list                          # bundled scenario presets
+//   pam_exp run <scenario>... [options]   # execute scenarios
+//   pam_exp sweep <scenario> --factors LO:HI:STEPS [options]
+//
+// <scenario> is a bundled preset name (e.g. fig2-latency) or a path to a
+// .scn file.  Options:
+//   --json[=FILE]   emit JSON metrics (to stdout when FILE is omitted or -);
+//                   multiple scenarios / sweep points produce a JSON array
+//   --quiet         suppress the human-readable report
+//   --verbose       include policy decision traces in the report
+//   --dir DIR       scenario directory (default: $PAM_SCENARIOS_DIR,
+//                   ./scenarios, or the source-tree scenarios/)
+//
+// Exit status: 0 on success, 1 on any configuration or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "experiment/metrics_sink.hpp"
+#include "experiment/scenario_library.hpp"
+#include "experiment/scenario_runner.hpp"
+
+namespace {
+
+using namespace pam;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: pam_exp list [--dir DIR]\n"
+               "       pam_exp run <scenario>... [--json[=FILE]] [--quiet] "
+               "[--verbose] [--dir DIR]\n"
+               "       pam_exp sweep <scenario> --factors LO:HI:STEPS "
+               "[--json[=FILE]] [--quiet] [--dir DIR]\n"
+               "\n"
+               "<scenario> is a bundled preset name (see 'pam_exp list') or a "
+               "path to a .scn file.\n");
+  return out == stdout ? 0 : 1;
+}
+
+struct Options {
+  std::vector<std::string> scenarios;
+  bool json = false;
+  std::string json_file;  ///< empty or "-" == stdout
+  bool quiet = false;
+  bool verbose = false;
+  std::string dir;
+  std::string factors;
+};
+
+bool parse_args(int argc, char** argv, int first, Options& out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      out.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      out.json = true;
+      out.json_file = std::string{arg.substr(7)};
+    } else if (arg == "--quiet") {
+      out.quiet = true;
+    } else if (arg == "--verbose") {
+      out.verbose = true;
+    } else if (arg == "--dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --dir needs a value\n");
+        return false;
+      }
+      out.dir = argv[++i];
+    } else if (arg == "--factors") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --factors needs LO:HI:STEPS\n");
+        return false;
+      }
+      out.factors = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return false;
+    } else {
+      out.scenarios.emplace_back(arg);
+    }
+  }
+  if (!out.dir.empty()) {
+    // The library reads the environment; propagate --dir through it so
+    // bundled-name resolution follows the flag.
+    setenv("PAM_SCENARIOS_DIR", out.dir.c_str(), 1);
+  }
+  return true;
+}
+
+Result<ScenarioSpec> load(const std::string& ref) {
+  // A path if it points at a readable file or names one explicitly;
+  // otherwise a bundled preset name.
+  if (ref.find('/') != std::string::npos ||
+      (ref.size() > 4 && ref.compare(ref.size() - 4, 4, ".scn") == 0)) {
+    return load_scenario_file(ref);
+  }
+  return load_bundled_scenario(ref);
+}
+
+/// Runs every spec; prints reports unless quiet; emits a JSON object (one
+/// result) or array (several) when requested.
+int run_specs(const std::vector<ScenarioSpec>& specs, const Options& opt) {
+  const ScenarioRunner runner;
+  std::vector<RunResult> results;
+  for (const auto& spec : specs) {
+    auto result = runner.run(spec);
+    if (!result) {
+      std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+      return 1;
+    }
+    if (!opt.quiet) {
+      print_report(result.value(), opt.verbose);
+      std::printf("\n");
+    }
+    results.push_back(std::move(result).value());
+  }
+
+  if (opt.json) {
+    std::ofstream file;
+    const bool to_stdout = opt.json_file.empty() || opt.json_file == "-";
+    if (!to_stdout) {
+      file.open(opt.json_file);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", opt.json_file.c_str());
+        return 1;
+      }
+    }
+    std::ostream& out = to_stdout ? std::cout : file;
+    if (results.size() == 1) {
+      write_metrics_json(results.front(), out);
+    } else {
+      out << "[\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        write_metrics_json(results[i], out);
+        if (i + 1 < results.size()) {
+          out << ",\n";
+        }
+      }
+      out << "]\n";
+    }
+    if (!to_stdout && !opt.quiet) {
+      std::printf("wrote JSON metrics to %s\n", opt.json_file.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_list(const Options& /*opt*/) {
+  const std::string dir = default_scenario_dir();
+  auto names = list_scenarios(dir);
+  if (!names) {
+    std::fprintf(stderr, "error: %s\n", names.error().what().c_str());
+    return 1;
+  }
+  std::printf("scenarios in %s:\n", dir.c_str());
+  for (const auto& name : names.value()) {
+    auto spec = load_bundled_scenario(name);
+    if (spec) {
+      std::printf("  %-22s [%-10s] %s\n", name.c_str(),
+                  std::string{to_string(spec.value().kind)}.c_str(),
+                  spec.value().description.c_str());
+    } else {
+      std::printf("  %-22s (unparseable: %s)\n", name.c_str(),
+                  spec.error().what().c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_run(const Options& opt) {
+  if (opt.scenarios.empty()) {
+    std::fprintf(stderr, "error: 'run' needs at least one scenario\n");
+    return usage(stderr);
+  }
+  std::vector<ScenarioSpec> specs;
+  for (const auto& ref : opt.scenarios) {
+    auto spec = load(ref);
+    if (!spec) {
+      std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
+      return 1;
+    }
+    specs.push_back(std::move(spec).value());
+  }
+  return run_specs(specs, opt);
+}
+
+int cmd_sweep(const Options& opt) {
+  if (opt.scenarios.size() != 1) {
+    std::fprintf(stderr, "error: 'sweep' takes exactly one scenario\n");
+    return usage(stderr);
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  int steps = 0;
+  if (opt.factors.empty() ||
+      std::sscanf(opt.factors.c_str(), "%lf:%lf:%d", &lo, &hi, &steps) != 3 ||
+      steps < 2 || lo <= 0.0 || hi < lo) {
+    std::fprintf(stderr,
+                 "error: sweep needs --factors LO:HI:STEPS with 0 < LO <= HI "
+                 "and STEPS >= 2 (e.g. 0.5:2.0:7)\n");
+    return 1;
+  }
+  auto spec = load(opt.scenarios.front());
+  if (!spec) {
+    std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
+    return 1;
+  }
+  if (spec.value().kind == ScenarioKind::kCapacity) {
+    // Capacity searches derive their rates from the capacity table, which
+    // scaled() cannot touch — a sweep would emit N identical results.
+    std::fprintf(stderr,
+                 "error: 'sweep' does not apply to capacity scenarios "
+                 "(their rates come from the capacity table, not the spec)\n");
+    return 1;
+  }
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < steps; ++i) {
+    const double factor =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    ScenarioSpec scaled = spec.value().scaled(factor);
+    scaled.name = format("%s@x%.3g", spec.value().name.c_str(), factor);
+    specs.push_back(std::move(scaled));
+  }
+  return run_specs(specs, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage(stderr);
+  }
+  const std::string_view cmd = argv[1];
+  Options opt;
+  if (!parse_args(argc, argv, 2, opt)) {
+    return 1;
+  }
+  if (cmd == "list") {
+    return cmd_list(opt);
+  }
+  if (cmd == "run") {
+    return cmd_run(opt);
+  }
+  if (cmd == "sweep") {
+    return cmd_sweep(opt);
+  }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    return usage(stdout);
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", argv[1]);
+  return usage(stderr);
+}

@@ -1,0 +1,87 @@
+#include "experiment/scenario_library.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "experiment/metrics_sink.hpp"
+#include "experiment/scenario_runner.hpp"
+
+#ifndef PAM_BUNDLED_SCENARIO_DIR
+#define PAM_BUNDLED_SCENARIO_DIR "scenarios"
+#endif
+
+namespace pam {
+
+namespace fs = std::filesystem;
+
+std::string default_scenario_dir() {
+  if (const char* env = std::getenv("PAM_SCENARIOS_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  if (fs::is_directory("scenarios", ec)) {
+    return "scenarios";
+  }
+  return PAM_BUNDLED_SCENARIO_DIR;
+}
+
+Result<std::vector<std::string>> list_scenarios(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Error{format("scenario directory '%s' not found (set "
+                        "PAM_SCENARIOS_DIR or run from the repo root)",
+                        dir.c_str())};
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".scn") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  if (ec) {
+    return Error{format("cannot read scenario directory '%s': %s", dir.c_str(),
+                        ec.message().c_str())};
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<ScenarioSpec> load_scenario_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    return Error{format("cannot open scenario file '%s'", path.c_str())};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ScenarioSpec::parse(buf.str(), path);
+}
+
+Result<ScenarioSpec> load_bundled_scenario(std::string_view name) {
+  const std::string path =
+      default_scenario_dir() + "/" + std::string{name} + ".scn";
+  return load_scenario_file(path);
+}
+
+int run_bundled_scenario(std::string_view name, bool verbose) {
+  auto spec = load_bundled_scenario(name);
+  if (!spec) {
+    std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
+    return 1;
+  }
+  const ScenarioRunner runner;
+  auto result = runner.run(spec.value());
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+    return 1;
+  }
+  print_report(result.value(), verbose);
+  return 0;
+}
+
+}  // namespace pam

@@ -1,0 +1,40 @@
+// Bundled scenarios: locating, listing and loading the presets shipped
+// under the repository's `scenarios/` directory.
+//
+// Resolution order for the directory:
+//   1. the PAM_SCENARIOS_DIR environment variable, when set;
+//   2. `./scenarios` relative to the current working directory, when present;
+//   3. the source-tree path baked in at configure time (developer builds).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+
+/// The directory bundled `.scn` presets are loaded from (see resolution
+/// order above).  The path is returned even if it does not exist; callers
+/// get a clear error from the load functions.
+[[nodiscard]] std::string default_scenario_dir();
+
+/// Preset names (file stems, sorted) found in `dir`.
+[[nodiscard]] Result<std::vector<std::string>> list_scenarios(const std::string& dir);
+
+/// Reads and parses one `.scn` file.
+[[nodiscard]] Result<ScenarioSpec> load_scenario_file(const std::string& path);
+
+/// Loads the bundled preset `name` (e.g. "fig1-crossings") from
+/// default_scenario_dir().
+[[nodiscard]] Result<ScenarioSpec> load_bundled_scenario(std::string_view name);
+
+/// Loads, runs, and prints the bundled preset `name`; returns a process
+/// exit code (0 success).  This is the whole implementation of the thin
+/// bench/example wrappers.  `verbose` adds policy decision traces.
+[[nodiscard]] int run_bundled_scenario(std::string_view name, bool verbose = false);
+
+}  // namespace pam

@@ -1,0 +1,371 @@
+#include "experiment/scenario_runner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "chain/chain_analyzer.hpp"
+#include "chain/chain_builder.hpp"
+#include "chain/chain_spec.hpp"
+#include "chain/deployment.hpp"
+#include "common/strings.hpp"
+#include "control/controller.hpp"
+#include "control/scale_out.hpp"
+#include "core/multi_chain_pam.hpp"
+#include "core/naive_policy.hpp"
+#include "core/pam_policy.hpp"
+#include "core/scale_in_policy.hpp"
+#include "device/server.hpp"
+#include "sim/chain_simulator.hpp"
+
+namespace pam {
+
+namespace {
+
+std::unique_ptr<MigrationPolicy> make_policy(PolicyChoice choice) {
+  switch (choice) {
+    case PolicyChoice::kNone:
+      return std::make_unique<NoMigrationPolicy>();
+    case PolicyChoice::kPam:
+      return std::make_unique<PamPolicy>();
+    case PolicyChoice::kNaiveBottleneck:
+      return std::make_unique<NaiveBottleneckPolicy>();
+    case PolicyChoice::kNaiveMinCapacity:
+      return std::make_unique<NaiveMinCapacityPolicy>();
+    case PolicyChoice::kScaleIn:
+      return std::make_unique<ScaleInPolicy>();
+  }
+  return std::make_unique<NoMigrationPolicy>();
+}
+
+LatencySummary summarize(const LatencyRecorder& rec) {
+  LatencySummary out;
+  out.samples = rec.count();
+  if (out.samples == 0) {
+    return out;
+  }
+  out.mean_us = rec.mean().us();
+  out.p50_us = rec.quantile(0.50).us();
+  out.p90_us = rec.quantile(0.90).us();
+  out.p99_us = rec.quantile(0.99).us();
+  out.max_us = rec.max().us();
+  return out;
+}
+
+MeasuredRun to_measured(const SimReport& report, std::size_t size_bytes) {
+  MeasuredRun out;
+  out.size_bytes = size_bytes;
+  out.offered_gbps = report.offered_rate.value();
+  out.goodput_gbps = report.egress_goodput.value();
+  out.latency = summarize(report.latency);
+  out.injected = report.injected;
+  out.delivered = report.delivered;
+  out.dropped_queue_nic = report.dropped_queue_nic;
+  out.dropped_queue_cpu = report.dropped_queue_cpu;
+  out.dropped_queue_pcie = report.dropped_queue_pcie;
+  out.dropped_by_nf = report.dropped_by_nf;
+  out.mean_crossings_per_packet = report.mean_crossings_per_packet;
+  out.smartnic_utilization = report.smartnic_utilization;
+  out.cpu_utilization = report.cpu_utilization;
+  out.pcie_utilization = report.pcie_utilization;
+  return out;
+}
+
+/// Size points to simulate: the paper sweep runs once per size, everything
+/// else is a single run (size 0 == mixed distribution).
+std::vector<std::size_t> size_points(const SizeSpec& sizes) {
+  switch (sizes.kind) {
+    case SizeSpec::Kind::kPaperSweep:
+      return paper_size_sweep();
+    case SizeSpec::Kind::kFixed:
+      return {sizes.fixed};
+    case SizeSpec::Kind::kImix:
+    case SizeSpec::Kind::kUniform:
+      return {0};
+  }
+  return {0};
+}
+
+PacketSizeDistribution dist_for(const SizeSpec& sizes, std::size_t point) {
+  switch (sizes.kind) {
+    case SizeSpec::Kind::kPaperSweep:
+      return PacketSizeDistribution::fixed(point);
+    case SizeSpec::Kind::kFixed:
+      return PacketSizeDistribution::fixed(sizes.fixed);
+    case SizeSpec::Kind::kImix:
+      return PacketSizeDistribution::imix();
+    case SizeSpec::Kind::kUniform:
+      return PacketSizeDistribution::uniform(sizes.lo, sizes.hi);
+  }
+  return PacketSizeDistribution::fixed(512);
+}
+
+RateProfile profile_of(const RateSpec& rate) {
+  switch (rate.kind) {
+    case RateSpec::Kind::kConstant:
+      return RateProfile::constant(Gbps{rate.a});
+    case RateSpec::Kind::kStep:
+      return RateProfile::step(Gbps{rate.a}, Gbps{rate.b},
+                               SimTime::milliseconds(rate.at_ms));
+    case RateSpec::Kind::kSinusoid:
+      return RateProfile::sinusoid(Gbps{rate.a}, Gbps{rate.b},
+                                   SimTime::milliseconds(rate.period_ms));
+  }
+  return RateProfile::constant(Gbps{rate.a});
+}
+
+/// One DES execution of `chain` at constant `rate` with the scenario's
+/// arrival process and the given size distribution.
+MeasuredRun simulate_once(const ScenarioSpec& spec, const ServiceChain& chain,
+                          Gbps rate, const PacketSizeDistribution& sizes,
+                          std::size_t size_point) {
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.rate = RateProfile::constant(rate);
+  cfg.process = spec.traffic.arrival;
+  cfg.sizes = sizes;
+  cfg.seed = spec.seed;
+  ChainSimulator sim{chain, server, cfg};
+  const SimReport report = sim.run(SimTime::milliseconds(spec.duration_ms),
+                                   SimTime::milliseconds(spec.warmup_ms));
+  return to_measured(report, size_point);
+}
+
+RunResult run_compare(const ScenarioSpec& spec, const ServiceChain& chain) {
+  RunResult result;
+  result.spec = spec;
+
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const Gbps plan_rate{spec.plan_rate_gbps};
+
+  for (const auto& variant : spec.variants) {
+    VariantResult vr;
+    vr.label = variant.label;
+    vr.policy = variant.policy;
+    vr.plan_rate_gbps = spec.plan_rate_gbps;
+    vr.chain_before = chain.describe();
+
+    const auto policy = make_policy(variant.policy);
+    vr.plan = policy->plan(chain, analyzer, plan_rate);
+    const ServiceChain after =
+        vr.plan.feasible ? vr.plan.apply_to(chain) : chain;
+    vr.chain_after = after.describe();
+
+    const Gbps cap = analyzer.max_sustainable_rate(after);
+    Gbps measure_rate = plan_rate;
+    switch (variant.measure_rate.kind) {
+      case MeasureRate::Kind::kGbps:
+        measure_rate = Gbps{variant.measure_rate.value};
+        break;
+      case MeasureRate::Kind::kPlanRate:
+        measure_rate = plan_rate;
+        break;
+      case MeasureRate::Kind::kCapTimes:
+        measure_rate = cap * variant.measure_rate.value;
+        break;
+    }
+    vr.measure_rate_gbps = measure_rate.value();
+
+    const auto util = analyzer.utilization(after, measure_rate);
+    vr.analytic.max_rate_gbps = cap.value();
+    vr.analytic.smartnic_utilization = util.smartnic;
+    vr.analytic.cpu_utilization = util.cpu;
+    vr.analytic.pcie_utilization = util.pcie;
+    vr.analytic.pcie_crossings = after.pcie_crossings();
+
+    if (spec.measure != MeasureMode::kAnalytic) {
+      for (const std::size_t point : size_points(spec.traffic.sizes)) {
+        vr.runs.push_back(simulate_once(spec, after, measure_rate,
+                                        dist_for(spec.traffic.sizes, point),
+                                        point));
+      }
+    }
+    result.variants.push_back(std::move(vr));
+  }
+  return result;
+}
+
+/// Loss ratio of `chain` at `rate`, measured by the DES with the capacity
+/// scenario's fixed frame size.
+double loss_ratio(const ScenarioSpec& spec, const ServiceChain& chain, Gbps rate) {
+  const MeasuredRun run =
+      simulate_once(spec, chain, rate,
+                    PacketSizeDistribution::fixed(spec.capacity.size_bytes),
+                    spec.capacity.size_bytes);
+  return run.injected > 0 ? static_cast<double>(run.dropped_total()) /
+                                static_cast<double>(run.injected)
+                          : 0.0;
+}
+
+RunResult run_capacity(const ScenarioSpec& spec) {
+  RunResult result;
+  result.spec = spec;
+
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+  const CapacityTable table = CapacityTable::paper_defaults();
+
+  for (const NfType type : spec.capacity.nfs) {
+    for (const Location loc : spec.capacity.locations) {
+      ChainBuilder builder{"isolated"};
+      builder.egress(loc == Location::kSmartNic ? Attachment::kWire
+                                                : Attachment::kHost);
+      builder.add(type, "nf", loc);
+      const ServiceChain chain = builder.build();
+
+      const Gbps configured = table.lookup(type).on(loc);
+      const Gbps analytic = analyzer.max_sustainable_rate(chain);
+
+      // Binary search for the largest rate below the loss threshold —
+      // the paper's "sweep the offered rate with a DPDK sender" method.
+      double lo = 0.05;
+      double hi = analytic.value() * 1.6;
+      for (int iter = 0; iter < spec.capacity.search_iters; ++iter) {
+        const double mid = (lo + hi) / 2.0;
+        if (loss_ratio(spec, chain, Gbps{mid}) < spec.capacity.loss_threshold) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+
+      CapacityResult row;
+      row.nf = std::string{to_string(type)};
+      row.device = std::string{to_string(loc)};
+      row.configured_gbps = configured.value();
+      row.analytic_gbps = analytic.value();
+      row.realized_gbps = lo;
+      result.capacities.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+RunResult run_timeline(const ScenarioSpec& spec, const ServiceChain& chain) {
+  RunResult result;
+  result.spec = spec;
+
+  TimelineResult tl;
+  tl.chain_before = chain.describe();
+
+  Server server = Server::paper_testbed();
+  TrafficSourceConfig cfg;
+  cfg.rate = profile_of(spec.traffic.rate);
+  cfg.process = spec.traffic.arrival;
+  cfg.sizes = dist_for(spec.traffic.sizes, size_points(spec.traffic.sizes).front());
+  cfg.seed = spec.seed;
+
+  ChainSimulator sim{chain, server, cfg};
+
+  ControllerOptions opts;
+  opts.trigger_utilization = spec.controller.trigger_utilization;
+  opts.scale_in_below_utilization = spec.controller.scale_in_below;
+  opts.period = SimTime::milliseconds(spec.controller.period_ms);
+  opts.first_check = SimTime::milliseconds(spec.controller.first_check_ms);
+  opts.cooldown = SimTime::milliseconds(spec.controller.cooldown_ms);
+
+  Controller controller{sim, make_policy(spec.controller.policy), opts};
+  if (spec.controller.scale_in_policy != PolicyChoice::kNone) {
+    controller.set_scale_in_policy(make_policy(spec.controller.scale_in_policy));
+  }
+  controller.arm();
+
+  const SimReport report = sim.run(SimTime::milliseconds(spec.duration_ms),
+                                   SimTime::milliseconds(spec.warmup_ms));
+
+  tl.chain_after = sim.chain().describe();
+  for (const auto& event : controller.events()) {
+    tl.events.push_back(TimelineEvent{event.at.ms(), event.what});
+  }
+  tl.migrations_executed = controller.migrations_executed();
+  tl.scale_out_requested = controller.scale_out_requested();
+  const std::size_t point = spec.traffic.sizes.kind == SizeSpec::Kind::kFixed
+                                ? spec.traffic.sizes.fixed
+                                : 0;
+  tl.metrics = to_measured(report, point);
+
+  result.timeline = std::move(tl);
+  return result;
+}
+
+Result<RunResult> run_deployment(const ScenarioSpec& spec) {
+  RunResult result;
+  result.spec = spec;
+
+  Server server = Server::paper_testbed();
+  const ChainAnalyzer analyzer{server};
+
+  Deployment dep;
+  for (const auto& decl : spec.chains) {
+    auto parsed = parse_chain_spec(decl.spec, decl.name);
+    if (!parsed) {
+      return Error{format("chain '%s': %s", decl.name.c_str(),
+                          parsed.error().what().c_str())};
+    }
+    dep.add(std::move(parsed).value(), Gbps{decl.offered_gbps});
+  }
+
+  DeploymentResult dr;
+  const auto before = dep.utilization(analyzer);
+  dr.smartnic_before = before.smartnic;
+  dr.cpu_before = before.cpu;
+  dr.weighted_crossings_before = dep.weighted_crossings();
+
+  const MultiChainPam pam;
+  const MultiChainPlan plan = pam.plan(dep, analyzer);
+  dr.trace = plan.trace;
+  dr.feasible = plan.feasible;
+  dr.infeasibility_reason = plan.infeasibility_reason;
+  dr.total_crossing_delta = plan.total_crossing_delta();
+
+  const Deployment after =
+      plan.feasible && !plan.empty() ? plan.apply_to(dep) : dep;
+  const auto after_util = after.utilization(analyzer);
+  dr.smartnic_after = after_util.smartnic;
+  dr.cpu_after = after_util.cpu;
+  dr.weighted_crossings_after = after.weighted_crossings();
+
+  const ScaleOutPlanner planner{spec.deployment.scale_out_headroom};
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const DeployedChain& deployed = after.at(i);
+    DeploymentChainResult cr;
+    cr.name = deployed.chain.name();
+    cr.chain_before = dep.at(i).chain.describe();
+    cr.chain_after = deployed.chain.describe();
+    cr.offered_gbps = deployed.offered.value();
+    cr.burst_gbps = deployed.offered.value() * spec.deployment.burst_multiplier;
+    const ScaleOutDecision decision =
+        planner.plan(deployed.chain, analyzer, Gbps{cr.burst_gbps});
+    cr.replicas = decision.replicas;
+    cr.scale_out_rationale = decision.rationale;
+    dr.chains.push_back(std::move(cr));
+  }
+
+  result.deployment = std::move(dr);
+  return result;
+}
+
+}  // namespace
+
+Result<RunResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
+  switch (spec.kind) {
+    case ScenarioKind::kCompare:
+    case ScenarioKind::kTimeline: {
+      auto parsed = parse_chain_spec(spec.chain, spec.name);
+      if (!parsed) {
+        return Error{format("scenario '%s': %s", spec.name.c_str(),
+                            parsed.error().what().c_str())};
+      }
+      return spec.kind == ScenarioKind::kCompare
+                 ? run_compare(spec, parsed.value())
+                 : run_timeline(spec, parsed.value());
+    }
+    case ScenarioKind::kCapacity:
+      return run_capacity(spec);
+    case ScenarioKind::kDeployment:
+      return run_deployment(spec);
+  }
+  return Error{"unknown scenario kind"};
+}
+
+}  // namespace pam

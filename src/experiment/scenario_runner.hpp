@@ -1,0 +1,151 @@
+// Scenario execution: wires trafficgen -> sim -> core policies -> control
+// for one parsed ScenarioSpec and returns a structured RunResult.
+//
+// The runner is the one place in the tree that knows how to set up an
+// experiment; benches and examples are thin wrappers that load a bundled
+// scenario and hand it here (see scenario_library.hpp).  Every run is
+// deterministic given the scenario's seed: the DES is single-threaded and
+// seeded, and no wall-clock time enters the measurement.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/migration_plan.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+
+/// Latency distribution summary of one measured DES run, in microseconds.
+struct LatencySummary {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// One discrete-event simulation execution (one traffic configuration).
+struct MeasuredRun {
+  std::size_t size_bytes = 0;  ///< fixed frame size; 0 == mixed (imix/uniform)
+  double offered_gbps = 0.0;   ///< rate offered during the measurement window
+  double goodput_gbps = 0.0;   ///< egress goodput over the measurement window
+  LatencySummary latency;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_queue_nic = 0;
+  std::uint64_t dropped_queue_cpu = 0;
+  std::uint64_t dropped_queue_pcie = 0;
+  std::uint64_t dropped_by_nf = 0;
+  double mean_crossings_per_packet = 0.0;
+  double smartnic_utilization = 0.0;  ///< busy fraction observed by the DES
+  double cpu_utilization = 0.0;
+  double pcie_utilization = 0.0;
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_queue_nic + dropped_queue_cpu + dropped_queue_pcie + dropped_by_nf;
+  }
+};
+
+/// Closed-form model outputs for one chain placement.
+struct AnalyticSummary {
+  double max_rate_gbps = 0.0;      ///< fluid capacity (max sustainable rate)
+  double smartnic_utilization = 0.0;  ///< at the variant's measure rate
+  double cpu_utilization = 0.0;
+  double pcie_utilization = 0.0;
+  std::uint32_t pcie_crossings = 0;   ///< per packet, from the placement
+};
+
+/// Result of one compare-scenario variant: the plan the policy produced,
+/// the model's view of the migrated chain, and any DES measurements.
+struct VariantResult {
+  std::string label;
+  PolicyChoice policy = PolicyChoice::kNone;
+  double plan_rate_gbps = 0.0;
+  double measure_rate_gbps = 0.0;  ///< resolved (plan / absolute / cap x M)
+  std::string chain_before;        ///< describe() of the pre-policy chain
+  std::string chain_after;         ///< describe() after the plan is applied
+  MigrationPlan plan;              ///< includes the policy's decision trace
+  AnalyticSummary analytic;
+  std::vector<MeasuredRun> runs;   ///< one per packet size (sweep), else one
+};
+
+/// One row of a capacity scenario (one NF on one device).
+struct CapacityResult {
+  std::string nf;
+  std::string device;
+  double configured_gbps = 0.0;  ///< θ from the capacity table
+  double analytic_gbps = 0.0;    ///< model's max sustainable rate
+  double realized_gbps = 0.0;    ///< DES binary-search saturation point
+};
+
+/// Timestamped controller decision from a timeline scenario.
+struct TimelineEvent {
+  double at_ms = 0.0;
+  std::string what;
+};
+
+/// Result of a timeline scenario: the controller's event log plus the
+/// run-wide DES metrics.
+struct TimelineResult {
+  std::string chain_before;
+  std::string chain_after;  ///< placement after all controller actions
+  std::vector<TimelineEvent> events;
+  std::size_t migrations_executed = 0;
+  bool scale_out_requested = false;
+  MeasuredRun metrics;
+};
+
+/// Scale-out sizing of one deployment chain at the burst load.
+struct DeploymentChainResult {
+  std::string name;
+  std::string chain_before;
+  std::string chain_after;
+  double offered_gbps = 0.0;
+  double burst_gbps = 0.0;
+  std::size_t replicas = 1;
+  std::string scale_out_rationale;
+};
+
+/// Result of a deployment scenario: aggregate utilisation before/after the
+/// multi-chain PAM pass plus per-chain scale-out sizing at the burst load.
+struct DeploymentResult {
+  double smartnic_before = 0.0;
+  double cpu_before = 0.0;
+  double smartnic_after = 0.0;
+  double cpu_after = 0.0;
+  double weighted_crossings_before = 0.0;
+  double weighted_crossings_after = 0.0;
+  bool feasible = true;
+  std::string infeasibility_reason;
+  int total_crossing_delta = 0;
+  std::vector<std::string> trace;  ///< multi-chain PAM decision log
+  std::vector<DeploymentChainResult> chains;
+};
+
+/// Everything one scenario run produced.  Exactly one of the kind-specific
+/// payloads is populated, matching spec.kind.
+struct RunResult {
+  ScenarioSpec spec;
+  std::vector<VariantResult> variants;      ///< kind == compare
+  std::vector<CapacityResult> capacities;   ///< kind == capacity
+  std::optional<TimelineResult> timeline;   ///< kind == timeline
+  std::optional<DeploymentResult> deployment;  ///< kind == deployment
+};
+
+/// Executes scenarios.  Stateless; safe to reuse across runs.
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+
+  /// Runs `spec` to completion.  Errors are configuration-level (e.g. a
+  /// chain spec that no longer parses); simulation itself cannot fail.
+  [[nodiscard]] Result<RunResult> run(const ScenarioSpec& spec) const;
+};
+
+}  // namespace pam

@@ -1,0 +1,824 @@
+#include "experiment/scenario_spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <unordered_set>
+
+#include "chain/chain_spec.hpp"
+#include "common/strings.hpp"
+
+namespace pam {
+
+namespace {
+
+/// Formats `v` with the fewest digits that parse back to exactly `v`, so
+/// to_text() -> parse() round-trips every double bit-exactly.
+std::string fmt_double(double v) {
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::string s = format("%.*g", prec, v);
+    if (std::strtod(s.c_str(), nullptr) == v) {
+      return s;
+    }
+  }
+  return format("%.17g", v);
+}
+
+struct KeyValue {
+  int line = 0;
+  std::string key;
+  std::string value;
+};
+
+struct Section {
+  int line = 0;
+  std::string name;
+  std::vector<KeyValue> entries;
+};
+
+/// Splits on whitespace, dropping empty tokens.
+std::vector<std::string> tokens_of(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(std::move(cur));
+  }
+  return out;
+}
+
+bool parse_double_strict(std::string_view s, double& out) {
+  const std::string buf{s};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end != buf.c_str() && *end == '\0';
+}
+
+bool parse_u64_strict(std::string_view s, std::uint64_t& out) {
+  // strtoull silently wraps negative input, so require plain digits.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string_view::npos) {
+    return false;
+  }
+  const std::string buf{s};
+  char* end = nullptr;
+  out = std::strtoull(buf.c_str(), &end, 10);
+  return *end == '\0';
+}
+
+bool parse_size_strict(std::string_view s, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64_strict(s, v)) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// `prefix=NUMBER` -> NUMBER, e.g. "at_ms=40".
+bool parse_tagged_double(std::string_view token, std::string_view tag, double& out) {
+  if (token.size() <= tag.size() + 1 || token.substr(0, tag.size()) != tag ||
+      token[tag.size()] != '=') {
+    return false;
+  }
+  return parse_double_strict(token.substr(tag.size() + 1), out);
+}
+
+/// Parser state: the spec under construction plus everything needed for
+/// good error messages and required-field checks.
+class SpecParser {
+ public:
+  SpecParser(std::string_view text, std::string_view origin)
+      : text_(text), origin_(origin) {}
+
+  Result<ScenarioSpec> run() {
+    if (!lex() || !dispatch_sections() || !validate()) {
+      return Error{error_};
+    }
+    return spec_;
+  }
+
+ private:
+  [[nodiscard]] bool fail(int line, const std::string& msg) {
+    error_ = format("%.*s:%d: %s", static_cast<int>(origin_.size()),
+                    origin_.data(), line, msg.c_str());
+    return false;
+  }
+  [[nodiscard]] bool fail_global(const std::string& msg) {
+    error_ = format("%.*s: %s", static_cast<int>(origin_.size()),
+                    origin_.data(), msg.c_str());
+    return false;
+  }
+
+  bool lex() {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text_.size()) {
+      const std::size_t eol = text_.find('\n', pos);
+      std::string_view line = text_.substr(
+          pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+      pos = eol == std::string_view::npos ? text_.size() + 1 : eol + 1;
+      ++line_no;
+
+      line = trim(line);
+      if (line.empty() || line.front() == '#') {
+        continue;
+      }
+      if (line.front() == '[') {
+        if (line.back() != ']' || line.size() < 3) {
+          return fail(line_no, format("malformed section header '%.*s'",
+                                      static_cast<int>(line.size()), line.data()));
+        }
+        Section s;
+        s.line = line_no;
+        s.name = std::string{trim(line.substr(1, line.size() - 2))};
+        sections_.push_back(std::move(s));
+        continue;
+      }
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return fail(line_no, format("expected 'key = value', got '%.*s'",
+                                    static_cast<int>(line.size()), line.data()));
+      }
+      if (sections_.empty()) {
+        return fail(line_no, "key/value before any [section] header");
+      }
+      KeyValue kv;
+      kv.line = line_no;
+      kv.key = std::string{trim(line.substr(0, eq))};
+      kv.value = std::string{trim(line.substr(eq + 1))};
+      if (kv.key.empty()) {
+        return fail(line_no, "empty key");
+      }
+      sections_.back().entries.push_back(std::move(kv));
+    }
+    return true;
+  }
+
+  /// Rejects a second occurrence of a non-repeatable section.
+  bool claim_unique(const Section& s) {
+    if (!seen_sections_.insert(s.name).second) {
+      return fail(s.line, format("duplicate [%s] section", s.name.c_str()));
+    }
+    return true;
+  }
+
+  /// Rejects duplicate keys within one section instance (repeatable keys
+  /// such as `note` are handled by their section parser before this check).
+  bool no_duplicate_keys(const Section& s, const std::set<std::string>& repeatable = {}) {
+    std::set<std::string> seen;
+    for (const auto& kv : s.entries) {
+      if (repeatable.contains(kv.key)) {
+        continue;
+      }
+      if (!seen.insert(kv.key).second) {
+        return fail(kv.line, format("duplicate key '%s' in [%s]", kv.key.c_str(),
+                                    s.name.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool dispatch_sections() {
+    for (const auto& section : sections_) {
+      if (section.name == "scenario") {
+        if (!claim_unique(section) || !parse_scenario(section)) return false;
+      } else if (section.name == "traffic") {
+        if (!claim_unique(section) || !parse_traffic(section)) return false;
+      } else if (section.name == "variant") {
+        if (!parse_variant(section)) return false;
+      } else if (section.name == "capacity") {
+        if (!claim_unique(section) || !parse_capacity(section)) return false;
+      } else if (section.name == "controller") {
+        if (!claim_unique(section) || !parse_controller(section)) return false;
+      } else if (section.name == "chain") {
+        if (!parse_chain_decl(section)) return false;
+      } else if (section.name == "deployment") {
+        if (!claim_unique(section) || !parse_deployment(section)) return false;
+      } else {
+        return fail(section.line, format("unknown section [%s]", section.name.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool need_double(const KeyValue& kv, double& out) {
+    if (!parse_double_strict(kv.value, out)) {
+      return fail(kv.line, format("key '%s': expected a number, got '%s'",
+                                  kv.key.c_str(), kv.value.c_str()));
+    }
+    return true;
+  }
+
+  bool parse_scenario(const Section& s) {
+    if (!no_duplicate_keys(s, {"note"})) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "name") {
+        spec_.name = kv.value;
+      } else if (kv.key == "description") {
+        spec_.description = kv.value;
+      } else if (kv.key == "note") {
+        spec_.notes.push_back(kv.value);
+      } else if (kv.key == "kind") {
+        kind_seen_ = true;
+        if (kv.value == "compare") {
+          spec_.kind = ScenarioKind::kCompare;
+        } else if (kv.value == "capacity") {
+          spec_.kind = ScenarioKind::kCapacity;
+        } else if (kv.value == "timeline") {
+          spec_.kind = ScenarioKind::kTimeline;
+        } else if (kv.value == "deployment") {
+          spec_.kind = ScenarioKind::kDeployment;
+        } else {
+          return fail(kv.line, format("unknown scenario kind '%s' (expected "
+                                      "compare|capacity|timeline|deployment)",
+                                      kv.value.c_str()));
+        }
+      } else if (kv.key == "chain") {
+        spec_.chain = kv.value;
+      } else if (kv.key == "plan_rate_gbps") {
+        if (!need_double(kv, spec_.plan_rate_gbps)) return false;
+      } else if (kv.key == "measure") {
+        if (kv.value == "analytic") {
+          spec_.measure = MeasureMode::kAnalytic;
+        } else if (kv.value == "des") {
+          spec_.measure = MeasureMode::kDes;
+        } else if (kv.value == "both") {
+          spec_.measure = MeasureMode::kBoth;
+        } else {
+          return fail(kv.line, format("unknown measure mode '%s' (expected "
+                                      "analytic|des|both)",
+                                      kv.value.c_str()));
+        }
+      } else if (kv.key == "duration_ms") {
+        if (!need_double(kv, spec_.duration_ms)) return false;
+      } else if (kv.key == "warmup_ms") {
+        if (!need_double(kv, spec_.warmup_ms)) return false;
+      } else if (kv.key == "seed") {
+        if (!parse_u64_strict(kv.value, spec_.seed)) {
+          return fail(kv.line, format("key 'seed': expected an unsigned integer, "
+                                      "got '%s'",
+                                      kv.value.c_str()));
+        }
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [scenario]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool parse_sizes(const KeyValue& kv, SizeSpec& out) {
+    const auto tok = tokens_of(kv.value);
+    if (tok.empty()) {
+      return fail(kv.line, "key 'sizes': empty value");
+    }
+    if (tok[0] == "imix" && tok.size() == 1) {
+      out.kind = SizeSpec::Kind::kImix;
+    } else if (tok[0] == "sweep" && tok.size() == 1) {
+      out.kind = SizeSpec::Kind::kPaperSweep;
+    } else if (tok[0] == "fixed" && tok.size() == 2) {
+      out.kind = SizeSpec::Kind::kFixed;
+      if (!parse_size_strict(tok[1], out.fixed)) {
+        return fail(kv.line, format("sizes: bad fixed size '%s'", tok[1].c_str()));
+      }
+    } else if (tok[0] == "uniform" && tok.size() == 3) {
+      out.kind = SizeSpec::Kind::kUniform;
+      if (!parse_size_strict(tok[1], out.lo) || !parse_size_strict(tok[2], out.hi) ||
+          out.lo > out.hi) {
+        return fail(kv.line, format("sizes: bad uniform range '%s %s'",
+                                    tok[1].c_str(), tok[2].c_str()));
+      }
+    } else {
+      return fail(kv.line, format("sizes: expected 'fixed N' | 'imix' | "
+                                  "'uniform LO HI' | 'sweep', got '%s'",
+                                  kv.value.c_str()));
+    }
+    return true;
+  }
+
+  bool parse_rate_profile(const KeyValue& kv, RateSpec& out) {
+    const auto tok = tokens_of(kv.value);
+    if (tok.size() == 2 && tok[0] == "constant") {
+      out.kind = RateSpec::Kind::kConstant;
+      if (!parse_double_strict(tok[1], out.a)) {
+        return fail(kv.line, format("rate: bad constant rate '%s'", tok[1].c_str()));
+      }
+      return true;
+    }
+    if (tok.size() == 4 && tok[0] == "step") {
+      out.kind = RateSpec::Kind::kStep;
+      if (!parse_double_strict(tok[1], out.a) || !parse_double_strict(tok[2], out.b) ||
+          !parse_tagged_double(tok[3], "at_ms", out.at_ms)) {
+        return fail(kv.line,
+                    format("rate: expected 'step BEFORE AFTER at_ms=T', got '%s'",
+                           kv.value.c_str()));
+      }
+      return true;
+    }
+    if (tok.size() == 4 && tok[0] == "sinusoid") {
+      out.kind = RateSpec::Kind::kSinusoid;
+      if (!parse_double_strict(tok[1], out.a) || !parse_double_strict(tok[2], out.b) ||
+          !parse_tagged_double(tok[3], "period_ms", out.period_ms)) {
+        return fail(kv.line,
+                    format("rate: expected 'sinusoid BASE AMP period_ms=P', got '%s'",
+                           kv.value.c_str()));
+      }
+      return true;
+    }
+    return fail(kv.line, format("rate: expected 'constant G' | 'step B A at_ms=T' | "
+                                "'sinusoid BASE AMP period_ms=P', got '%s'",
+                                kv.value.c_str()));
+  }
+
+  bool parse_traffic(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "arrival") {
+        if (kv.value == "cbr") {
+          spec_.traffic.arrival = ArrivalProcess::kCbr;
+        } else if (kv.value == "poisson") {
+          spec_.traffic.arrival = ArrivalProcess::kPoisson;
+        } else {
+          return fail(kv.line, format("unknown arrival process '%s' (expected "
+                                      "cbr|poisson)",
+                                      kv.value.c_str()));
+        }
+      } else if (kv.key == "sizes") {
+        if (!parse_sizes(kv, spec_.traffic.sizes)) return false;
+      } else if (kv.key == "rate") {
+        rate_seen_ = true;
+        rate_line_ = kv.line;
+        if (!parse_rate_profile(kv, spec_.traffic.rate)) return false;
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [traffic]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool parse_policy(const KeyValue& kv, PolicyChoice& out) {
+    if (kv.value == "none") {
+      out = PolicyChoice::kNone;
+    } else if (kv.value == "pam") {
+      out = PolicyChoice::kPam;
+    } else if (kv.value == "naive") {
+      out = PolicyChoice::kNaiveBottleneck;
+    } else if (kv.value == "naive-min") {
+      out = PolicyChoice::kNaiveMinCapacity;
+    } else if (kv.value == "scale-in") {
+      out = PolicyChoice::kScaleIn;
+    } else {
+      return fail(kv.line, format("unknown policy '%s' (expected "
+                                  "none|pam|naive|naive-min|scale-in)",
+                                  kv.value.c_str()));
+    }
+    return true;
+  }
+
+  bool parse_variant(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    VariantSpec v;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "label") {
+        v.label = kv.value;
+      } else if (kv.key == "policy") {
+        if (!parse_policy(kv, v.policy)) return false;
+      } else if (kv.key == "measure_rate") {
+        const auto tok = tokens_of(kv.value);
+        if (tok.size() == 1 && tok[0] == "plan") {
+          v.measure_rate.kind = MeasureRate::Kind::kPlanRate;
+          v.measure_rate.value = 0.0;
+        } else if (tok.size() == 1) {
+          v.measure_rate.kind = MeasureRate::Kind::kGbps;
+          if (!parse_double_strict(tok[0], v.measure_rate.value)) {
+            return fail(kv.line, format("measure_rate: expected Gbps | 'plan' | "
+                                        "'cap x M', got '%s'",
+                                        kv.value.c_str()));
+          }
+        } else if (tok.size() == 3 && tok[0] == "cap" && tok[1] == "x") {
+          v.measure_rate.kind = MeasureRate::Kind::kCapTimes;
+          if (!parse_double_strict(tok[2], v.measure_rate.value)) {
+            return fail(kv.line,
+                        format("measure_rate: bad capacity multiplier '%s'",
+                               tok[2].c_str()));
+          }
+        } else {
+          return fail(kv.line, format("measure_rate: expected Gbps | 'plan' | "
+                                      "'cap x M', got '%s'",
+                                      kv.value.c_str()));
+        }
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [variant]", kv.key.c_str()));
+      }
+    }
+    if (v.label.empty()) {
+      v.label = std::string{to_string(v.policy)};
+    }
+    spec_.variants.push_back(std::move(v));
+    return true;
+  }
+
+  bool parse_capacity(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "nfs") {
+        for (const auto& tok : tokens_of(kv.value)) {
+          const auto type = nf_type_from_string(tok);
+          if (!type) {
+            return fail(kv.line, format("unknown NF type '%s'", tok.c_str()));
+          }
+          spec_.capacity.nfs.push_back(*type);
+        }
+      } else if (kv.key == "locations") {
+        for (const auto& tok : tokens_of(kv.value)) {
+          if (tok == "smartnic") {
+            spec_.capacity.locations.push_back(Location::kSmartNic);
+          } else if (tok == "cpu") {
+            spec_.capacity.locations.push_back(Location::kCpu);
+          } else {
+            return fail(kv.line, format("unknown location '%s' (expected "
+                                        "smartnic|cpu)",
+                                        tok.c_str()));
+          }
+        }
+      } else if (kv.key == "loss_threshold") {
+        if (!need_double(kv, spec_.capacity.loss_threshold)) return false;
+      } else if (kv.key == "search_iters") {
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(kv.value, v) || v < 1 || v > 64) {
+          return fail(kv.line, "search_iters must be an integer in [1, 64]");
+        }
+        spec_.capacity.search_iters = static_cast<int>(v);
+      } else if (kv.key == "size_bytes") {
+        if (!parse_size_strict(kv.value, spec_.capacity.size_bytes)) {
+          return fail(kv.line, format("bad size_bytes '%s'", kv.value.c_str()));
+        }
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [capacity]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool parse_controller(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "policy") {
+        if (!parse_policy(kv, spec_.controller.policy)) return false;
+      } else if (kv.key == "scale_in_policy") {
+        if (!parse_policy(kv, spec_.controller.scale_in_policy)) return false;
+      } else if (kv.key == "trigger_utilization") {
+        if (!need_double(kv, spec_.controller.trigger_utilization)) return false;
+      } else if (kv.key == "scale_in_below") {
+        if (!need_double(kv, spec_.controller.scale_in_below)) return false;
+      } else if (kv.key == "period_ms") {
+        if (!need_double(kv, spec_.controller.period_ms)) return false;
+      } else if (kv.key == "first_check_ms") {
+        if (!need_double(kv, spec_.controller.first_check_ms)) return false;
+      } else if (kv.key == "cooldown_ms") {
+        if (!need_double(kv, spec_.controller.cooldown_ms)) return false;
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [controller]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool parse_chain_decl(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    ChainDecl decl;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "name") {
+        decl.name = kv.value;
+      } else if (kv.key == "spec") {
+        decl.spec = kv.value;
+      } else if (kv.key == "offered_gbps") {
+        if (!need_double(kv, decl.offered_gbps)) return false;
+      } else {
+        return fail(kv.line, format("unknown key '%s' in [chain]", kv.key.c_str()));
+      }
+    }
+    if (decl.name.empty()) {
+      return fail(s.line, "[chain] requires a 'name'");
+    }
+    if (decl.spec.empty()) {
+      return fail(s.line, "[chain] requires a 'spec'");
+    }
+    spec_.chains.push_back(std::move(decl));
+    return true;
+  }
+
+  bool parse_deployment(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "burst_multiplier") {
+        if (!need_double(kv, spec_.deployment.burst_multiplier)) return false;
+      } else if (kv.key == "scale_out_headroom") {
+        if (!need_double(kv, spec_.deployment.scale_out_headroom)) return false;
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [deployment]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
+  bool check_chain_string(const std::string& chain_spec, const std::string& who) {
+    const auto parsed = parse_chain_spec(chain_spec, who);
+    if (!parsed) {
+      return fail_global(format("%s: invalid chain spec: %s", who.c_str(),
+                                parsed.error().what().c_str()));
+    }
+    return true;
+  }
+
+  bool validate() {
+    if (!seen_sections_.contains("scenario")) {
+      return fail_global("missing required [scenario] section");
+    }
+    if (spec_.name.empty()) {
+      return fail_global("[scenario] requires a 'name'");
+    }
+    if (!kind_seen_) {
+      return fail_global("[scenario] requires a 'kind'");
+    }
+
+    const bool is_compare = spec_.kind == ScenarioKind::kCompare;
+    const bool is_capacity = spec_.kind == ScenarioKind::kCapacity;
+    const bool is_timeline = spec_.kind == ScenarioKind::kTimeline;
+    const bool is_deployment = spec_.kind == ScenarioKind::kDeployment;
+
+    if (!spec_.variants.empty() && !is_compare) {
+      return fail_global("[variant] sections are only valid for kind = compare");
+    }
+    if (seen_sections_.contains("capacity") && !is_capacity) {
+      return fail_global("[capacity] is only valid for kind = capacity");
+    }
+    if (seen_sections_.contains("controller") && !is_timeline) {
+      return fail_global("[controller] is only valid for kind = timeline");
+    }
+    if (!spec_.chains.empty() && !is_deployment) {
+      return fail_global("[chain] sections are only valid for kind = deployment");
+    }
+    if (seen_sections_.contains("deployment") && !is_deployment) {
+      return fail_global("[deployment] is only valid for kind = deployment");
+    }
+    if (rate_seen_ && !is_timeline) {
+      return fail(rate_line_,
+                  "[traffic] rate profiles are only used by timeline scenarios");
+    }
+    if (spec_.traffic.sizes.kind == SizeSpec::Kind::kPaperSweep && !is_compare) {
+      // Only compare scenarios fan out one DES run per sweep size; elsewhere
+      // a sweep would silently degrade to a single size.
+      return fail_global("sizes = sweep is only valid for kind = compare");
+    }
+
+    if (is_compare || is_timeline) {
+      if (spec_.chain.empty()) {
+        return fail_global(format("kind = %s requires [scenario] 'chain'",
+                                  std::string{to_string(spec_.kind)}.c_str()));
+      }
+      if (!check_chain_string(spec_.chain, spec_.name)) {
+        return false;
+      }
+    }
+    if (is_compare && spec_.variants.empty()) {
+      return fail_global("kind = compare requires at least one [variant]");
+    }
+    if (is_capacity && spec_.capacity.nfs.empty()) {
+      return fail_global("kind = capacity requires [capacity] with a non-empty 'nfs'");
+    }
+    if (is_capacity && spec_.capacity.locations.empty()) {
+      spec_.capacity.locations = {Location::kSmartNic, Location::kCpu};
+    }
+    if (is_timeline && !rate_seen_) {
+      return fail_global("kind = timeline requires [traffic] with a 'rate' profile");
+    }
+    if (is_deployment) {
+      if (spec_.chains.empty()) {
+        return fail_global("kind = deployment requires at least one [chain]");
+      }
+      std::unordered_set<std::string> names;
+      for (const auto& decl : spec_.chains) {
+        if (!names.insert(decl.name).second) {
+          return fail_global(format("duplicate [chain] name '%s'", decl.name.c_str()));
+        }
+        if (!check_chain_string(decl.spec, decl.name)) {
+          return false;
+        }
+      }
+    }
+    if (spec_.duration_ms <= 0.0 || spec_.warmup_ms < 0.0 ||
+        spec_.warmup_ms >= spec_.duration_ms) {
+      return fail_global("need duration_ms > warmup_ms >= 0");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string_view origin_;
+  std::vector<Section> sections_;
+  std::set<std::string> seen_sections_;
+  bool kind_seen_ = false;
+  bool rate_seen_ = false;
+  int rate_line_ = 0;
+  ScenarioSpec spec_;
+  std::string error_;
+};
+
+std::string sizes_to_text(const SizeSpec& s) {
+  switch (s.kind) {
+    case SizeSpec::Kind::kFixed:
+      return format("fixed %zu", s.fixed);
+    case SizeSpec::Kind::kImix:
+      return "imix";
+    case SizeSpec::Kind::kUniform:
+      return format("uniform %zu %zu", s.lo, s.hi);
+    case SizeSpec::Kind::kPaperSweep:
+      return "sweep";
+  }
+  return "fixed 512";
+}
+
+std::string rate_to_text(const RateSpec& r) {
+  switch (r.kind) {
+    case RateSpec::Kind::kConstant:
+      return "constant " + fmt_double(r.a);
+    case RateSpec::Kind::kStep:
+      return "step " + fmt_double(r.a) + " " + fmt_double(r.b) +
+             " at_ms=" + fmt_double(r.at_ms);
+    case RateSpec::Kind::kSinusoid:
+      return "sinusoid " + fmt_double(r.a) + " " + fmt_double(r.b) +
+             " period_ms=" + fmt_double(r.period_ms);
+  }
+  return "constant 1";
+}
+
+std::string measure_rate_to_text(const MeasureRate& m) {
+  switch (m.kind) {
+    case MeasureRate::Kind::kGbps:
+      return fmt_double(m.value);
+    case MeasureRate::Kind::kPlanRate:
+      return "plan";
+    case MeasureRate::Kind::kCapTimes:
+      return "cap x " + fmt_double(m.value);
+  }
+  return "plan";
+}
+
+}  // namespace
+
+std::string_view to_string(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kCompare: return "compare";
+    case ScenarioKind::kCapacity: return "capacity";
+    case ScenarioKind::kTimeline: return "timeline";
+    case ScenarioKind::kDeployment: return "deployment";
+  }
+  return "?";
+}
+
+std::string_view to_string(PolicyChoice policy) noexcept {
+  switch (policy) {
+    case PolicyChoice::kNone: return "none";
+    case PolicyChoice::kPam: return "pam";
+    case PolicyChoice::kNaiveBottleneck: return "naive";
+    case PolicyChoice::kNaiveMinCapacity: return "naive-min";
+    case PolicyChoice::kScaleIn: return "scale-in";
+  }
+  return "?";
+}
+
+std::string_view to_string(MeasureMode mode) noexcept {
+  switch (mode) {
+    case MeasureMode::kAnalytic: return "analytic";
+    case MeasureMode::kDes: return "des";
+    case MeasureMode::kBoth: return "both";
+  }
+  return "?";
+}
+
+Result<ScenarioSpec> ScenarioSpec::parse(std::string_view text,
+                                         std::string_view origin) {
+  return SpecParser{text, origin}.run();
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::string out;
+  const auto emit = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  };
+
+  out += "[scenario]\n";
+  emit("name", name);
+  emit("kind", std::string{pam::to_string(kind)});
+  if (!description.empty()) {
+    emit("description", description);
+  }
+  for (const auto& note : notes) {
+    emit("note", note);
+  }
+  if (!chain.empty()) {
+    emit("chain", chain);
+  }
+  emit("plan_rate_gbps", fmt_double(plan_rate_gbps));
+  emit("measure", std::string{pam::to_string(measure)});
+  emit("duration_ms", fmt_double(duration_ms));
+  emit("warmup_ms", fmt_double(warmup_ms));
+  emit("seed", format("%llu", static_cast<unsigned long long>(seed)));
+
+  out += "\n[traffic]\n";
+  emit("arrival", traffic.arrival == ArrivalProcess::kPoisson ? "poisson" : "cbr");
+  emit("sizes", sizes_to_text(traffic.sizes));
+  if (kind == ScenarioKind::kTimeline) {
+    emit("rate", rate_to_text(traffic.rate));
+  }
+
+  for (const auto& v : variants) {
+    out += "\n[variant]\n";
+    emit("label", v.label);
+    emit("policy", std::string{pam::to_string(v.policy)});
+    emit("measure_rate", measure_rate_to_text(v.measure_rate));
+  }
+
+  if (kind == ScenarioKind::kCapacity) {
+    out += "\n[capacity]\n";
+    std::string nfs;
+    for (const auto type : capacity.nfs) {
+      if (!nfs.empty()) nfs += " ";
+      nfs += std::string{pam::to_string(type)};
+    }
+    emit("nfs", nfs);
+    std::string locations;
+    for (const auto loc : capacity.locations) {
+      if (!locations.empty()) locations += " ";
+      locations += loc == Location::kSmartNic ? "smartnic" : "cpu";
+    }
+    emit("locations", locations);
+    emit("loss_threshold", fmt_double(capacity.loss_threshold));
+    emit("search_iters", format("%d", capacity.search_iters));
+    emit("size_bytes", format("%zu", capacity.size_bytes));
+  }
+
+  if (kind == ScenarioKind::kTimeline) {
+    out += "\n[controller]\n";
+    emit("policy", std::string{pam::to_string(controller.policy)});
+    emit("scale_in_policy", std::string{pam::to_string(controller.scale_in_policy)});
+    emit("trigger_utilization", fmt_double(controller.trigger_utilization));
+    emit("scale_in_below", fmt_double(controller.scale_in_below));
+    emit("period_ms", fmt_double(controller.period_ms));
+    emit("first_check_ms", fmt_double(controller.first_check_ms));
+    emit("cooldown_ms", fmt_double(controller.cooldown_ms));
+  }
+
+  for (const auto& decl : chains) {
+    out += "\n[chain]\n";
+    emit("name", decl.name);
+    emit("spec", decl.spec);
+    emit("offered_gbps", fmt_double(decl.offered_gbps));
+  }
+
+  if (kind == ScenarioKind::kDeployment) {
+    out += "\n[deployment]\n";
+    emit("burst_multiplier", fmt_double(deployment.burst_multiplier));
+    emit("scale_out_headroom", fmt_double(deployment.scale_out_headroom));
+  }
+
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::scaled(double factor) const {
+  ScenarioSpec out = *this;
+  out.plan_rate_gbps *= factor;
+  for (auto& v : out.variants) {
+    if (v.measure_rate.kind == MeasureRate::Kind::kGbps) {
+      v.measure_rate.value *= factor;
+    }
+  }
+  out.traffic.rate.a *= factor;
+  if (out.traffic.rate.kind != RateSpec::Kind::kConstant) {
+    out.traffic.rate.b *= factor;
+  }
+  for (auto& decl : out.chains) {
+    decl.offered_gbps *= factor;
+  }
+  return out;
+}
+
+}  // namespace pam

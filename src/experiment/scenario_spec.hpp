@@ -1,0 +1,223 @@
+// Scenario specifications — the experiment layer's configuration language.
+//
+// A scenario is a self-contained description of one experiment: which chain
+// (or chains) to deploy, what traffic to offer, which policy to run, how
+// long to simulate, and how to measure.  Scenarios are written in a small
+// INI-style text format (`.scn` files, see the grammar below) so that every
+// figure/table of the paper — and every workload beyond it — is a reviewable
+// text file under `scenarios/`, not setup code copy-pasted across benches.
+//
+// Format:
+//
+//   # comment                      (full-line comments only)
+//   [section]
+//   key = value
+//
+// Sections and keys by scenario kind (see docs/REPRODUCING.md for the
+// worked examples):
+//
+//   [scenario]   name, kind (compare|capacity|timeline|deployment),
+//                description, note (repeatable), chain (chain-spec string),
+//                plan_rate_gbps, measure (analytic|des|both),
+//                duration_ms, warmup_ms, seed
+//   [traffic]    arrival (cbr|poisson), sizes (fixed N | imix |
+//                uniform LO HI | sweep), rate (constant G | step B A at_ms=T
+//                | sinusoid BASE AMP period_ms=P; timeline scenarios only)
+//   [variant]    label, policy (none|pam|naive|naive-min|scale-in),
+//                measure_rate (G | plan | cap x M)    — repeatable; compare
+//   [capacity]   nfs, locations, loss_threshold, search_iters, size_bytes
+//   [controller] policy, scale_in_policy, trigger_utilization,
+//                scale_in_below, period_ms, first_check_ms, cooldown_ms
+//   [chain]      name, spec, offered_gbps                — repeatable; deployment
+//   [deployment] burst_multiplier, scale_out_headroom
+//
+// Parsing is strict: unknown sections/keys, duplicate scalar sections,
+// duplicate keys, and missing required fields are all reported as errors
+// with the offending line.  `ScenarioSpec::to_text()` emits a canonical
+// rendering that parses back to an equal spec (round-trip property, covered
+// by tests/test_scenario_spec.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "nf/nf_spec.hpp"
+#include "trafficgen/traffic_source_config.hpp"
+
+namespace pam {
+
+/// What shape of experiment a scenario describes.
+enum class ScenarioKind : std::uint8_t {
+  kCompare,     ///< one chain, N policy variants, analytic and/or DES measurement
+  kCapacity,    ///< per-NF isolated capacity search (the paper's Table 1 method)
+  kTimeline,    ///< one chain driven by a time-varying rate under the controller
+  kDeployment,  ///< multi-chain deployment: multi-chain PAM + scale-out sizing
+};
+
+/// Which migration policy a variant (or the controller) runs.
+enum class PolicyChoice : std::uint8_t {
+  kNone,              ///< "Original": never migrate
+  kPam,               ///< the paper's push-aside migration
+  kNaiveBottleneck,   ///< UNO-style: migrate the bottleneck vNF
+  kNaiveMinCapacity,  ///< poster §3 wording: migrate the min-θ^S vNF
+  kScaleIn,           ///< PAM in reverse (pull vNFs back to the SmartNIC)
+};
+
+/// Whether a compare scenario evaluates the closed-form model, the DES, or both.
+enum class MeasureMode : std::uint8_t { kAnalytic, kDes, kBoth };
+
+[[nodiscard]] std::string_view to_string(ScenarioKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(PolicyChoice policy) noexcept;
+[[nodiscard]] std::string_view to_string(MeasureMode mode) noexcept;
+
+/// Packet-size selection for the traffic source.
+struct SizeSpec {
+  enum class Kind : std::uint8_t {
+    kFixed,       ///< every packet `fixed` bytes
+    kImix,        ///< 7:4:1 Internet mix
+    kUniform,     ///< uniform in [lo, hi]
+    kPaperSweep,  ///< one DES run per size of the paper's 64B..1500B sweep
+  };
+
+  Kind kind = Kind::kFixed;
+  std::size_t fixed = 512;
+  std::size_t lo = 64;
+  std::size_t hi = 1500;
+
+  [[nodiscard]] bool operator==(const SizeSpec&) const = default;
+};
+
+/// Offered-load-over-time profile (timeline scenarios).
+struct RateSpec {
+  enum class Kind : std::uint8_t { kConstant, kStep, kSinusoid };
+
+  Kind kind = Kind::kConstant;
+  double a = 1.0;         ///< constant rate / step "before" / sinusoid base (Gbps)
+  double b = 0.0;         ///< step "after" / sinusoid amplitude (Gbps)
+  double at_ms = 0.0;     ///< step time
+  double period_ms = 0.0; ///< sinusoid period
+
+  [[nodiscard]] bool operator==(const RateSpec&) const = default;
+};
+
+/// The rate a compare variant is measured at (policies always *plan* at the
+/// scenario's plan_rate_gbps; measurement may differ, e.g. Figure 2(a)
+/// measures "Original" at the pre-spike baseline).
+struct MeasureRate {
+  enum class Kind : std::uint8_t {
+    kGbps,      ///< absolute rate in `value`
+    kPlanRate,  ///< the scenario's plan_rate_gbps
+    kCapTimes,  ///< `value` x the variant's analytic capacity (saturation runs)
+  };
+
+  Kind kind = Kind::kPlanRate;
+  double value = 0.0;
+
+  [[nodiscard]] bool operator==(const MeasureRate&) const = default;
+};
+
+/// The traffic source: arrival process, packet sizes, and (for timeline
+/// scenarios) the offered-load profile.
+struct TrafficSpec {
+  ArrivalProcess arrival = ArrivalProcess::kCbr;
+  SizeSpec sizes;
+  RateSpec rate;
+
+  [[nodiscard]] bool operator==(const TrafficSpec&) const = default;
+};
+
+/// One configuration of a compare scenario: a policy plus the rate it is
+/// measured at.
+struct VariantSpec {
+  std::string label;
+  PolicyChoice policy = PolicyChoice::kNone;
+  MeasureRate measure_rate;
+
+  [[nodiscard]] bool operator==(const VariantSpec&) const = default;
+};
+
+/// Capacity-scenario parameters (Table 1 reproduction).
+struct CapacitySpec {
+  std::vector<NfType> nfs;           ///< NF types to measure in isolation
+  std::vector<Location> locations;   ///< devices to place each NF on
+  double loss_threshold = 0.005;     ///< "negligible loss" bound
+  int search_iters = 12;             ///< binary-search refinement steps
+  std::size_t size_bytes = 512;      ///< fixed frame size for the search
+
+  [[nodiscard]] bool operator==(const CapacitySpec&) const = default;
+};
+
+/// Controller parameters (timeline scenarios); mirrors ControllerOptions.
+struct ControllerSpec {
+  PolicyChoice policy = PolicyChoice::kPam;
+  PolicyChoice scale_in_policy = PolicyChoice::kNone;  ///< kScaleIn enables drain
+  double trigger_utilization = 1.0;
+  double scale_in_below = 0.0;  ///< 0 disables the calm direction
+  double period_ms = 10.0;
+  double first_check_ms = 10.0;
+  double cooldown_ms = 20.0;
+
+  [[nodiscard]] bool operator==(const ControllerSpec&) const = default;
+};
+
+/// One tenant chain of a deployment scenario.
+struct ChainDecl {
+  std::string name;
+  std::string spec;          ///< chain-spec string (see chain/chain_spec.hpp)
+  double offered_gbps = 1.0;
+
+  [[nodiscard]] bool operator==(const ChainDecl&) const = default;
+};
+
+/// Deployment-scenario parameters.
+struct DeploymentSpec {
+  double burst_multiplier = 2.0;    ///< load multiplier for scale-out sizing
+  double scale_out_headroom = 0.9;  ///< per-replica utilisation ceiling
+
+  [[nodiscard]] bool operator==(const DeploymentSpec&) const = default;
+};
+
+/// A fully parsed scenario.  Plain data: the runner (scenario_runner.hpp)
+/// turns it into library objects; the sink (metrics_sink.hpp) echoes it into
+/// the JSON output for provenance.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::vector<std::string> notes;  ///< free-form lines echoed after reports
+
+  ScenarioKind kind = ScenarioKind::kCompare;
+  std::string chain;            ///< chain-spec string (compare/timeline)
+  double plan_rate_gbps = 2.2;  ///< rate the policies plan at
+  MeasureMode measure = MeasureMode::kBoth;
+  double duration_ms = 80.0;    ///< DES horizon
+  double warmup_ms = 15.0;      ///< DES warmup excluded from metrics
+  std::uint64_t seed = 1;
+
+  TrafficSpec traffic;
+  std::vector<VariantSpec> variants;  ///< compare scenarios
+  CapacitySpec capacity;              ///< capacity scenarios
+  ControllerSpec controller;          ///< timeline scenarios
+  std::vector<ChainDecl> chains;      ///< deployment scenarios
+  DeploymentSpec deployment;          ///< deployment scenarios
+
+  [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
+
+  /// Parses `text`; `origin` names the source (file path) in error messages.
+  /// Validates chain-spec strings, required fields, and section/key use.
+  [[nodiscard]] static Result<ScenarioSpec> parse(std::string_view text,
+                                                  std::string_view origin = "<string>");
+
+  /// Canonical rendering; parse(to_text()) == *this (round-trip property).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Copy with every rate scaled by `factor` (plan rate, absolute variant
+  /// measure rates, timeline rate profile, deployment offered loads).  Used
+  /// by `pam_exp sweep`.
+  [[nodiscard]] ScenarioSpec scaled(double factor) const;
+};
+
+}  // namespace pam

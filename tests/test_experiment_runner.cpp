@@ -1,0 +1,276 @@
+// Experiment-runner integration tests: each scenario kind end to end on
+// deliberately tiny simulations, JSON emission validity, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "experiment/metrics_sink.hpp"
+#include "experiment/scenario_runner.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+namespace {
+
+ScenarioSpec parse_or_die(const std::string& text) {
+  auto result = ScenarioSpec::parse(text, "test.scn");
+  EXPECT_TRUE(result.has_value()) << result.error().what();
+  return std::move(result).value();
+}
+
+RunResult run_or_die(const ScenarioSpec& spec) {
+  const ScenarioRunner runner;
+  auto result = runner.run(spec);
+  EXPECT_TRUE(result.has_value()) << result.error().what();
+  return std::move(result).value();
+}
+
+std::string json_of(const RunResult& result) {
+  std::ostringstream out;
+  write_metrics_json(result, out);
+  return out.str();
+}
+
+/// Crude structural validity: non-empty, object-delimited, balanced braces
+/// and brackets outside of strings.
+void expect_balanced_json(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+constexpr const char* kTinyCompare = R"(
+[scenario]
+name = tiny-compare
+kind = compare
+chain = wire | S:Firewall S:Monitor S:Logger@0.5 C:LoadBalancer | host
+plan_rate_gbps = 2.2
+duration_ms = 6
+warmup_ms = 1
+seed = 3
+
+[traffic]
+arrival = cbr
+sizes = fixed 256
+
+[variant]
+label = Original
+policy = none
+measure_rate = 1
+
+[variant]
+label = PAM
+policy = pam
+measure_rate = plan
+
+[variant]
+label = Naive
+policy = naive
+measure_rate = plan
+)";
+
+TEST(ExperimentRunner, CompareProducesPlansAndMeasurements) {
+  const RunResult result = run_or_die(parse_or_die(kTinyCompare));
+  ASSERT_EQ(result.variants.size(), 3u);
+
+  const VariantResult& original = result.variants[0];
+  const VariantResult& pam_variant = result.variants[1];
+  const VariantResult& naive = result.variants[2];
+
+  EXPECT_TRUE(original.plan.empty());
+  EXPECT_EQ(original.chain_before, original.chain_after);
+
+  // The paper's core claim, as data: PAM relieves the SmartNIC at zero
+  // crossing cost, the naive migration pays two crossings.
+  ASSERT_EQ(pam_variant.plan.steps.size(), 1u);
+  EXPECT_EQ(pam_variant.plan.total_crossing_delta(), 0);
+  EXPECT_EQ(naive.plan.total_crossing_delta(), 2);
+  EXPECT_GT(naive.analytic.pcie_crossings, pam_variant.analytic.pcie_crossings);
+  EXPECT_LT(pam_variant.analytic.smartnic_utilization, 1.0);
+
+  // One DES run per variant (fixed size), with sane packet accounting.
+  for (const auto& variant : result.variants) {
+    ASSERT_EQ(variant.runs.size(), 1u) << variant.label;
+    const MeasuredRun& run = variant.runs.front();
+    EXPECT_EQ(run.size_bytes, 256u);
+    EXPECT_GT(run.injected, 0u);
+    EXPECT_GT(run.delivered, 0u);
+    EXPECT_GT(run.goodput_gbps, 0.0);
+    EXPECT_GT(run.latency.samples, 0u);
+    EXPECT_GE(run.latency.p99_us, run.latency.p50_us);
+    EXPECT_LE(run.delivered + run.dropped_total(), run.injected);
+  }
+}
+
+TEST(ExperimentRunner, AnalyticModeSkipsSimulation) {
+  ScenarioSpec spec = parse_or_die(kTinyCompare);
+  spec.measure = MeasureMode::kAnalytic;
+  const RunResult result = run_or_die(spec);
+  for (const auto& variant : result.variants) {
+    EXPECT_TRUE(variant.runs.empty());
+    EXPECT_GT(variant.analytic.max_rate_gbps, 0.0);
+  }
+}
+
+TEST(ExperimentRunner, SweepSizesProduceOneRunPerPoint) {
+  ScenarioSpec spec = parse_or_die(kTinyCompare);
+  spec.traffic.sizes.kind = SizeSpec::Kind::kPaperSweep;
+  spec.variants.resize(1);
+  const RunResult result = run_or_die(spec);
+  ASSERT_EQ(result.variants.size(), 1u);
+  EXPECT_GT(result.variants[0].runs.size(), 1u);
+  for (const auto& run : result.variants[0].runs) {
+    EXPECT_GT(run.size_bytes, 0u);
+  }
+}
+
+TEST(ExperimentRunner, CapacityFindsSaturationNearAnalytic) {
+  const RunResult result = run_or_die(parse_or_die(R"(
+[scenario]
+name = tiny-capacity
+kind = capacity
+duration_ms = 8
+warmup_ms = 2
+seed = 9
+
+[capacity]
+nfs = Logger
+locations = smartnic
+search_iters = 8
+size_bytes = 512
+)"));
+  ASSERT_EQ(result.capacities.size(), 1u);
+  const CapacityResult& row = result.capacities.front();
+  EXPECT_EQ(row.nf, "Logger");
+  EXPECT_EQ(row.device, "SmartNIC");
+  EXPECT_DOUBLE_EQ(row.configured_gbps, 2.0);
+  EXPECT_GT(row.realized_gbps, 0.0);
+  // The DES realises the analytic model; binary search lands near it.
+  EXPECT_NEAR(row.realized_gbps, row.analytic_gbps, 0.5 * row.analytic_gbps);
+}
+
+TEST(ExperimentRunner, TimelineRunsControllerMigration) {
+  const RunResult result = run_or_die(parse_or_die(R"(
+[scenario]
+name = tiny-timeline
+kind = timeline
+chain = wire | S:Firewall S:Monitor S:Logger@0.5 C:LoadBalancer | host
+duration_ms = 60
+warmup_ms = 2
+seed = 4
+
+[traffic]
+arrival = cbr
+sizes = fixed 512
+rate = step 1.2 2.2 at_ms=15
+
+[controller]
+policy = pam
+period_ms = 5
+first_check_ms = 5
+cooldown_ms = 10
+)"));
+  ASSERT_TRUE(result.timeline.has_value());
+  const TimelineResult& tl = *result.timeline;
+  // The spike crosses the trigger; PAM must fire at least once.
+  EXPECT_GE(tl.migrations_executed, 1u);
+  EXPECT_FALSE(tl.events.empty());
+  EXPECT_NE(tl.chain_before, tl.chain_after);
+  EXPECT_GT(tl.metrics.delivered, 0u);
+}
+
+TEST(ExperimentRunner, DeploymentPlansAcrossChains) {
+  const RunResult result = run_or_die(parse_or_die(R"(
+[scenario]
+name = tiny-deployment
+kind = deployment
+duration_ms = 5
+warmup_ms = 1
+
+[chain]
+name = web
+spec = wire | S:Firewall S:LoadBalancer | host
+offered_gbps = 1.8
+
+[chain]
+name = telemetry
+spec = wire | S:Monitor S:Logger@0.5 C:LoadBalancer | host
+offered_gbps = 1.2
+
+[deployment]
+burst_multiplier = 2
+)"));
+  ASSERT_TRUE(result.deployment.has_value());
+  const DeploymentResult& dr = *result.deployment;
+  ASSERT_EQ(dr.chains.size(), 2u);
+  EXPECT_TRUE(dr.feasible);
+  // Migrations may not relieve everything, but never add crossings.
+  EXPECT_LE(dr.total_crossing_delta, 0);
+  EXPECT_LE(dr.smartnic_after, dr.smartnic_before);
+  for (const auto& chain : dr.chains) {
+    EXPECT_GE(chain.replicas, 1u);
+    EXPECT_DOUBLE_EQ(chain.burst_gbps, chain.offered_gbps * 2.0);
+    EXPECT_FALSE(chain.scale_out_rationale.empty());
+  }
+}
+
+TEST(ExperimentRunner, JsonOutputIsBalancedAndTagged) {
+  const RunResult result = run_or_die(parse_or_die(kTinyCompare));
+  const std::string json = json_of(result);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"scenario\": \"tiny-compare\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"compare\""), std::string::npos);
+  EXPECT_NE(json.find("\"variants\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_gbps\""), std::string::npos);
+}
+
+TEST(ExperimentRunner, JsonEscapesSpecialCharacters) {
+  ScenarioSpec spec = parse_or_die(kTinyCompare);
+  spec.measure = MeasureMode::kAnalytic;
+  spec.description = "quote \" backslash \\ tab\t";
+  const std::string json = json_of(run_or_die(spec));
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ tab\\t"), std::string::npos);
+}
+
+TEST(ExperimentRunner, RunsAreDeterministic) {
+  const ScenarioSpec spec = parse_or_die(kTinyCompare);
+  const std::string first = json_of(run_or_die(spec));
+  const std::string second = json_of(run_or_die(spec));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace pam

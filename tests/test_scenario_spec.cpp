@@ -1,0 +1,337 @@
+// Scenario-spec parser tests: grammar coverage, strict error reporting
+// (malformed keys, missing required fields, duplicate sections/keys), and
+// the round-trip property over every bundled preset.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "experiment/scenario_library.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+namespace {
+
+constexpr const char* kMinimalCompare = R"(
+[scenario]
+name = mini
+kind = compare
+chain = wire | S:Firewall C:LoadBalancer | host
+
+[variant]
+policy = pam
+)";
+
+TEST(ScenarioSpec, ParsesMinimalCompare) {
+  const auto result = ScenarioSpec::parse(kMinimalCompare);
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.kind, ScenarioKind::kCompare);
+  ASSERT_EQ(spec.variants.size(), 1u);
+  EXPECT_EQ(spec.variants[0].policy, PolicyChoice::kPam);
+  // Label defaults to the policy name.
+  EXPECT_EQ(spec.variants[0].label, "pam");
+  EXPECT_EQ(spec.variants[0].measure_rate.kind, MeasureRate::Kind::kPlanRate);
+}
+
+TEST(ScenarioSpec, ParsesAllScalarFields) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = full
+kind = compare
+description = the description
+note = first note
+note = second note
+chain = wire | S:Monitor | wire
+plan_rate_gbps = 3.5
+measure = analytic
+duration_ms = 25
+warmup_ms = 5
+seed = 77
+
+[traffic]
+arrival = poisson
+sizes = uniform 100 900
+
+[variant]
+label = capped
+policy = naive-min
+measure_rate = cap x 1.25
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.description, "the description");
+  ASSERT_EQ(spec.notes.size(), 2u);
+  EXPECT_EQ(spec.notes[1], "second note");
+  EXPECT_DOUBLE_EQ(spec.plan_rate_gbps, 3.5);
+  EXPECT_EQ(spec.measure, MeasureMode::kAnalytic);
+  EXPECT_DOUBLE_EQ(spec.duration_ms, 25.0);
+  EXPECT_DOUBLE_EQ(spec.warmup_ms, 5.0);
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_EQ(spec.traffic.arrival, ArrivalProcess::kPoisson);
+  EXPECT_EQ(spec.traffic.sizes.kind, SizeSpec::Kind::kUniform);
+  EXPECT_EQ(spec.traffic.sizes.lo, 100u);
+  EXPECT_EQ(spec.traffic.sizes.hi, 900u);
+  EXPECT_EQ(spec.variants[0].measure_rate.kind, MeasureRate::Kind::kCapTimes);
+  EXPECT_DOUBLE_EQ(spec.variants[0].measure_rate.value, 1.25);
+}
+
+// --- error reporting ------------------------------------------------------
+
+void expect_error(const std::string& text, const std::string& fragment) {
+  const auto result = ScenarioSpec::parse(text, "err.scn");
+  ASSERT_FALSE(result.has_value()) << "expected error containing '" << fragment
+                                   << "'";
+  EXPECT_NE(result.error().what().find(fragment), std::string::npos)
+      << "error was: " << result.error().what();
+}
+
+TEST(ScenarioSpecErrors, MalformedKeyValueLine) {
+  expect_error("[scenario]\nname mini\n", "expected 'key = value'");
+}
+
+TEST(ScenarioSpecErrors, KeyBeforeAnySection) {
+  expect_error("name = mini\n", "before any [section]");
+}
+
+TEST(ScenarioSpecErrors, MalformedSectionHeader) {
+  expect_error("[scenario\nname = x\n", "malformed section header");
+}
+
+TEST(ScenarioSpecErrors, UnknownSection) {
+  expect_error("[scenario]\nname = x\nkind = compare\n[bogus]\nk = v\n",
+               "unknown section [bogus]");
+}
+
+TEST(ScenarioSpecErrors, UnknownKey) {
+  expect_error("[scenario]\nname = x\nkind = compare\nbogus_key = 1\n",
+               "unknown key 'bogus_key'");
+}
+
+TEST(ScenarioSpecErrors, DuplicateScenarioSection) {
+  expect_error("[scenario]\nname = x\nkind = compare\n[scenario]\nname = y\n",
+               "duplicate [scenario] section");
+}
+
+TEST(ScenarioSpecErrors, DuplicateKeyInSection) {
+  expect_error("[scenario]\nname = x\nname = y\nkind = compare\n",
+               "duplicate key 'name'");
+}
+
+TEST(ScenarioSpecErrors, ErrorsCarryOriginAndLine) {
+  const auto result =
+      ScenarioSpec::parse("[scenario]\nname = x\nbad key line\n", "my.scn");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("my.scn:3:"), std::string::npos)
+      << result.error().what();
+}
+
+TEST(ScenarioSpecErrors, MissingScenarioSection) {
+  expect_error("[traffic]\narrival = cbr\n", "missing required [scenario]");
+}
+
+TEST(ScenarioSpecErrors, MissingName) {
+  expect_error("[scenario]\nkind = compare\nchain = wire | S:Monitor | wire\n",
+               "requires a 'name'");
+}
+
+TEST(ScenarioSpecErrors, MissingKind) {
+  expect_error("[scenario]\nname = x\n", "requires a 'kind'");
+}
+
+TEST(ScenarioSpecErrors, UnknownKind) {
+  expect_error("[scenario]\nname = x\nkind = frobnicate\n", "unknown scenario kind");
+}
+
+TEST(ScenarioSpecErrors, CompareNeedsChain) {
+  expect_error("[scenario]\nname = x\nkind = compare\n[variant]\npolicy = pam\n",
+               "requires [scenario] 'chain'");
+}
+
+TEST(ScenarioSpecErrors, CompareNeedsVariant) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n",
+      "at least one [variant]");
+}
+
+TEST(ScenarioSpecErrors, InvalidChainSpecIsRejected) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | X:Nope | host\n"
+      "[variant]\npolicy = pam\n",
+      "invalid chain spec");
+}
+
+TEST(ScenarioSpecErrors, BadNumber) {
+  expect_error("[scenario]\nname = x\nkind = compare\nplan_rate_gbps = fast\n",
+               "expected a number");
+}
+
+TEST(ScenarioSpecErrors, NegativeUnsignedValuesRejected) {
+  // strtoull would silently wrap these to huge values; the parser must not.
+  expect_error("[scenario]\nname = x\nkind = compare\nseed = -5\n",
+               "expected an unsigned integer");
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[traffic]\nsizes = fixed -64\n[variant]\npolicy = pam\n",
+      "bad fixed size");
+}
+
+TEST(ScenarioSpecErrors, SearchItersBounded) {
+  const std::string prefix =
+      "[scenario]\nname = x\nkind = capacity\n[capacity]\nnfs = Monitor\n";
+  expect_error(prefix + "search_iters = 1e10\n", "integer in [1, 64]");
+  expect_error(prefix + "search_iters = 0\n", "integer in [1, 64]");
+  expect_error(prefix + "search_iters = -3\n", "integer in [1, 64]");
+}
+
+TEST(ScenarioSpecErrors, SweepSizesOnlyForCompare) {
+  expect_error(
+      "[scenario]\nname = x\nkind = timeline\nchain = wire | S:Monitor | wire\n"
+      "[traffic]\nsizes = sweep\nrate = constant 1\n",
+      "sizes = sweep is only valid for kind = compare");
+}
+
+TEST(ScenarioSpecErrors, BadPolicy) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = magic\n",
+      "unknown policy 'magic'");
+}
+
+TEST(ScenarioSpecErrors, BadSizes) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[traffic]\nsizes = jumbo\n[variant]\npolicy = pam\n",
+      "sizes: expected");
+}
+
+TEST(ScenarioSpecErrors, BadMeasureRate) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = pam\nmeasure_rate = cap times 2\n",
+      "measure_rate: expected");
+}
+
+TEST(ScenarioSpecErrors, TimelineNeedsRate) {
+  expect_error(
+      "[scenario]\nname = x\nkind = timeline\nchain = wire | S:Monitor | wire\n",
+      "requires [traffic] with a 'rate'");
+}
+
+TEST(ScenarioSpecErrors, RateOnlyForTimeline) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[traffic]\nrate = constant 2\n[variant]\npolicy = pam\n",
+      "only used by timeline");
+}
+
+TEST(ScenarioSpecErrors, CapacityNeedsNfs) {
+  expect_error("[scenario]\nname = x\nkind = capacity\n",
+               "requires [capacity] with a non-empty 'nfs'");
+}
+
+TEST(ScenarioSpecErrors, SectionKindMismatch) {
+  expect_error(
+      "[scenario]\nname = x\nkind = capacity\n[capacity]\nnfs = Monitor\n"
+      "[variant]\npolicy = pam\n",
+      "[variant] sections are only valid for kind = compare");
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = pam\n[controller]\nperiod_ms = 5\n",
+      "[controller] is only valid for kind = timeline");
+}
+
+TEST(ScenarioSpecErrors, DeploymentNeedsChains) {
+  expect_error("[scenario]\nname = x\nkind = deployment\n",
+               "at least one [chain]");
+}
+
+TEST(ScenarioSpecErrors, DeploymentDuplicateChainNames) {
+  expect_error(
+      "[scenario]\nname = x\nkind = deployment\n"
+      "[chain]\nname = web\nspec = wire | S:Monitor | wire\n"
+      "[chain]\nname = web\nspec = wire | S:Logger | wire\n",
+      "duplicate [chain] name 'web'");
+}
+
+TEST(ScenarioSpecErrors, WarmupMustBeShorterThanDuration) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "duration_ms = 10\nwarmup_ms = 10\n[variant]\npolicy = pam\n",
+      "duration_ms > warmup_ms");
+}
+
+// --- round trip -----------------------------------------------------------
+
+TEST(ScenarioSpecRoundTrip, EveryBundledPresetRoundTrips) {
+  const std::string dir = default_scenario_dir();
+  const auto names = list_scenarios(dir);
+  ASSERT_TRUE(names.has_value()) << names.error().what();
+  // The repo bundles the six paper presets plus quickstart and the
+  // walkthrough; fail loudly if the directory went missing or was emptied.
+  EXPECT_GE(names.value().size(), 6u);
+  for (const auto& name : names.value()) {
+    SCOPED_TRACE(name);
+    const auto first = load_bundled_scenario(name);
+    ASSERT_TRUE(first.has_value()) << first.error().what();
+    const std::string canonical = first.value().to_text();
+    const auto second = ScenarioSpec::parse(canonical, name + " (canonical)");
+    ASSERT_TRUE(second.has_value()) << second.error().what();
+    EXPECT_TRUE(first.value() == second.value())
+        << "canonical form did not round-trip:\n" << canonical;
+  }
+}
+
+TEST(ScenarioSpecRoundTrip, SyntheticTimelineRoundTrips) {
+  const auto first = ScenarioSpec::parse(R"(
+[scenario]
+name = t
+kind = timeline
+chain = wire | S:Monitor C:Logger | host
+duration_ms = 50
+warmup_ms = 5
+
+[traffic]
+arrival = poisson
+sizes = imix
+rate = sinusoid 1.5 0.75 period_ms=40
+
+[controller]
+policy = pam
+scale_in_policy = scale-in
+trigger_utilization = 0.95
+scale_in_below = 0.4
+)");
+  ASSERT_TRUE(first.has_value()) << first.error().what();
+  const auto second = ScenarioSpec::parse(first.value().to_text());
+  ASSERT_TRUE(second.has_value()) << second.error().what();
+  EXPECT_TRUE(first.value() == second.value());
+}
+
+TEST(ScenarioSpec, ScaledMultipliesRates) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = s
+kind = compare
+chain = wire | S:Monitor | wire
+plan_rate_gbps = 2
+
+[variant]
+policy = pam
+measure_rate = 1.5
+
+[variant]
+policy = none
+measure_rate = cap x 1.2
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec scaled = result.value().scaled(2.0);
+  EXPECT_DOUBLE_EQ(scaled.plan_rate_gbps, 4.0);
+  EXPECT_DOUBLE_EQ(scaled.variants[0].measure_rate.value, 3.0);
+  // Capacity-relative rates follow the (scaled) capacity, not the factor.
+  EXPECT_DOUBLE_EQ(scaled.variants[1].measure_rate.value, 1.2);
+}
+
+}  // namespace
+}  // namespace pam
