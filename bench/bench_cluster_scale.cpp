@@ -1,0 +1,66 @@
+// Cluster scaling curve: wall-clock cost and fleet throughput of the
+// shared-kernel ClusterSimulator as the rack grows from 1 to 16 servers.
+//
+// Every slot carries one moderate split chain (SmartNIC firewall + CPU
+// load balancer at 1.2 Gbps), so fleet goodput should scale linearly with
+// the server count while everything advances on ONE event queue and ONE
+// packet pool — the quantity this bench tracks is how much wall time each
+// additional server costs (events/s is the single-threaded DES budget).
+//
+//   $ ./build/bench/bench_cluster_scale
+
+#include <chrono>
+#include <cstdio>
+
+#include "chain/chain_builder.hpp"
+#include "common/strings.hpp"
+#include "sim/cluster_simulator.hpp"
+
+namespace {
+
+using namespace pam;
+
+ServiceChain slot_chain(std::size_t slot) {
+  return ChainBuilder{format("tenant-%zu", slot)}
+      .add(NfType::kFirewall, format("fw%zu", slot), Location::kSmartNic)
+      .add(NfType::kLoadBalancer, format("lb%zu", slot), Location::kCpu)
+      .build();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== cluster scaling @1.2 Gbps x 512B per server, 30 ms ===\n\n");
+  std::printf("%7s | %9s | %10s | %9s | %10s | %9s\n", "servers", "injected",
+              "goodput", "fleet p99", "wall (ms)", "events/s");
+  std::printf("--------+-----------+------------+-----------+------------+----------\n");
+
+  for (const std::size_t servers : {1, 2, 4, 8, 16}) {
+    ClusterSimulator cluster{servers};
+    for (std::size_t s = 0; s < servers; ++s) {
+      TrafficSourceConfig cfg;
+      cfg.rate = RateProfile::constant(Gbps{1.2});
+      cfg.sizes = PacketSizeDistribution::fixed(512);
+      cfg.seed = 42 + s;
+      cluster.add_chain(slot_chain(s), std::move(cfg), s);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const ClusterReport report =
+        cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(5));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double events = static_cast<double>(cluster.kernel().queue().executed());
+
+    std::printf("%7zu | %9llu | %8.2f G | %6.0f us | %10.1f | %8.2fM\n",
+                servers, static_cast<unsigned long long>(report.injected),
+                report.egress_goodput.value(),
+                report.latency.quantile(0.99).us(), wall_ms,
+                wall_ms > 0.0 ? events / wall_ms / 1e3 : 0.0);
+  }
+
+  std::printf("\n(one shared event queue + packet pool; cost per server is the\n"
+              " slope — the single-threaded DES budget for fleet scenarios)\n");
+  return 0;
+}

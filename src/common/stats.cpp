@@ -63,6 +63,15 @@ void QuantileReservoir::add(double x) {
   }
 }
 
+void QuantileReservoir::merge(const QuantileReservoir& other) {
+  // Replaying through add() keeps capacity/replacement semantics and
+  // determinism; other's own total_ beyond its retained samples is the
+  // information a reservoir has already discarded.
+  for (const double x : other.samples_) {
+    add(x);
+  }
+}
+
 double QuantileReservoir::quantile(double q) const {
   assert(q >= 0.0 && q <= 1.0);
   if (samples_.empty()) {
@@ -84,6 +93,11 @@ void LatencyRecorder::record(SimTime latency) {
   const double ns = static_cast<double>(latency.ns());
   stats_.add(ns);
   reservoir_.add(ns);
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  stats_.merge(other.stats_);
+  reservoir_.merge(other.reservoir_);
 }
 
 std::string LatencyRecorder::summary() const {

@@ -46,6 +46,13 @@ class QuantileReservoir {
   explicit QuantileReservoir(std::size_t capacity = 1 << 16, std::uint64_t seed = 42);
 
   void add(double x);
+
+  /// Folds `other`'s retained samples into this reservoir (deterministic:
+  /// samples are replayed through add() in insertion order).  Once either
+  /// side has overflowed its capacity the merged quantiles are an
+  /// approximation over the union, as with any reservoir.
+  void merge(const QuantileReservoir& other);
+
   [[nodiscard]] std::size_t count() const noexcept { return total_; }
   [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
 
@@ -67,6 +74,9 @@ class QuantileReservoir {
 class LatencyRecorder {
  public:
   void record(SimTime latency);
+  /// Folds another recorder in (fleet-level aggregation across chains):
+  /// moments merge exactly, quantiles via QuantileReservoir::merge.
+  void merge(const LatencyRecorder& other);
   [[nodiscard]] std::size_t count() const noexcept { return stats_.count(); }
   [[nodiscard]] SimTime mean() const { return SimTime::nanoseconds(static_cast<std::int64_t>(stats_.mean())); }
   [[nodiscard]] SimTime min() const { return SimTime::nanoseconds(static_cast<std::int64_t>(stats_.min())); }

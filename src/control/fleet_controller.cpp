@@ -1,0 +1,204 @@
+#include "control/fleet_controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "chain/border.hpp"
+#include "common/strings.hpp"
+
+namespace pam {
+
+FleetController::FleetController(ClusterSimulator& cluster,
+                                 std::unique_ptr<MigrationPolicy> policy,
+                                 FleetControllerOptions options)
+    : cluster_(cluster), policy_(std::move(policy)), options_(options) {
+  analyzers_.reserve(cluster_.num_servers());
+  for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
+    analyzers_.emplace_back(cluster_.server(s), cluster_.calibration());
+  }
+  chains_.resize(cluster_.num_chains());
+  for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
+    chains_[c].engine = std::make_unique<MigrationEngine>(cluster_.chain_sim(c));
+  }
+}
+
+void FleetController::arm() {
+  cluster_.kernel().schedule_periodic(options_.first_check, options_.period,
+                                      [this] { check(); });
+}
+
+void FleetController::note(std::size_t c, std::string what) {
+  events_.push_back(FleetEvent{cluster_.kernel().now(), c, std::move(what)});
+}
+
+std::size_t FleetController::migrations_executed() const noexcept {
+  std::size_t n = 0;
+  for (const auto& state : chains_) {
+    n += state.engine->records().size();
+  }
+  return n;
+}
+
+ServiceChain FleetController::home_view(std::size_t c,
+                                        std::vector<std::size_t>& index_map) const {
+  const ChainSimulator& sim = cluster_.chain_sim(c);
+  const ServiceChain& full = sim.chain();
+  ServiceChain reduced{full.name()};
+  reduced.set_ingress(full.ingress());
+  reduced.set_egress(full.egress());
+  index_map.clear();
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (sim.node_server(i) == sim.home_server()) {
+      reduced.add_node(full.node(i).spec, full.node(i).location);
+      index_map.push_back(i);
+    }
+  }
+  return reduced;
+}
+
+void FleetController::check() {
+  for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
+    check_chain(c);
+  }
+}
+
+void FleetController::check_chain(std::size_t c) {
+  ChainState& state = chains_[c];
+  if (state.engine->busy() || state.remote_move_in_progress) {
+    return;  // one action at a time per chain
+  }
+  if (state.last_action_done.ns() >= 0 &&
+      cluster_.kernel().now() - state.last_action_done < options_.cooldown) {
+    return;
+  }
+
+  ChainSimulator& sim = cluster_.chain_sim(c);
+  const std::size_t home = sim.home_server();
+  const Gbps rate = sim.observed_ingress_rate(options_.rate_window);
+
+  std::vector<std::size_t> index_map;
+  const ServiceChain resident = home_view(c, index_map);
+  if (resident.empty()) {
+    return;  // everything already off-loaded; nothing left to relieve
+  }
+  const ChainAnalyzer& analyzer = analyzers_[home];
+  const auto util = analyzer.utilization(resident, rate);
+  // Two overload signals: this chain's own analytic demand, and the slot's
+  // live device load — co-homed chains can saturate a shared SmartNIC while
+  // every individual chain sits below the trigger.
+  const bool chain_hot = util.smartnic >= options_.trigger_utilization;
+  const bool slot_hot =
+      cluster_.server_nic_load(home) >= options_.trigger_utilization;
+  if (!chain_hot && !slot_hot) {
+    return;
+  }
+  note(c, format("overload on server %zu (nic load %.2f) at %s offered: %s",
+                 home, cluster_.server_nic_load(home), rate.to_string().c_str(),
+                 util.describe().c_str()));
+
+  // First choice: the paper's push-aside migration within the home server.
+  MigrationPlan plan = policy_->plan(resident, analyzer, rate);
+  if (plan.feasible && !plan.empty()) {
+    for (auto& step : plan.steps) {
+      step.node_index = index_map.at(step.node_index);  // reduced -> real
+    }
+    note(c, plan.describe());
+    state.engine->execute(plan, [this, c] {
+      chains_[c].last_action_done = cluster_.kernel().now();
+      note(c, "migration complete");
+    });
+    return;
+  }
+  if (plan.feasible && plan.empty() && !slot_hot) {
+    return;  // policy saw no useful move and no emergency
+  }
+  const std::string reason = plan.feasible
+                                 ? "slot saturated by co-homed chains"
+                                 : plan.infeasibility_reason;
+
+  // Both home devices hot: cross-server scale-out.  Candidates are the
+  // home chain's SmartNIC border NFs — moving one is crossing-safe on the
+  // home server (PAM Step 1), and it re-enters the fleet at the target's
+  // SmartNIC side.
+  const BorderSets borders = find_borders(resident);
+  std::vector<std::size_t> candidates;
+  for (const std::size_t reduced_idx : borders.all()) {
+    const std::size_t real_idx = index_map.at(reduced_idx);
+    if (!sim.paused(real_idx)) {
+      candidates.push_back(real_idx);
+    }
+  }
+  if (candidates.empty()) {
+    note(c, format("scale-out needed but no movable border NF: %s",
+                   reason.c_str()));
+    return;
+  }
+
+  // Fit-aware least-loaded target: project the candidate NF's SmartNIC
+  // demand onto each slot and require the slot's hottest device to stay
+  // below target_max_load after the move — a slot that cannot absorb the
+  // NF would just trade one hot spot for another.
+  std::size_t idx = 0;
+  std::size_t target = home;
+  double projected = 0.0;
+  for (const std::size_t candidate : candidates) {
+    const Gbps nf_capacity =
+        sim.chain().node(candidate).spec.capacity.on(Location::kSmartNic);
+    if (nf_capacity.value() <= 0.0) {
+      continue;
+    }
+    const double contribution =
+        sim.chain().offered_at(candidate, rate).value() / nf_capacity.value();
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
+      if (s == home) {
+        continue;
+      }
+      const double nic = cluster_.server_nic_load(s);
+      const double cpu = cluster_.server_cpu_load(s);
+      const double fit = std::max(nic + contribution, cpu);
+      const double load = std::max(nic, cpu);
+      if (fit <= options_.target_max_load && load < best_load) {
+        best_load = load;
+        target = s;
+        projected = fit;
+      }
+    }
+    if (target != home) {
+      idx = candidate;
+      break;
+    }
+  }
+  if (target == home) {
+    note(c, format("scale-out needed but no slot can absorb a border NF "
+                   "under %.2f load: %s",
+                   options_.target_max_load, reason.c_str()));
+    return;
+  }
+
+  const std::string nf_name = sim.chain().node(idx).spec.name;
+  note(c, format("%s -> scale-out: moving %s to server %zu "
+                 "(projected load %.2f)",
+                 reason.c_str(), nf_name.c_str(), target, projected));
+
+  // Loss-free cross-server move: pause, pay the fabric transfer, re-bind,
+  // flush.  Mirrors the single-server engine's pause/transfer/resume at
+  // rack granularity.
+  state.remote_move_in_progress = true;
+  sim.pause_node(idx);
+  cluster_.kernel().schedule_after(
+      options_.remote_migration_cost, [this, c, idx, target, nf_name] {
+        ChainSimulator& moved_sim = cluster_.chain_sim(c);
+        const std::size_t buffered = moved_sim.buffered_at(idx);
+        cluster_.move_node(c, idx, target, Location::kSmartNic);
+        moved_sim.resume_node(idx);
+        ChainState& done = chains_[c];
+        done.remote_move_in_progress = false;
+        done.last_action_done = cluster_.kernel().now();
+        ++scale_out_moves_;
+        note(c, format("scale-out complete: %s now on server %zu (%zu buffered)",
+                       nf_name.c_str(), target, buffered));
+      });
+}
+
+}  // namespace pam

@@ -1,0 +1,110 @@
+// The fleet-scale scaling controller.
+//
+// Controller (controller.hpp) runs the paper's loop for one chain on one
+// server and, when a migration is infeasible (both devices hot), can only
+// *log* an OpenNF-style scale-out request.  FleetController closes that
+// loop for a rack: it holds a fleet view — one ChainAnalyzer per server
+// plus the cluster's live device load — and when single-server push-aside
+// migration cannot relieve a hot slot, the overloaded chain's border NFs
+// are actually moved to the least-loaded other server (pause -> transfer
+// over the rack fabric -> re-bind -> resume, loss-free like the
+// single-server engine).
+//
+// Per check period, per chain:
+//   estimate offered load from the trailing ingress window
+//   evaluate the home slot with that server's ChainAnalyzer (home-resident
+//   nodes only — off-loaded nodes no longer burn home capacity)
+//   overloaded?
+//     single-server plan feasible  -> MigrationEngine (unchanged mechanism)
+//     infeasible                   -> cross-server scale-out:
+//         pick a SmartNIC border NF (crossing-safe, Step 1 of PAM)
+//         pick the least-loaded target slot below `target_max_load`
+//         move the NF there (takes effect for packets not yet routed)
+//
+// All decisions land in a timestamped event log, like Controller's.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+#include "core/policy.hpp"
+#include "migration/migration_engine.hpp"
+#include "sim/cluster_simulator.hpp"
+
+namespace pam {
+
+struct FleetControllerOptions {
+  SimTime period = SimTime::milliseconds(10.0);
+  SimTime first_check = SimTime::milliseconds(10.0);
+  /// Home-SmartNIC utilisation that arms the policy for a chain.
+  double trigger_utilization = 1.0;
+  /// Quiet time per chain after a completed action before re-triggering.
+  SimTime cooldown = SimTime::milliseconds(20.0);
+  /// Trailing window used to estimate each chain's offered load.
+  SimTime rate_window = SimTime::milliseconds(5.0);
+  /// A target slot qualifies only while its hottest device is below this.
+  double target_max_load = 0.9;
+  /// Pause-to-resume cost of one cross-server NF move (state over the rack
+  /// fabric + control-plane setup; coarser than the per-blob PCIe model the
+  /// single-server engine uses).
+  SimTime remote_migration_cost = SimTime::milliseconds(1.0);
+};
+
+struct FleetEvent {
+  SimTime at = SimTime::zero();
+  std::size_t chain = 0;
+  std::string what;
+};
+
+class FleetController {
+ public:
+  /// `policy` plans single-server migrations for every chain (stateless
+  /// policies — all of core's — are safe to share).
+  FleetController(ClusterSimulator& cluster, std::unique_ptr<MigrationPolicy> policy,
+                  FleetControllerOptions options = {});
+
+  /// Registers the periodic fleet check with the shared kernel.  Call
+  /// before ClusterSimulator::run().
+  void arm();
+
+  [[nodiscard]] const std::vector<FleetEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Completed single-server (push-aside) migrations across all chains.
+  [[nodiscard]] std::size_t migrations_executed() const noexcept;
+  /// Completed cross-server border-NF moves.
+  [[nodiscard]] std::size_t scale_out_moves() const noexcept {
+    return scale_out_moves_;
+  }
+
+ private:
+  struct ChainState {
+    std::unique_ptr<MigrationEngine> engine;
+    bool remote_move_in_progress = false;
+    SimTime last_action_done = SimTime::nanoseconds(-1);
+  };
+
+  void check();
+  void check_chain(std::size_t c);
+  void note(std::size_t c, std::string what);
+
+  /// The chain restricted to nodes still bound to the home slot, plus the
+  /// mapping from reduced indices back to real ones.  Off-loaded nodes no
+  /// longer consume home capacity, so they must not count against it.
+  [[nodiscard]] ServiceChain home_view(std::size_t c,
+                                       std::vector<std::size_t>& index_map) const;
+
+  ClusterSimulator& cluster_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  FleetControllerOptions options_;
+  std::vector<ChainAnalyzer> analyzers_;  ///< one per rack slot
+  std::vector<ChainState> chains_;
+  std::vector<FleetEvent> events_;
+  std::size_t scale_out_moves_ = 0;
+};
+
+}  // namespace pam

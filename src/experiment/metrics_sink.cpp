@@ -276,6 +276,62 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       w.key("metrics"); write_run(w, tl.metrics);
       break;
     }
+    case ScenarioKind::kCluster: {
+      const ClusterResult& cr = *result.cluster;
+      w.key("servers"); w.value(static_cast<std::uint64_t>(cr.servers));
+      w.key("rebalance"); w.value(cr.rebalance);
+      w.key("migrations_executed");
+      w.value(static_cast<std::uint64_t>(cr.migrations_executed));
+      w.key("scale_out_moves");
+      w.value(static_cast<std::uint64_t>(cr.scale_out_moves));
+      w.key("inter_server_hops"); w.value(cr.inter_server_hops);
+      w.key("conserved"); w.value(cr.conserved);
+      w.key("fleet"); write_run(w, cr.fleet);
+      w.key("per_server");
+      w.begin_array();
+      for (const auto& server : cr.per_server) {
+        w.begin_object();
+        w.key("server"); w.value(static_cast<std::uint64_t>(server.server_id));
+        w.key("chains_homed");
+        w.value(static_cast<std::uint64_t>(server.chains_homed));
+        w.key("nodes_hosted");
+        w.value(static_cast<std::uint64_t>(server.nodes_hosted));
+        w.key("smartnic_utilization"); w.value(server.smartnic_utilization);
+        w.key("cpu_utilization"); w.value(server.cpu_utilization);
+        w.key("pcie_utilization"); w.value(server.pcie_utilization);
+        w.key("injected"); w.value(server.injected);
+        w.key("delivered"); w.value(server.delivered);
+        w.key("dropped"); w.value(server.dropped);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("chains");
+      w.begin_array();
+      for (const auto& chain : cr.chains) {
+        w.begin_object();
+        w.key("name"); w.value(chain.name);
+        w.key("home_server");
+        w.value(static_cast<std::uint64_t>(chain.home_server));
+        w.key("chain_before"); w.value(chain.chain_before);
+        w.key("chain_after"); w.value(chain.chain_after);
+        w.key("nodes_off_home");
+        w.value(static_cast<std::uint64_t>(chain.nodes_off_home));
+        w.key("inter_server_hops"); w.value(chain.inter_server_hops);
+        w.key("metrics"); write_run(w, chain.metrics);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("events");
+      w.begin_array();
+      for (const auto& event : cr.events) {
+        w.begin_object();
+        w.key("at_ms"); w.value(event.at_ms);
+        w.key("what"); w.value(event.what);
+        w.end_object();
+      }
+      w.end_array();
+      break;
+    }
     case ScenarioKind::kDeployment: {
       const DeploymentResult& dr = *result.deployment;
       w.key("aggregate");
@@ -482,6 +538,65 @@ void print_deployment(const RunResult& result, bool verbose, std::FILE* out) {
   }
 }
 
+void print_cluster(const RunResult& result, bool verbose, std::FILE* out) {
+  const ClusterResult& cr = *result.cluster;
+  std::fprintf(out,
+               "%zu server(s), %zu chain(s), rebalance %s | migrations %zu, "
+               "cross-server moves %zu\n\n",
+               cr.servers, cr.chains.size(), cr.rebalance ? "on" : "off",
+               cr.migrations_executed, cr.scale_out_moves);
+
+  std::fprintf(out, "%-7s | %6s | %5s | %-21s | %9s %9s %9s\n", "server",
+               "chains", "nodes", "util nic/cpu/pcie", "injected", "delivered",
+               "dropped");
+  std::fprintf(out, "--------+--------+-------+-----------------------+-------------------------------\n");
+  for (const auto& server : cr.per_server) {
+    std::fprintf(out, "%7zu | %6zu | %5zu | %5.2f / %5.2f / %5.2f | %9llu %9llu %9llu\n",
+                 server.server_id, server.chains_homed, server.nodes_hosted,
+                 server.smartnic_utilization, server.cpu_utilization,
+                 server.pcie_utilization,
+                 static_cast<unsigned long long>(server.injected),
+                 static_cast<unsigned long long>(server.delivered),
+                 static_cast<unsigned long long>(server.dropped));
+  }
+
+  std::fprintf(out, "\n%-12s | %4s | %8s | %8s | %8s /%8s | %s\n", "chain", "home",
+               "offered", "goodput", "lat mean", "p99 (us)", "placement");
+  std::fprintf(out, "-------------+------+----------+----------+--------------------+-----------\n");
+  for (const auto& chain : cr.chains) {
+    std::fprintf(out, "%-12s | %4zu | %6.2f G | %6.2f G | %8.1f /%8.1f | %s%s\n",
+                 chain.name.c_str(), chain.home_server,
+                 chain.metrics.offered_gbps, chain.metrics.goodput_gbps,
+                 chain.metrics.latency.mean_us, chain.metrics.latency.p99_us,
+                 chain.chain_after.c_str(),
+                 chain.nodes_off_home > 0
+                     ? format(" (%zu NF(s) off-home)", chain.nodes_off_home).c_str()
+                     : "");
+  }
+
+  const MeasuredRun& fleet = cr.fleet;
+  std::fprintf(out,
+               "\nfleet: offered %.2f Gbps -> goodput %.2f Gbps | latency mean "
+               "%.1f us p99 %.1f us | delivered %llu, dropped %llu, "
+               "inter-server hops %llu%s\n",
+               fleet.offered_gbps, fleet.goodput_gbps, fleet.latency.mean_us,
+               fleet.latency.p99_us,
+               static_cast<unsigned long long>(fleet.delivered),
+               static_cast<unsigned long long>(fleet.dropped_total()),
+               static_cast<unsigned long long>(cr.inter_server_hops),
+               cr.conserved ? "" : "  [NOT CONSERVED]");
+
+  if (verbose || !cr.events.empty()) {
+    std::fprintf(out, "\nfleet controller timeline:\n");
+    for (const auto& event : cr.events) {
+      std::fprintf(out, "  %8.2f ms | %s\n", event.at_ms, event.what.c_str());
+    }
+    if (cr.events.empty()) {
+      std::fprintf(out, "  (no fleet controller events)\n");
+    }
+  }
+}
+
 }  // namespace
 
 void print_report(const RunResult& result, bool verbose, std::FILE* out) {
@@ -508,6 +623,9 @@ void print_report(const RunResult& result, bool verbose, std::FILE* out) {
       break;
     case ScenarioKind::kDeployment:
       print_deployment(result, verbose, out);
+      break;
+    case ScenarioKind::kCluster:
+      print_cluster(result, verbose, out);
       break;
   }
   print_notes(spec, out);

@@ -15,6 +15,7 @@
 //
 // Exit status: 0 on success, 1 on any configuration or I/O error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -161,15 +162,21 @@ int cmd_list(const Options& /*opt*/) {
     return 1;
   }
   std::printf("scenarios in %s:\n", dir.c_str());
+  std::size_t width = 0;
+  for (const auto& name : names.value()) {
+    width = std::max(width, name.size());
+  }
   for (const auto& name : names.value()) {
     auto spec = load_bundled_scenario(name);
     if (spec) {
-      std::printf("  %-22s [%-10s] %s\n", name.c_str(),
+      // Kind next to the name so e.g. the cluster presets are discoverable
+      // without opening each file.
+      std::printf("  %-*s [%-10s] %s\n", static_cast<int>(width), name.c_str(),
                   std::string{to_string(spec.value().kind)}.c_str(),
                   spec.value().description.c_str());
     } else {
-      std::printf("  %-22s (unparseable: %s)\n", name.c_str(),
-                  spec.error().what().c_str());
+      std::printf("  %-*s (unparseable: %s)\n", static_cast<int>(width),
+                  name.c_str(), spec.error().what().c_str());
     }
   }
   return 0;

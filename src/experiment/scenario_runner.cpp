@@ -1,5 +1,6 @@
 #include "experiment/scenario_runner.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -15,7 +16,9 @@
 #include "core/pam_policy.hpp"
 #include "core/scale_in_policy.hpp"
 #include "device/server.hpp"
+#include "control/fleet_controller.hpp"
 #include "sim/chain_simulator.hpp"
+#include "sim/cluster_simulator.hpp"
 
 namespace pam {
 
@@ -345,6 +348,128 @@ Result<RunResult> run_deployment(const ScenarioSpec& spec) {
   return result;
 }
 
+Result<RunResult> run_cluster(const ScenarioSpec& spec) {
+  RunResult result;
+  result.spec = spec;
+  const ClusterSpec& cs = spec.cluster;
+
+  ClusterSimulator cluster{cs.servers, Calibration::defaults(),
+                           SimTime::microseconds(cs.inter_server_us)};
+  std::vector<std::string> before;
+  std::vector<std::size_t> homes;
+  for (std::size_t i = 0; i < spec.chains.size(); ++i) {
+    const ChainDecl& decl = spec.chains[i];
+    auto parsed = parse_chain_spec(decl.spec, decl.name);
+    if (!parsed) {
+      return Error{format("chain '%s': %s", decl.name.c_str(),
+                          parsed.error().what().c_str())};
+    }
+    const std::size_t home = decl.server >= 0
+                                 ? static_cast<std::size_t>(decl.server)
+                                 : i % cs.servers;
+    TrafficSourceConfig cfg;
+    cfg.rate = RateProfile::constant(Gbps{decl.offered_gbps});
+    cfg.process = spec.traffic.arrival;
+    cfg.sizes =
+        dist_for(spec.traffic.sizes, size_points(spec.traffic.sizes).front());
+    cfg.seed = spec.seed + i;  // distinct deterministic stream per chain
+    before.push_back(parsed.value().describe());
+    homes.push_back(home);
+    cluster.add_chain(std::move(parsed).value(), std::move(cfg), home);
+  }
+
+  std::optional<FleetController> fleet;
+  if (cs.rebalance) {
+    FleetControllerOptions opts;
+    opts.trigger_utilization = cs.trigger_utilization;
+    opts.target_max_load = cs.target_max_load;
+    opts.period = SimTime::milliseconds(cs.period_ms);
+    opts.first_check = SimTime::milliseconds(cs.first_check_ms);
+    opts.cooldown = SimTime::milliseconds(cs.cooldown_ms);
+    fleet.emplace(cluster, std::make_unique<PamPolicy>(), opts);
+    fleet->arm();
+  }
+
+  const ClusterReport report = cluster.run(
+      SimTime::milliseconds(spec.duration_ms), SimTime::milliseconds(spec.warmup_ms));
+
+  ClusterResult cr;
+  cr.servers = cs.servers;
+  cr.rebalance = cs.rebalance;
+  if (fleet) {
+    for (const auto& event : fleet->events()) {
+      cr.events.push_back(TimelineEvent{event.at.ms(),
+                                        format("[%s] %s",
+                                               spec.chains[event.chain].name.c_str(),
+                                               event.what.c_str())});
+    }
+    cr.migrations_executed = fleet->migrations_executed();
+    cr.scale_out_moves = fleet->scale_out_moves();
+  }
+
+  const std::size_t point = spec.traffic.sizes.kind == SizeSpec::Kind::kFixed
+                                ? spec.traffic.sizes.fixed
+                                : 0;
+  MeasuredRun fleet_run;
+  fleet_run.size_bytes = point;
+  double crossings_weighted = 0.0;
+  std::uint64_t crossings_weight = 0;
+  for (std::size_t i = 0; i < report.per_chain.size(); ++i) {
+    const SimReport& chain_report = report.per_chain[i];
+    ClusterChainResult chain_result;
+    chain_result.name = spec.chains[i].name;
+    chain_result.home_server = homes[i];
+    chain_result.chain_before = before[i];
+    chain_result.chain_after = cluster.chain_sim(i).chain().describe();
+    chain_result.nodes_off_home = cluster.chain_sim(i).nodes_off_home();
+    chain_result.inter_server_hops = chain_report.inter_server_hops;
+    chain_result.metrics = to_measured(chain_report, point);
+    cr.chains.push_back(std::move(chain_result));
+
+    fleet_run.injected += chain_report.injected;
+    fleet_run.delivered += chain_report.delivered;
+    fleet_run.dropped_queue_nic += chain_report.dropped_queue_nic;
+    fleet_run.dropped_queue_cpu += chain_report.dropped_queue_cpu;
+    fleet_run.dropped_queue_pcie += chain_report.dropped_queue_pcie;
+    fleet_run.dropped_by_nf += chain_report.dropped_by_nf;
+    crossings_weighted += chain_report.mean_crossings_per_packet *
+                          static_cast<double>(chain_report.measured_delivered);
+    crossings_weight += chain_report.measured_delivered;
+  }
+  for (const ServerSummary& sum : report.per_server) {
+    ClusterServerResult server_result;
+    server_result.server_id = sum.server_id;
+    server_result.chains_homed = sum.chains_homed;
+    server_result.nodes_hosted = sum.nodes_hosted;
+    server_result.smartnic_utilization = sum.smartnic_utilization;
+    server_result.cpu_utilization = sum.cpu_utilization;
+    server_result.pcie_utilization = sum.pcie_utilization;
+    server_result.injected = sum.injected;
+    server_result.delivered = sum.delivered;
+    server_result.dropped = sum.dropped;
+    cr.per_server.push_back(server_result);
+    // Fleet utilisation = the hottest slot (bottleneck view).
+    fleet_run.smartnic_utilization =
+        std::max(fleet_run.smartnic_utilization, sum.smartnic_utilization);
+    fleet_run.cpu_utilization =
+        std::max(fleet_run.cpu_utilization, sum.cpu_utilization);
+    fleet_run.pcie_utilization =
+        std::max(fleet_run.pcie_utilization, sum.pcie_utilization);
+  }
+  fleet_run.offered_gbps = report.offered_rate.value();
+  fleet_run.goodput_gbps = report.egress_goodput.value();
+  fleet_run.latency = summarize(report.latency);
+  fleet_run.mean_crossings_per_packet =
+      crossings_weight > 0 ? crossings_weighted / static_cast<double>(crossings_weight)
+                           : 0.0;
+  cr.fleet = fleet_run;
+  cr.inter_server_hops = report.inter_server_hops;
+  cr.conserved = report.conserved();
+
+  result.cluster = std::move(cr);
+  return result;
+}
+
 }  // namespace
 
 Result<RunResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
@@ -364,6 +489,8 @@ Result<RunResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
       return run_capacity(spec);
     case ScenarioKind::kDeployment:
       return run_deployment(spec);
+    case ScenarioKind::kCluster:
+      return run_cluster(spec);
   }
   return Error{"unknown scenario kind"};
 }

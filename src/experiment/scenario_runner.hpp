@@ -128,6 +128,46 @@ struct DeploymentResult {
   std::vector<DeploymentChainResult> chains;
 };
 
+/// One chain of a cluster scenario: home slot, placement before/after the
+/// fleet controller acted, and the chain's DES metrics.
+struct ClusterChainResult {
+  std::string name;
+  std::size_t home_server = 0;
+  std::string chain_before;
+  std::string chain_after;
+  std::size_t nodes_off_home = 0;  ///< nodes bound to another slot at run end
+  std::uint64_t inter_server_hops = 0;
+  MeasuredRun metrics;
+};
+
+/// One rack slot of a cluster scenario.
+struct ClusterServerResult {
+  std::size_t server_id = 0;
+  std::size_t chains_homed = 0;
+  std::size_t nodes_hosted = 0;
+  double smartnic_utilization = 0.0;
+  double cpu_utilization = 0.0;
+  double pcie_utilization = 0.0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Result of a cluster scenario: the fleet controller's event log, per-chain
+/// and per-server metrics, and the fleet aggregation.
+struct ClusterResult {
+  std::size_t servers = 0;
+  bool rebalance = false;
+  std::vector<TimelineEvent> events;       ///< fleet controller decisions
+  std::size_t migrations_executed = 0;     ///< single-server push-asides
+  std::size_t scale_out_moves = 0;         ///< cross-server border-NF moves
+  std::vector<ClusterChainResult> chains;
+  std::vector<ClusterServerResult> per_server;
+  MeasuredRun fleet;                       ///< merged fleet-wide metrics
+  std::uint64_t inter_server_hops = 0;
+  bool conserved = false;
+};
+
 /// Everything one scenario run produced.  Exactly one of the kind-specific
 /// payloads is populated, matching spec.kind.
 struct RunResult {
@@ -136,6 +176,7 @@ struct RunResult {
   std::vector<CapacityResult> capacities;   ///< kind == capacity
   std::optional<TimelineResult> timeline;   ///< kind == timeline
   std::optional<DeploymentResult> deployment;  ///< kind == deployment
+  std::optional<ClusterResult> cluster;     ///< kind == cluster
 };
 
 /// Executes scenarios.  Stateless; safe to reuse across runs.

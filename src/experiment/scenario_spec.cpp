@@ -203,6 +203,8 @@ class SpecParser {
         if (!parse_chain_decl(section)) return false;
       } else if (section.name == "deployment") {
         if (!claim_unique(section) || !parse_deployment(section)) return false;
+      } else if (section.name == "cluster") {
+        if (!claim_unique(section) || !parse_cluster(section)) return false;
       } else {
         return fail(section.line, format("unknown section [%s]", section.name.c_str()));
       }
@@ -237,9 +239,11 @@ class SpecParser {
           spec_.kind = ScenarioKind::kTimeline;
         } else if (kv.value == "deployment") {
           spec_.kind = ScenarioKind::kDeployment;
+        } else if (kv.value == "cluster") {
+          spec_.kind = ScenarioKind::kCluster;
         } else {
           return fail(kv.line, format("unknown scenario kind '%s' (expected "
-                                      "compare|capacity|timeline|deployment)",
+                                      "compare|capacity|timeline|deployment|cluster)",
                                       kv.value.c_str()));
         }
       } else if (kv.key == "chain") {
@@ -507,6 +511,15 @@ class SpecParser {
         decl.spec = kv.value;
       } else if (kv.key == "offered_gbps") {
         if (!need_double(kv, decl.offered_gbps)) return false;
+      } else if (kv.key == "server") {
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(kv.value, v)) {
+          return fail(kv.line, format("key 'server': expected an unsigned "
+                                      "integer, got '%s'",
+                                      kv.value.c_str()));
+        }
+        decl.server = static_cast<std::int64_t>(v);
+        chain_server_line_ = kv.line;
       } else {
         return fail(kv.line, format("unknown key '%s' in [chain]", kv.key.c_str()));
       }
@@ -536,6 +549,44 @@ class SpecParser {
     return true;
   }
 
+  bool parse_cluster(const Section& s) {
+    if (!no_duplicate_keys(s)) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key == "servers") {
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(kv.value, v) || v < 1 || v > 1024) {
+          return fail(kv.line, "servers must be an integer in [1, 1024]");
+        }
+        spec_.cluster.servers = static_cast<std::size_t>(v);
+      } else if (kv.key == "rebalance") {
+        if (kv.value == "on") {
+          spec_.cluster.rebalance = true;
+        } else if (kv.value == "off") {
+          spec_.cluster.rebalance = false;
+        } else {
+          return fail(kv.line, format("rebalance: expected on|off, got '%s'",
+                                      kv.value.c_str()));
+        }
+      } else if (kv.key == "inter_server_us") {
+        if (!need_double(kv, spec_.cluster.inter_server_us)) return false;
+      } else if (kv.key == "trigger_utilization") {
+        if (!need_double(kv, spec_.cluster.trigger_utilization)) return false;
+      } else if (kv.key == "target_max_load") {
+        if (!need_double(kv, spec_.cluster.target_max_load)) return false;
+      } else if (kv.key == "period_ms") {
+        if (!need_double(kv, spec_.cluster.period_ms)) return false;
+      } else if (kv.key == "first_check_ms") {
+        if (!need_double(kv, spec_.cluster.first_check_ms)) return false;
+      } else if (kv.key == "cooldown_ms") {
+        if (!need_double(kv, spec_.cluster.cooldown_ms)) return false;
+      } else {
+        return fail(kv.line,
+                    format("unknown key '%s' in [cluster]", kv.key.c_str()));
+      }
+    }
+    return true;
+  }
+
   bool check_chain_string(const std::string& chain_spec, const std::string& who) {
     const auto parsed = parse_chain_spec(chain_spec, who);
     if (!parsed) {
@@ -560,6 +611,7 @@ class SpecParser {
     const bool is_capacity = spec_.kind == ScenarioKind::kCapacity;
     const bool is_timeline = spec_.kind == ScenarioKind::kTimeline;
     const bool is_deployment = spec_.kind == ScenarioKind::kDeployment;
+    const bool is_cluster = spec_.kind == ScenarioKind::kCluster;
 
     if (!spec_.variants.empty() && !is_compare) {
       return fail_global("[variant] sections are only valid for kind = compare");
@@ -570,11 +622,15 @@ class SpecParser {
     if (seen_sections_.contains("controller") && !is_timeline) {
       return fail_global("[controller] is only valid for kind = timeline");
     }
-    if (!spec_.chains.empty() && !is_deployment) {
-      return fail_global("[chain] sections are only valid for kind = deployment");
+    if (!spec_.chains.empty() && !is_deployment && !is_cluster) {
+      return fail_global(
+          "[chain] sections are only valid for kind = deployment or cluster");
     }
     if (seen_sections_.contains("deployment") && !is_deployment) {
       return fail_global("[deployment] is only valid for kind = deployment");
+    }
+    if (seen_sections_.contains("cluster") && !is_cluster) {
+      return fail_global("[cluster] is only valid for kind = cluster");
     }
     if (rate_seen_ && !is_timeline) {
       return fail(rate_line_,
@@ -607,9 +663,10 @@ class SpecParser {
     if (is_timeline && !rate_seen_) {
       return fail_global("kind = timeline requires [traffic] with a 'rate' profile");
     }
-    if (is_deployment) {
+    if (is_deployment || is_cluster) {
       if (spec_.chains.empty()) {
-        return fail_global("kind = deployment requires at least one [chain]");
+        return fail_global(format("kind = %s requires at least one [chain]",
+                                  std::string{to_string(spec_.kind)}.c_str()));
       }
       std::unordered_set<std::string> names;
       for (const auto& decl : spec_.chains) {
@@ -619,7 +676,21 @@ class SpecParser {
         if (!check_chain_string(decl.spec, decl.name)) {
           return false;
         }
+        if (decl.server >= 0 && !is_cluster) {
+          return fail(chain_server_line_,
+                      "[chain] 'server' is only valid for kind = cluster");
+        }
+        if (is_cluster &&
+            decl.server >= static_cast<std::int64_t>(spec_.cluster.servers)) {
+          return fail_global(
+              format("chain '%s': server %lld out of range (cluster has %zu)",
+                     decl.name.c_str(), static_cast<long long>(decl.server),
+                     spec_.cluster.servers));
+        }
       }
+    }
+    if (is_cluster && !seen_sections_.contains("cluster")) {
+      return fail_global("kind = cluster requires a [cluster] section");
     }
     if (spec_.duration_ms <= 0.0 || spec_.warmup_ms < 0.0 ||
         spec_.warmup_ms >= spec_.duration_ms) {
@@ -635,6 +706,7 @@ class SpecParser {
   bool kind_seen_ = false;
   bool rate_seen_ = false;
   int rate_line_ = 0;
+  int chain_server_line_ = 0;
   ScenarioSpec spec_;
   std::string error_;
 };
@@ -687,6 +759,7 @@ std::string_view to_string(ScenarioKind kind) noexcept {
     case ScenarioKind::kCapacity: return "capacity";
     case ScenarioKind::kTimeline: return "timeline";
     case ScenarioKind::kDeployment: return "deployment";
+    case ScenarioKind::kCluster: return "cluster";
   }
   return "?";
 }
@@ -792,12 +865,27 @@ std::string ScenarioSpec::to_text() const {
     emit("name", decl.name);
     emit("spec", decl.spec);
     emit("offered_gbps", fmt_double(decl.offered_gbps));
+    if (decl.server >= 0) {
+      emit("server", format("%lld", static_cast<long long>(decl.server)));
+    }
   }
 
   if (kind == ScenarioKind::kDeployment) {
     out += "\n[deployment]\n";
     emit("burst_multiplier", fmt_double(deployment.burst_multiplier));
     emit("scale_out_headroom", fmt_double(deployment.scale_out_headroom));
+  }
+
+  if (kind == ScenarioKind::kCluster) {
+    out += "\n[cluster]\n";
+    emit("servers", format("%zu", cluster.servers));
+    emit("rebalance", cluster.rebalance ? "on" : "off");
+    emit("inter_server_us", fmt_double(cluster.inter_server_us));
+    emit("trigger_utilization", fmt_double(cluster.trigger_utilization));
+    emit("target_max_load", fmt_double(cluster.target_max_load));
+    emit("period_ms", fmt_double(cluster.period_ms));
+    emit("first_check_ms", fmt_double(cluster.first_check_ms));
+    emit("cooldown_ms", fmt_double(cluster.cooldown_ms));
   }
 
   return out;

@@ -16,7 +16,7 @@
 // Sections and keys by scenario kind (see docs/REPRODUCING.md for the
 // worked examples):
 //
-//   [scenario]   name, kind (compare|capacity|timeline|deployment),
+//   [scenario]   name, kind (compare|capacity|timeline|deployment|cluster),
 //                description, note (repeatable), chain (chain-spec string),
 //                plan_rate_gbps, measure (analytic|des|both),
 //                duration_ms, warmup_ms, seed
@@ -28,8 +28,12 @@
 //   [capacity]   nfs, locations, loss_threshold, search_iters, size_bytes
 //   [controller] policy, scale_in_policy, trigger_utilization,
 //                scale_in_below, period_ms, first_check_ms, cooldown_ms
-//   [chain]      name, spec, offered_gbps                — repeatable; deployment
+//   [chain]      name, spec, offered_gbps,
+//                server (cluster only)    — repeatable; deployment + cluster
 //   [deployment] burst_multiplier, scale_out_headroom
+//   [cluster]    servers, rebalance (on|off), inter_server_us,
+//                trigger_utilization, target_max_load, period_ms,
+//                first_check_ms, cooldown_ms
 //
 // Parsing is strict: unknown sections/keys, duplicate scalar sections,
 // duplicate keys, and missing required fields are all reported as errors
@@ -56,6 +60,7 @@ enum class ScenarioKind : std::uint8_t {
   kCapacity,    ///< per-NF isolated capacity search (the paper's Table 1 method)
   kTimeline,    ///< one chain driven by a time-varying rate under the controller
   kDeployment,  ///< multi-chain deployment: multi-chain PAM + scale-out sizing
+  kCluster,     ///< N servers x M chains under the fleet controller (DES)
 };
 
 /// Which migration policy a variant (or the controller) runs.
@@ -164,11 +169,14 @@ struct ControllerSpec {
   [[nodiscard]] bool operator==(const ControllerSpec&) const = default;
 };
 
-/// One tenant chain of a deployment scenario.
+/// One tenant chain of a deployment or cluster scenario.
 struct ChainDecl {
   std::string name;
   std::string spec;          ///< chain-spec string (see chain/chain_spec.hpp)
   double offered_gbps = 1.0;
+  /// Home rack slot (cluster scenarios only).  -1 = assign round-robin by
+  /// declaration order.
+  std::int64_t server = -1;
 
   [[nodiscard]] bool operator==(const ChainDecl&) const = default;
 };
@@ -179,6 +187,21 @@ struct DeploymentSpec {
   double scale_out_headroom = 0.9;  ///< per-replica utilisation ceiling
 
   [[nodiscard]] bool operator==(const DeploymentSpec&) const = default;
+};
+
+/// Cluster-scenario parameters; mirrors FleetControllerOptions where named.
+struct ClusterSpec {
+  std::size_t servers = 2;          ///< rack slots simulated
+  bool rebalance = true;            ///< arm the fleet controller
+  double inter_server_us = 50.0;    ///< one-way rack-fabric forwarding latency
+  double trigger_utilization = 1.0;
+  /// Scale-out target slots must stay below this projected load.
+  double target_max_load = 0.9;
+  double period_ms = 10.0;
+  double first_check_ms = 10.0;
+  double cooldown_ms = 20.0;
+
+  [[nodiscard]] bool operator==(const ClusterSpec&) const = default;
 };
 
 /// A fully parsed scenario.  Plain data: the runner (scenario_runner.hpp)
@@ -201,8 +224,9 @@ struct ScenarioSpec {
   std::vector<VariantSpec> variants;  ///< compare scenarios
   CapacitySpec capacity;              ///< capacity scenarios
   ControllerSpec controller;          ///< timeline scenarios
-  std::vector<ChainDecl> chains;      ///< deployment scenarios
+  std::vector<ChainDecl> chains;      ///< deployment + cluster scenarios
   DeploymentSpec deployment;          ///< deployment scenarios
+  ClusterSpec cluster;                ///< cluster scenarios
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 

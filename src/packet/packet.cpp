@@ -21,6 +21,19 @@ void Packet::reset(std::size_t wire_size) {
   hops_ = 0;
 }
 
+void Packet::reset_headers(std::size_t wire_size) {
+  assert(wire_size >= kMinSize && wire_size <= 9216 && "unreasonable frame size");
+  // resize() value-initialises (zeroes) only the grown tail; shrinking and
+  // re-growing within capacity never touches the retained payload bytes.
+  data_.resize(wire_size);
+  std::fill_n(data_.begin(),
+              std::min<std::size_t>(kHeaderBytes, wire_size), std::uint8_t{0});
+  id_ = 0;
+  ingress_time_ = SimTime::zero();
+  pcie_crossings_ = 0;
+  hops_ = 0;
+}
+
 std::span<std::uint8_t> Packet::l3() noexcept {
   return data_.size() > kL3Offset ? std::span<std::uint8_t>{data_}.subspan(kL3Offset)
                                   : std::span<std::uint8_t>{};

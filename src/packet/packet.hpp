@@ -27,6 +27,9 @@ class Packet {
   /// by the generators; the paper sweeps exactly this range.
   static constexpr std::size_t kMinSize = 64;
   static constexpr std::size_t kMaxSize = 1500;
+  /// L2+L3+L4 header region (Ethernet 14 + IPv4 20 + TCP 20): the bytes a
+  /// parser may read before any producer wrote them.
+  static constexpr std::size_t kHeaderBytes = 54;
 
   Packet() = default;
   explicit Packet(std::size_t wire_size) { reset(wire_size); }
@@ -36,8 +39,17 @@ class Packet {
   Packet(Packet&&) noexcept = default;
   Packet& operator=(Packet&&) noexcept = default;
 
-  /// Re-initialises for a frame of `wire_size` bytes (zero-filled).
+  /// Re-initialises for a frame of `wire_size` bytes (fully zero-filled).
   void reset(std::size_t wire_size);
+
+  /// Fast re-initialisation for recycling: zeroes only the kHeaderBytes
+  /// header region (plus any newly grown tail, which vector growth
+  /// value-initialises); payload bytes beyond the headers keep whatever the
+  /// previous occupant left and MUST be overwritten by the producer
+  /// (PacketBuilder fills the whole payload; trace replay copies the whole
+  /// frame).  This is what PacketPool::acquire uses — recycling a 1500B
+  /// frame no longer memsets the full MTU.
+  void reset_headers(std::size_t wire_size);
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] Bytes wire_bytes() const noexcept { return Bytes{data_.size()}; }

@@ -7,7 +7,10 @@ namespace pam {
 
 void PacketBuilder::build_into(Packet& pkt) const {
   assert(wire_size_ >= Packet::kMinSize);
-  pkt.reset(wire_size_);
+  // Header-only reset: every byte below is written explicitly (headers) or
+  // by the deterministic payload fill, which always covers [42, size) since
+  // size >= kMinSize; zeroed headers cover non-TCP/UDP protocols too.
+  pkt.reset_headers(wire_size_);
   auto buf = pkt.data();
 
   EthernetHeader eth;

@@ -33,7 +33,9 @@ PacketPtr PacketPool::acquire(std::size_t wire_size) {
   }
   Packet* p = free_.back();
   free_.pop_back();
-  p->reset(wire_size);
+  // Recycle fast path: only the header region (and any grown tail) is
+  // zeroed; producers overwrite the payload (see Packet::reset_headers).
+  p->reset_headers(wire_size);
   return PacketPtr{p, this};
 }
 

@@ -25,8 +25,10 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
-  /// Acquire a packet initialised to `wire_size` zero bytes.  Returns an
-  /// empty PacketPtr on pool exhaustion.
+  /// Acquire a packet sized to `wire_size` with a zeroed header region
+  /// (Packet::reset_headers — payload bytes of a recycled packet are the
+  /// producer's to overwrite).  Returns an empty PacketPtr on pool
+  /// exhaustion.
   [[nodiscard]] PacketPtr acquire(std::size_t wire_size);
 
   /// Return a packet to the freelist.  Called by PacketPtr's destructor.

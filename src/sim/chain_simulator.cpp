@@ -9,21 +9,16 @@
 
 namespace pam {
 
-namespace {
-constexpr std::size_t kPcieQueueFactor = 4;  // link ring deeper than NF queues
-}
-
 ChainSimulator::ChainSimulator(ServiceChain chain, Server& server,
                                TrafficSourceConfig traffic, Calibration calibration)
     : chain_(std::move(chain)),
       server_(&server),
       calibration_(calibration),
       traffic_(std::move(traffic)),
-      pool_(4096),
-      nic_server_(queue_, "smartnic", calibration.queue_capacity_packets),
-      cpu_server_(queue_, "cpu", calibration.queue_capacity_packets),
-      pcie_server_(queue_, "pcie",
-                   calibration.queue_capacity_packets * kPcieQueueFactor),
+      owned_kernel_(std::make_unique<SimulationKernel>(4096)),
+      kernel_(owned_kernel_.get()),
+      owned_devices_(std::make_unique<ServerDevices>(kernel_->queue(), calibration)),
+      home_{0, owned_devices_.get(), &server},
       flowgen_(traffic_.flows, traffic_.seed),
       rng_(traffic_.seed ^ 0xabcdef0123456789ull) {
   chain_.validate();
@@ -32,6 +27,31 @@ ChainSimulator::ChainSimulator(ServiceChain chain, Server& server,
     nfs_.push_back(make_network_function(node.spec.type, node.spec.name,
                                          node.spec.load_factor));
   }
+  bindings_.assign(chain_.size(), home_);
+  paused_.assign(chain_.size(), false);
+  buffers_.resize(chain_.size());
+  node_stats_.resize(chain_.size());
+}
+
+ChainSimulator::ChainSimulator(SimulationKernel& kernel, ServerDevices& devices,
+                               std::size_t home_server_id, ServiceChain chain,
+                               Server& server, TrafficSourceConfig traffic,
+                               Calibration calibration)
+    : chain_(std::move(chain)),
+      server_(&server),
+      calibration_(calibration),
+      traffic_(std::move(traffic)),
+      kernel_(&kernel),
+      home_{home_server_id, &devices, &server},
+      flowgen_(traffic_.flows, traffic_.seed),
+      rng_(traffic_.seed ^ 0xabcdef0123456789ull) {
+  chain_.validate();
+  nfs_.reserve(chain_.size());
+  for (const auto& node : chain_.nodes()) {
+    nfs_.push_back(make_network_function(node.spec.type, node.spec.name,
+                                         node.spec.load_factor));
+  }
+  bindings_.assign(chain_.size(), home_);
   paused_.assign(chain_.size(), false);
   buffers_.resize(chain_.size());
   node_stats_.resize(chain_.size());
@@ -41,42 +61,23 @@ ChainSimulator::~ChainSimulator() {
   // Release anything still parked so the pool's leak check stays meaningful.
   for (auto& buffer : buffers_) {
     for (auto& parked : buffer) {
-      pool_.release(parked.pkt);
+      pool().release(parked.pkt);
     }
     buffer.clear();
   }
 }
 
 void ChainSimulator::schedule_at(SimTime at, std::function<void()> fn) {
-  queue_.schedule_at(at, std::move(fn));
+  kernel_->schedule_at(at, std::move(fn));
 }
 
 void ChainSimulator::schedule_after(SimTime delay, std::function<void()> fn) {
-  queue_.schedule_after(delay, std::move(fn));
+  kernel_->schedule_after(delay, std::move(fn));
 }
 
 void ChainSimulator::schedule_periodic(SimTime start, SimTime period,
                                        std::function<void()> fn) {
-  assert(period.ns() > 0);
-  // Self-rescheduling closure.  `shared_fn` keeps a single callback
-  // instance across firings (stateful callbacks keep their state); the
-  // simulator owns the holder via periodic_tasks_ and the closure captures
-  // only a weak_ptr to it, so no shared_ptr cycle forms and everything is
-  // reclaimed with the simulator.
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  auto holder = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_holder = holder;
-  *holder = [this, period, shared_fn, weak_holder]() {
-    if (stopped_ || queue_.now() > horizon_) {
-      return;
-    }
-    (*shared_fn)();
-    if (auto strong = weak_holder.lock()) {
-      queue_.schedule_after(period, *strong);
-    }
-  };
-  queue_.schedule_at(start, *holder);
-  periodic_tasks_.push_back(std::move(holder));
+  kernel_->schedule_periodic(start, period, std::move(fn));
 }
 
 void ChainSimulator::replace_nf(std::size_t i, std::unique_ptr<NetworkFunction> fresh) {
@@ -88,6 +89,21 @@ void ChainSimulator::set_node_location(std::size_t i, Location loc) {
   chain_.set_location(i, loc);
 }
 
+void ChainSimulator::set_node_server(std::size_t i, std::size_t server_id,
+                                     ServerDevices& devices, Server& hw) {
+  bindings_.at(i) = NodeBinding{server_id, &devices, &hw};
+}
+
+std::size_t ChainSimulator::nodes_off_home() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : bindings_) {
+    if (b.server != home_.server) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 void ChainSimulator::pause_node(std::size_t i) { paused_.at(i) = true; }
 
 void ChainSimulator::resume_node(std::size_t i) {
@@ -95,12 +111,12 @@ void ChainSimulator::resume_node(std::size_t i) {
   auto parked = std::move(buffers_.at(i));
   buffers_.at(i).clear();
   for (auto& entry : parked) {
-    advance(entry.pkt, i, entry.side);
+    advance(entry.pkt, i, entry.at);
   }
 }
 
 Gbps ChainSimulator::observed_ingress_rate(SimTime window) const {
-  const SimTime cutoff = queue_.now() - window;
+  const SimTime cutoff = kernel_->now() - window;
   while (!ingress_window_.empty() && ingress_window_.front().first < cutoff) {
     ingress_window_.pop_front();
   }
@@ -112,19 +128,19 @@ Gbps ChainSimulator::observed_ingress_rate(SimTime window) const {
 }
 
 void ChainSimulator::schedule_next_arrival() {
-  if (stopped_) {
+  if (kernel_->stopped()) {
     return;
   }
   if (traffic_.replay && !traffic_.replay->empty()) {
     schedule_replay_arrival();
     return;
   }
-  const Gbps rate = traffic_.rate.at(queue_.now());
+  const Gbps rate = traffic_.rate.at(kernel_->now());
   const std::size_t next_size = traffic_.sizes.sample(rng_);
   if (rate.value() <= 1e-9) {
     // Source idle; poll the profile again shortly.
-    queue_.schedule_after(SimTime::milliseconds(1.0),
-                          [this] { schedule_next_arrival(); });
+    kernel_->schedule_after(SimTime::milliseconds(1.0),
+                            [this] { schedule_next_arrival(); });
     return;
   }
   const SimTime gap_mean = serialization_delay(Bytes{next_size}, rate);
@@ -133,8 +149,8 @@ void ChainSimulator::schedule_next_arrival() {
           ? SimTime::nanoseconds(static_cast<std::int64_t>(
                 rng_.exponential(static_cast<double>(gap_mean.ns()))))
           : gap_mean;
-  queue_.schedule_after(gap, [this, next_size] {
-    if (stopped_ || queue_.now() >= horizon_) {
+  kernel_->schedule_after(gap, [this, next_size] {
+    if (kernel_->stopped() || kernel_->now() >= kernel_->horizon()) {
       return;
     }
     inject(next_size);
@@ -160,8 +176,8 @@ void ChainSimulator::schedule_replay_arrival() {
   const TraceRecord& rec = records[replay_pos_];
   const SimTime at = replay_epoch_ + (rec.timestamp - first_ts);
   ++replay_pos_;
-  queue_.schedule_at(at, [this, &rec] {
-    if (stopped_ || queue_.now() >= horizon_) {
+  kernel_->schedule_at(at, [this, &rec] {
+    if (kernel_->stopped() || kernel_->now() >= kernel_->horizon()) {
       return;
     }
     inject_frame(rec.frame);
@@ -171,9 +187,9 @@ void ChainSimulator::schedule_replay_arrival() {
 
 void ChainSimulator::account_injection(Packet* p) {
   p->set_id(++injected_);
-  p->set_ingress_time(queue_.now());
+  p->set_ingress_time(kernel_->now());
   ++in_flight_;
-  ingress_window_.emplace_back(queue_.now(),
+  ingress_window_.emplace_back(kernel_->now(),
                                static_cast<std::uint64_t>(p->size()));
   if (ingress_window_.size() > 65536) {
     ingress_window_.pop_front();
@@ -182,11 +198,11 @@ void ChainSimulator::account_injection(Packet* p) {
     ++measured_injected_;
     measured_injected_bytes_ += p->size();
   }
-  advance(p, 0, side_of(chain_.ingress()));
+  advance(p, 0, Hop{home_.server, side_of(chain_.ingress())});
 }
 
 void ChainSimulator::inject(std::size_t size_bytes) {
-  auto handle = pool_.acquire(size_bytes);
+  auto handle = pool().acquire(size_bytes);
   if (!handle) {
     // Mempool exhausted — the sender itself is backpressured; account as a
     // NIC-side loss.
@@ -209,7 +225,7 @@ void ChainSimulator::inject_frame(std::span<const std::uint8_t> frame) {
     ++injected_;
     return;
   }
-  auto handle = pool_.acquire(frame.size());
+  auto handle = pool().acquire(frame.size());
   if (!handle) {
     ++dropped_queue_nic_;
     ++injected_;
@@ -220,31 +236,57 @@ void ChainSimulator::inject_frame(std::span<const std::uint8_t> frame) {
   account_injection(p);
 }
 
-void ChainSimulator::advance(Packet* p, std::size_t idx, Location side) {
+void ChainSimulator::advance(Packet* p, std::size_t idx, Hop from) {
   if (idx >= chain_.size()) {
+    // Egress is always served from the home slot.
+    if (from.server != home_.server) {
+      forward_to_server(p, home_.server,
+                        [this, p, idx](Hop at) { advance(p, idx, at); });
+      return;
+    }
     const Location egress_side = side_of(chain_.egress());
-    if (side != egress_side) {
-      cross_pcie(p, [this, p] { deliver(p); });
+    if (from.side != egress_side) {
+      cross_pcie(p, home_, [this, p] { deliver(p); });
     } else {
       deliver(p);
     }
     return;
   }
   if (paused_[idx]) {
-    buffers_[idx].push_back(Parked{p, side});
+    buffers_[idx].push_back(Parked{p, from});
     ++total_buffered_;
     return;
   }
+  const NodeBinding& binding = bindings_[idx];
+  if (from.server != binding.server) {
+    // Next NF lives on another rack slot: forward over the inter-server
+    // fabric; the packet re-enters at that slot's SmartNIC side.
+    forward_to_server(p, binding.server,
+                      [this, p, idx](Hop at) { advance(p, idx, at); });
+    return;
+  }
   const Location loc = chain_.location_of(idx);
-  if (loc != side) {
-    cross_pcie(p, [this, p, idx] { process_node(p, idx); });
+  if (loc != from.side) {
+    cross_pcie(p, binding, [this, p, idx] { process_node(p, idx); });
   } else {
     process_node(p, idx);
   }
 }
 
-void ChainSimulator::cross_pcie(Packet* p, std::function<void()> continuation) {
-  auto& pcie = server_->pcie();
+void ChainSimulator::forward_to_server(Packet* p, std::size_t to_server,
+                                       std::function<void(Hop)> continuation) {
+  ++server_hops_total_;
+  (void)p;  // pure pipeline delay: no queueing model on the rack fabric
+  kernel_->schedule_after(
+      inter_server_latency_,
+      [to_server, cont = std::move(continuation)]() mutable {
+        cont(Hop{to_server, Location::kSmartNic});
+      });
+}
+
+void ChainSimulator::cross_pcie(Packet* p, const NodeBinding& binding,
+                                std::function<void()> continuation) {
+  auto& pcie = binding.hw->pcie();
   p->note_pcie_crossing();
   pcie.note_crossing(p->wire_bytes());
   ++crossings_total_;
@@ -254,13 +296,15 @@ void ChainSimulator::cross_pcie(Packet* p, std::function<void()> continuation) {
       serialization_delay(p->wire_bytes(), pcie.host_cost_rate());
   const SimTime fixed = pcie.fixed_cost();
 
-  const bool accepted = pcie_server_.submit(
-      link_service, [this, p, fixed, driver_service,
+  ServerDevices* devices = binding.devices;
+  const bool accepted = devices->pcie.submit(
+      link_service, [this, p, devices, fixed, driver_service,
                      cont = std::move(continuation)]() mutable {
-        queue_.schedule_after(
-            fixed, [this, p, driver_service, cont = std::move(cont)]() mutable {
+        kernel_->schedule_after(
+            fixed,
+            [this, p, devices, driver_service, cont = std::move(cont)]() mutable {
               // Host-side DMA/driver work shares the CPU with NF processing.
-              const bool ok = cpu_server_.submit(driver_service, std::move(cont));
+              const bool ok = devices->cpu.submit(driver_service, std::move(cont));
               if (!ok) {
                 drop(p, dropped_queue_cpu_);
               }
@@ -274,7 +318,9 @@ void ChainSimulator::cross_pcie(Packet* p, std::function<void()> continuation) {
 void ChainSimulator::process_node(Packet* p, std::size_t idx) {
   const auto& node = chain_.node(idx);
   const Location loc = node.location;
-  FcfsServer& srv = loc == Location::kSmartNic ? nic_server_ : cpu_server_;
+  const NodeBinding& binding = bindings_[idx];
+  FcfsServer& srv =
+      loc == Location::kSmartNic ? binding.devices->nic : binding.devices->cpu;
 
   // Mean per-packet occupancy: a sampling NF (load_factor < 1) spends the
   // full service time on a fraction of packets; the simulator applies the
@@ -283,15 +329,15 @@ void ChainSimulator::process_node(Packet* p, std::size_t idx) {
       serialization_delay(p->wire_bytes(), node.spec.capacity.on(loc)) *
       node.spec.load_factor;
 
-  const SimTime submitted_at = queue_.now();
+  const SimTime submitted_at = kernel_->now();
   const bool accepted = srv.submit(service, [this, p, idx, loc, submitted_at] {
     if (metering()) {
       auto& stats = node_stats_[idx];
       ++stats.packets;
-      stats.residence.record(queue_.now() - submitted_at);
+      stats.residence.record(kernel_->now() - submitted_at);
     }
     p->note_hop();
-    const Verdict verdict = nfs_[idx]->handle(*p, queue_.now());
+    const Verdict verdict = nfs_[idx]->handle(*p, kernel_->now());
     if (verdict == Verdict::kDrop) {
       drop(p, dropped_by_nf_);
       return;
@@ -304,8 +350,11 @@ void ChainSimulator::process_node(Packet* p, std::size_t idx) {
       drop(p, dropped_by_nf_);
       return;
     }
-    queue_.schedule_after(calibration_.nf_overhead(loc),
-                          [this, p, idx, loc] { advance(p, idx + 1, loc); });
+    const std::size_t at_server = bindings_[idx].server;
+    kernel_->schedule_after(calibration_.nf_overhead(loc),
+                            [this, p, idx, loc, at_server] {
+                              advance(p, idx + 1, Hop{at_server, loc});
+                            });
   });
   if (!accepted) {
     drop(p, loc == Location::kSmartNic ? dropped_queue_nic_ : dropped_queue_cpu_);
@@ -315,13 +364,13 @@ void ChainSimulator::process_node(Packet* p, std::size_t idx) {
 void ChainSimulator::deliver(Packet* p) {
   ++delivered_;
   if (capture_ != nullptr) {
-    capture_->append(queue_.now(), p->data());
+    capture_->append(kernel_->now(), p->data());
   }
   if (metering()) {
     ++measured_delivered_;
     measured_delivered_bytes_ += p->size();
     measured_crossings_ += p->pcie_crossings();
-    latency_.record(queue_.now() - p->ingress_time());
+    latency_.record(kernel_->now() - p->ingress_time());
   }
   finish(p);
 }
@@ -334,25 +383,18 @@ void ChainSimulator::drop(Packet* p, std::uint64_t& counter) {
 void ChainSimulator::finish(Packet* p) {
   assert(in_flight_ > 0);
   --in_flight_;
-  pool_.release(p);
+  pool().release(p);
 }
 
-SimReport ChainSimulator::run(SimTime duration, SimTime warmup) {
-  assert(!ran_ && "ChainSimulator::run is single-shot");
-  assert(warmup < duration);
+void ChainSimulator::start() {
+  assert(!ran_ && "a ChainSimulator instance runs once");
   ran_ = true;
-  warmup_ = warmup;
-  horizon_ = duration;
-
   schedule_next_arrival();
-  queue_.run_until(duration);
+}
 
-  // Drain: stop the source, let queued work complete unmetered, so packet
-  // conservation is exact.  Whatever remains in flight afterwards is parked
-  // at paused nodes (returned to the pool by the destructor).
-  stopped_ = true;
-  while (queue_.run_one()) {
-  }
+SimReport ChainSimulator::build_report() const {
+  const SimTime duration = kernel_->horizon();
+  const SimTime warmup = kernel_->warmup();
 
   SimReport report;
   report.in_flight_at_end = in_flight_;
@@ -369,9 +411,9 @@ SimReport ChainSimulator::run(SimTime duration, SimTime warmup) {
   const SimTime window = duration - warmup;
   report.egress_goodput = rate_of(Bytes{measured_delivered_bytes_}, window);
   report.offered_rate = rate_of(Bytes{measured_injected_bytes_}, window);
-  report.smartnic_utilization = nic_server_.utilization(duration);
-  report.cpu_utilization = cpu_server_.utilization(duration);
-  report.pcie_utilization = pcie_server_.utilization(duration);
+  report.smartnic_utilization = home_.devices->nic.utilization(duration);
+  report.cpu_utilization = home_.devices->cpu.utilization(duration);
+  report.pcie_utilization = home_.devices->pcie.utilization(duration);
   report.per_node.reserve(chain_.size());
   for (std::size_t i = 0; i < chain_.size(); ++i) {
     NodeSummary node;
@@ -385,12 +427,23 @@ SimReport ChainSimulator::run(SimTime duration, SimTime warmup) {
     report.per_node.push_back(std::move(node));
   }
   report.pcie_crossings = crossings_total_;
+  report.inter_server_hops = server_hops_total_;
   report.mean_crossings_per_packet =
       measured_delivered_ > 0
           ? static_cast<double>(measured_crossings_) /
                 static_cast<double>(measured_delivered_)
           : 0.0;
   return report;
+}
+
+SimReport ChainSimulator::run(SimTime duration, SimTime warmup) {
+  assert(owned_kernel_ != nullptr &&
+         "run() is standalone-mode only; embedded simulators are driven by "
+         "their shared kernel (start/build_report)");
+  assert(warmup < duration);
+  start();
+  kernel_->run(duration, warmup);
+  return build_report();
 }
 
 }  // namespace pam

@@ -21,6 +21,16 @@
 // bytes) run at service completion, so behavioural tests and performance
 // tests exercise one code path.
 //
+// The engine guts (event queue, packet pool, warmup/horizon/drain, periodic
+// scheduling) live in SimulationKernel.  A ChainSimulator either owns a
+// private kernel (standalone mode — the historical behaviour, public API
+// unchanged) or embeds into a shared kernel + per-rack-slot ServerDevices
+// (cluster mode, see sim/cluster_simulator.hpp).  In cluster mode individual
+// nodes can be re-bound to *other* rack slots at runtime (cross-server
+// scale-out); a packet whose next hop lives on a different server pays a
+// fixed inter-server forwarding latency and re-enters at that server's
+// SmartNIC side.
+//
 // Determinism: single-threaded, seeded, stable event ordering — identical
 // inputs give bit-identical reports.
 
@@ -41,16 +51,29 @@
 #include "sim/event_queue.hpp"
 #include "sim/fcfs_server.hpp"
 #include "sim/sim_report.hpp"
+#include "sim/simulation_kernel.hpp"
 #include "trafficgen/traffic_source_config.hpp"
 
 namespace pam {
 
 class ChainSimulator {
  public:
-  /// `server` must outlive the simulator; its PcieLink counters are updated
-  /// during the run.
+  /// Standalone mode: a private SimulationKernel and ServerDevices are
+  /// created for this chain.  `server` must outlive the simulator; its
+  /// PcieLink counters are updated during the run.
   ChainSimulator(ServiceChain chain, Server& server, TrafficSourceConfig traffic,
                  Calibration calibration = Calibration::defaults());
+
+  /// Embedded (cluster) mode: advance on a shared `kernel` and contend for
+  /// a shared rack slot's `devices`.  `home_server_id` names the slot for
+  /// reporting and cross-server routing.  All referenced objects must
+  /// outlive the simulator.  Drive with start() + kernel.run() +
+  /// build_report() instead of run().
+  ChainSimulator(SimulationKernel& kernel, ServerDevices& devices,
+                 std::size_t home_server_id, ServiceChain chain, Server& server,
+                 TrafficSourceConfig traffic,
+                 Calibration calibration = Calibration::defaults());
+
   ~ChainSimulator();
 
   ChainSimulator(const ChainSimulator&) = delete;
@@ -58,20 +81,33 @@ class ChainSimulator {
 
   /// Runs for `duration` of simulated time; metrics cover [warmup, duration].
   /// In-flight packets are drained (unmetered) after the horizon so packet
-  /// conservation is exact.  Call once per simulator instance.
+  /// conservation is exact.  Call once per simulator instance.  Standalone
+  /// mode only — embedded simulators are driven by their shared kernel.
   [[nodiscard]] SimReport run(SimTime duration, SimTime warmup = SimTime::milliseconds(20));
+
+  // --- embedded-mode driving (cluster) -------------------------------------
+
+  /// Schedules the first traffic arrival.  Called by ClusterSimulator before
+  /// the shared kernel runs (standalone run() does this itself).
+  void start();
+
+  /// Assembles the SimReport from the current counters; valid after the
+  /// kernel's run completed.  run() == start() + kernel.run() + this.
+  [[nodiscard]] SimReport build_report() const;
 
   // --- controller / migration-engine API -----------------------------------
 
-  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] SimTime now() const noexcept { return kernel_->now(); }
   [[nodiscard]] const ServiceChain& chain() const noexcept { return chain_; }
   [[nodiscard]] Server& server() noexcept { return *server_; }
   [[nodiscard]] const Calibration& calibration() const noexcept { return calibration_; }
+  [[nodiscard]] SimulationKernel& kernel() noexcept { return *kernel_; }
 
   void schedule_at(SimTime at, std::function<void()> fn);
   void schedule_after(SimTime delay, std::function<void()> fn);
   /// Periodic callback every `period` starting at `start`; stops when the
-  /// run's horizon is reached.
+  /// run's horizon is reached.  One shared implementation for all callers:
+  /// SimulationKernel::schedule_periodic.
   void schedule_periodic(SimTime start, SimTime period, std::function<void()> fn);
 
   /// The functional NF instance at chain position i.
@@ -81,6 +117,25 @@ class ChainSimulator {
 
   /// Re-place node i (takes effect for packets not yet routed to it).
   void set_node_location(std::size_t i, Location loc);
+
+  // --- cross-server placement (cluster mode) -------------------------------
+
+  /// Re-bind node i to another rack slot (cross-server scale-out).  Takes
+  /// effect for packets not yet routed to it; `devices`/`hw` must outlive
+  /// the simulator.
+  void set_node_server(std::size_t i, std::size_t server_id,
+                       ServerDevices& devices, Server& hw);
+  [[nodiscard]] std::size_t node_server(std::size_t i) const {
+    return bindings_.at(i).server;
+  }
+  [[nodiscard]] std::size_t home_server() const noexcept { return home_.server; }
+  /// Count of nodes currently bound away from the home slot.
+  [[nodiscard]] std::size_t nodes_off_home() const noexcept;
+
+  /// One-way forwarding latency between rack slots (default 50 us).
+  void set_inter_server_latency(SimTime latency) noexcept {
+    inter_server_latency_ = latency;
+  }
 
   /// Pause: packets arriving at node i are buffered, not processed.
   void pause_node(std::size_t i);
@@ -103,9 +158,22 @@ class ChainSimulator {
   void capture_egress(PacketTrace* sink) noexcept { capture_ = sink; }
 
  private:
+  /// Which rack slot a node (or virtual endpoint) executes on.
+  struct NodeBinding {
+    std::size_t server = 0;
+    ServerDevices* devices = nullptr;
+    Server* hw = nullptr;
+  };
+
+  /// A packet's current position between hops: rack slot + device side.
+  struct Hop {
+    std::size_t server = 0;
+    Location side = Location::kSmartNic;
+  };
+
   struct Parked {
     Packet* pkt;
-    Location side;
+    Hop at;
   };
 
   void schedule_next_arrival();
@@ -113,35 +181,34 @@ class ChainSimulator {
   void inject(std::size_t size_bytes);
   void inject_frame(std::span<const std::uint8_t> frame);
   void account_injection(Packet* p);
-  void advance(Packet* p, std::size_t idx, Location side);
+  void advance(Packet* p, std::size_t idx, Hop from);
   void process_node(Packet* p, std::size_t idx);
-  void cross_pcie(Packet* p, std::function<void()> continuation);
+  void cross_pcie(Packet* p, const NodeBinding& binding,
+                  std::function<void()> continuation);
+  void forward_to_server(Packet* p, std::size_t to_server,
+                         std::function<void(Hop)> continuation);
   void deliver(Packet* p);
   void drop(Packet* p, std::uint64_t& counter);
   void finish(Packet* p);
-  [[nodiscard]] bool metering() const noexcept {
-    return queue_.now() >= warmup_ && queue_.now() <= horizon_;
-  }
+  [[nodiscard]] bool metering() const noexcept { return kernel_->metering(); }
+  [[nodiscard]] PacketPool& pool() noexcept { return kernel_->pool(); }
 
   ServiceChain chain_;
   Server* server_;
   Calibration calibration_;
   TrafficSourceConfig traffic_;
 
-  EventQueue queue_;
-  PacketPool pool_;
-  FcfsServer nic_server_;
-  FcfsServer cpu_server_;
-  FcfsServer pcie_server_;
+  /// Standalone mode owns its engine and rack slot; embedded mode borrows.
+  std::unique_ptr<SimulationKernel> owned_kernel_;
+  SimulationKernel* kernel_;
+  std::unique_ptr<ServerDevices> owned_devices_;
+  NodeBinding home_;                   ///< home rack slot (ingress/egress side)
+  std::vector<NodeBinding> bindings_;  ///< per-node execution slot
+  SimTime inter_server_latency_ = SimTime::microseconds(50.0);
 
   std::vector<std::unique_ptr<NetworkFunction>> nfs_;
   std::vector<bool> paused_;
   std::vector<std::vector<Parked>> buffers_;
-
-  /// Owners of the self-rescheduling closures from schedule_periodic();
-  /// queued copies hold only weak_ptrs, so destroying the simulator
-  /// reclaims them (no shared_ptr cycle).
-  std::vector<std::shared_ptr<std::function<void()>>> periodic_tasks_;
 
   struct NodeStats {
     std::uint64_t packets = 0;
@@ -152,9 +219,6 @@ class ChainSimulator {
   FlowGenerator flowgen_;
   Rng rng_;
 
-  SimTime warmup_ = SimTime::zero();
-  SimTime horizon_ = SimTime::zero();
-  bool stopped_ = false;
   bool ran_ = false;
 
   // accounting
@@ -167,6 +231,7 @@ class ChainSimulator {
   std::uint64_t dropped_by_nf_ = 0;
   std::uint64_t total_buffered_ = 0;
   std::uint64_t crossings_total_ = 0;
+  std::uint64_t server_hops_total_ = 0;
 
   // measurement window
   LatencyRecorder latency_;

@@ -51,6 +51,9 @@ struct SimReport {
   double cpu_utilization = 0.0;
   double pcie_utilization = 0.0;
   std::uint64_t pcie_crossings = 0;
+  /// Rack-fabric forwardings to/from other servers (cluster mode; 0 for a
+  /// standalone single-server run).
+  std::uint64_t inter_server_hops = 0;
   double mean_crossings_per_packet = 0.0;
 
   SimTime duration = SimTime::zero();

@@ -1,0 +1,63 @@
+#include "sim/simulation_kernel.hpp"
+
+#include <cassert>
+
+#include "chain/calibration.hpp"
+
+namespace pam {
+
+namespace {
+constexpr std::size_t kPcieQueueFactor = 4;  // link ring deeper than NF queues
+}
+
+SimulationKernel::SimulationKernel(std::size_t pool_capacity)
+    : pool_(pool_capacity) {}
+
+void SimulationKernel::schedule_periodic(SimTime start, SimTime period,
+                                         std::function<void()> fn) {
+  assert(period.ns() > 0);
+  // Self-rescheduling closure.  `shared_fn` keeps a single callback
+  // instance across firings (stateful callbacks keep their state); the
+  // kernel owns the holder via periodic_tasks_ and the closure captures
+  // only a weak_ptr to it, so no shared_ptr cycle forms and everything is
+  // reclaimed with the kernel.
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  auto holder = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_holder = holder;
+  *holder = [this, period, shared_fn, weak_holder]() {
+    if (stopped_ || queue_.now() > horizon_) {
+      return;
+    }
+    (*shared_fn)();
+    if (auto strong = weak_holder.lock()) {
+      queue_.schedule_after(period, *strong);
+    }
+  };
+  queue_.schedule_at(start, *holder);
+  periodic_tasks_.push_back(std::move(holder));
+}
+
+void SimulationKernel::run(SimTime duration, SimTime warmup) {
+  assert(!ran_ && "SimulationKernel::run is single-shot");
+  assert(warmup < duration);
+  ran_ = true;
+  warmup_ = warmup;
+  horizon_ = duration;
+
+  queue_.run_until(duration);
+
+  // Drain: sources observe stopped(), queued work completes unmetered, so
+  // whatever was in flight at the horizon is delivered, dropped, or parked.
+  stopped_ = true;
+  while (queue_.run_one()) {
+  }
+}
+
+ServerDevices::ServerDevices(EventQueue& queue, const Calibration& calibration,
+                             const std::string& tag)
+    : nic(queue, "smartnic" + tag, calibration.queue_capacity_packets),
+      cpu(queue, "cpu" + tag, calibration.queue_capacity_packets),
+      pcie(queue, "pcie" + tag,
+           calibration.queue_capacity_packets * kPcieQueueFactor) {}
+
+}  // namespace pam

@@ -1,0 +1,101 @@
+// The reusable discrete-event engine shared by every simulator frontend.
+//
+// SimulationKernel bundles what used to live inside ChainSimulator and is
+// not specific to "one chain on one server": the deterministic EventQueue,
+// the mempool-style PacketPool, the measurement-window bookkeeping
+// (warmup/horizon), the end-of-run drain that makes packet conservation
+// exact, and the single horizon-bounded `schedule_periodic` implementation
+// used by the per-server controller loop and the fleet controller alike.
+//
+// Frontends:
+//   - ChainSimulator      owns a private kernel (standalone mode) or embeds
+//                         into a shared one (cluster mode);
+//   - ClusterSimulator    one kernel, N servers x M chains advancing on the
+//                         same queue and drawing from the same pool.
+//
+// Determinism: the kernel adds no randomness of its own; with seeded
+// frontends, identical inputs give bit-identical runs.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "packet/packet_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fcfs_server.hpp"
+
+namespace pam {
+
+struct Calibration;
+
+class SimulationKernel {
+ public:
+  explicit SimulationKernel(std::size_t pool_capacity = 4096);
+
+  SimulationKernel(const SimulationKernel&) = delete;
+  SimulationKernel& operator=(const SimulationKernel&) = delete;
+
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const PacketPool& pool() const noexcept { return pool_; }
+
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] SimTime warmup() const noexcept { return warmup_; }
+  [[nodiscard]] SimTime horizon() const noexcept { return horizon_; }
+
+  /// True inside the measurement window [warmup, horizon].
+  [[nodiscard]] bool metering() const noexcept {
+    return queue_.now() >= warmup_ && queue_.now() <= horizon_;
+  }
+  /// True once the horizon has been reached and the drain phase started;
+  /// traffic sources use this to stop injecting.
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  void schedule_at(SimTime at, std::function<void()> fn) {
+    queue_.schedule_at(at, std::move(fn));
+  }
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    queue_.schedule_after(delay, std::move(fn));
+  }
+
+  /// Periodic callback every `period` starting at `start`; stops when the
+  /// run's horizon is reached.  The kernel owns the self-rescheduling
+  /// closure (queued copies hold only weak_ptrs), so destroying the kernel
+  /// reclaims stateful callbacks without a shared_ptr cycle.
+  void schedule_periodic(SimTime start, SimTime period, std::function<void()> fn);
+
+  /// Single-shot: arms the measurement window, runs events until the clock
+  /// reaches `duration`, then drains the queue unmetered so in-flight work
+  /// completes and packet conservation is exact.
+  void run(SimTime duration, SimTime warmup);
+
+ private:
+  EventQueue queue_;
+  PacketPool pool_;
+  std::vector<std::shared_ptr<std::function<void()>>> periodic_tasks_;
+  SimTime warmup_ = SimTime::zero();
+  SimTime horizon_ = SimTime::zero();
+  bool stopped_ = false;
+  bool ran_ = false;
+};
+
+/// The three FCFS queueing contexts of one physical server — NPU complex,
+/// CPU complex, PCIe link — bound to a kernel's event queue.  In standalone
+/// mode each ChainSimulator owns one; in cluster mode every chain homed on
+/// (or offloaded to) the same rack slot shares the slot's instance, so
+/// co-located chains contend for the same hardware.
+struct ServerDevices {
+  ServerDevices(EventQueue& queue, const Calibration& calibration,
+                const std::string& tag = "");
+
+  FcfsServer nic;
+  FcfsServer cpu;
+  FcfsServer pcie;
+};
+
+}  // namespace pam

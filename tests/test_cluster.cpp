@@ -1,0 +1,200 @@
+// ClusterSimulator + FleetController integration tests: fleet-wide packet
+// conservation and pool drain, cross-server scale-out mechanics, fleet
+// aggregation, and bit-identical JSON across identical cluster runs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chain/chain_builder.hpp"
+#include "control/fleet_controller.hpp"
+#include "core/pam_policy.hpp"
+#include "experiment/metrics_sink.hpp"
+#include "experiment/scenario_runner.hpp"
+#include "sim/cluster_simulator.hpp"
+
+namespace pam {
+namespace {
+
+using namespace pam::literals;
+
+TrafficSourceConfig traffic(double gbps, std::uint64_t seed) {
+  TrafficSourceConfig cfg;
+  cfg.rate = RateProfile::constant(Gbps{gbps});
+  cfg.sizes = PacketSizeDistribution::fixed(512);
+  cfg.seed = seed;
+  return cfg;
+}
+
+ServiceChain hot_chain() {
+  // SmartNIC past saturation at 2.8 Gbps while the DPI pins the CPU:
+  // push-aside migration is infeasible, forcing the cross-server path.
+  return ChainBuilder{"hot"}
+      .add(NfType::kFirewall, "fw", Location::kSmartNic)
+      .add(NfType::kMonitor, "mon", Location::kSmartNic)
+      .add(NfType::kDpi, "dpi", Location::kCpu)
+      .build();
+}
+
+TEST(Cluster, ConservationAndPoolDrainAcrossServers) {
+  ClusterSimulator cluster{3};
+  cluster.add_chain(paper_figure1_chain(), traffic(1.3, 1), 0);
+  cluster.add_chain(paper_figure1_chain(), traffic(1.0, 2), 1);
+  cluster.add_chain(paper_figure1_chain(), traffic(0.7, 3), 2);
+
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(5));
+
+  EXPECT_GT(report.injected, 0u);
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.in_flight_at_end, 0u);
+  for (const SimReport& chain : report.per_chain) {
+    EXPECT_TRUE(chain.conserved());
+  }
+  // The shared mempool is fully drained once every server's chains finish.
+  EXPECT_EQ(cluster.kernel().pool().in_use(), 0u);
+}
+
+TEST(Cluster, FleetTotalsAreTheSumOfChains) {
+  ClusterSimulator cluster{2};
+  cluster.add_chain(paper_figure1_chain(), traffic(1.2, 7), 0);
+  cluster.add_chain(paper_figure1_chain(), traffic(0.9, 8), 1);
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(25), SimTime::milliseconds(5));
+
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::size_t latency_samples = 0;
+  for (const SimReport& chain : report.per_chain) {
+    injected += chain.injected;
+    delivered += chain.delivered;
+    latency_samples += chain.latency.count();
+  }
+  EXPECT_EQ(report.injected, injected);
+  EXPECT_EQ(report.delivered, delivered);
+  EXPECT_EQ(report.latency.count(), latency_samples);
+  EXPECT_EQ(report.per_server.size(), 2u);
+  EXPECT_EQ(report.per_server[0].chains_homed, 1u);
+  EXPECT_EQ(report.per_server[1].chains_homed, 1u);
+}
+
+TEST(Cluster, FleetControllerMovesBorderNfAcrossServers) {
+  ClusterSimulator cluster{2};
+  const std::size_t hot = cluster.add_chain(hot_chain(), traffic(2.8, 11), 0);
+  FleetControllerOptions opts;
+  opts.first_check = SimTime::milliseconds(5);
+  opts.period = SimTime::milliseconds(5);
+  FleetController fleet{cluster, std::make_unique<PamPolicy>(), opts};
+  fleet.arm();
+
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(40), SimTime::milliseconds(5));
+
+  EXPECT_GE(fleet.scale_out_moves(), 1u);
+  EXPECT_EQ(cluster.chain_sim(hot).nodes_off_home(), 1u);
+  // The moved Monitor is the middle node: packets hop to server 1 and back.
+  EXPECT_EQ(cluster.chain_sim(hot).node_server(1), 1u);
+  EXPECT_GT(report.inter_server_hops, 0u);
+  EXPECT_GT(report.per_server[1].smartnic_utilization, 0.2);
+  // Loss-freedom of the move itself: everything still accounted for.
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(cluster.kernel().pool().in_use(), 0u);
+  EXPECT_FALSE(fleet.events().empty());
+}
+
+TEST(Cluster, CoHomedChainsSaturatingASlotTriggerScaleOut) {
+  // Two chains each at ~0.56 analytic SmartNIC utilisation share slot 0:
+  // no single chain crosses the trigger, but the shared NIC saturates.
+  // The live-slot-load signal must still drive a cross-server move.
+  ClusterSimulator cluster{2};
+  const auto monitor_chain = [](const char* name, const char* nf) {
+    return ChainBuilder{name}
+        .add(NfType::kMonitor, nf, Location::kSmartNic)
+        .build();
+  };
+  cluster.add_chain(monitor_chain("a", "monA"), traffic(1.8, 21), 0);
+  cluster.add_chain(monitor_chain("b", "monB"), traffic(1.8, 22), 0);
+
+  FleetControllerOptions opts;
+  opts.first_check = SimTime::milliseconds(5);
+  opts.period = SimTime::milliseconds(5);
+  opts.trigger_utilization = 0.95;
+  FleetController fleet{cluster, std::make_unique<PamPolicy>(), opts};
+  fleet.arm();
+
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(40), SimTime::milliseconds(5));
+
+  EXPECT_GE(fleet.scale_out_moves(), 1u);
+  EXPECT_TRUE(report.conserved());
+  // One of the two Monitors now runs on the spare slot.
+  const std::size_t off_home = cluster.chain_sim(0).nodes_off_home() +
+                               cluster.chain_sim(1).nodes_off_home();
+  EXPECT_GE(off_home, 1u);
+}
+
+TEST(Cluster, NoRebalanceWithoutController) {
+  ClusterSimulator cluster{2};
+  const std::size_t hot = cluster.add_chain(hot_chain(), traffic(2.8, 11), 0);
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(5));
+  EXPECT_EQ(cluster.chain_sim(hot).nodes_off_home(), 0u);
+  EXPECT_EQ(report.inter_server_hops, 0u);
+  EXPECT_TRUE(report.conserved());
+}
+
+constexpr const char* kClusterScn = R"(
+[scenario]
+name = cluster-test
+kind = cluster
+duration_ms = 30
+warmup_ms = 5
+seed = 3
+
+[traffic]
+arrival = cbr
+sizes = fixed 512
+
+[chain]
+name = hot
+spec = wire | S:Firewall S:Monitor C:DPI | host
+offered_gbps = 2.8
+server = 0
+
+[chain]
+name = calm
+spec = wire | S:Firewall | wire
+offered_gbps = 0.4
+server = 1
+
+[cluster]
+servers = 2
+rebalance = on
+target_max_load = 0.95
+first_check_ms = 5
+period_ms = 5
+)";
+
+std::string run_to_json(const ScenarioSpec& spec) {
+  const ScenarioRunner runner;
+  auto result = runner.run(spec);
+  EXPECT_TRUE(result) << (result ? std::string{} : result.error().what());
+  std::ostringstream out;
+  write_metrics_json(result.value(), out);
+  return out.str();
+}
+
+TEST(Cluster, IdenticalRunsProduceBitIdenticalJson) {
+  auto spec = ScenarioSpec::parse(kClusterScn, "cluster-test");
+  ASSERT_TRUE(spec) << spec.error().what();
+  const std::string a = run_to_json(spec.value());
+  const std::string b = run_to_json(spec.value());
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The scale-out event must be visible in the metrics.
+  EXPECT_NE(a.find("\"scale_out_moves\": 1"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"conserved\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pam

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "packet/packet_builder.hpp"
 #include "packet/packet_pool.hpp"
 
@@ -32,6 +34,77 @@ TEST(Packet, ResetInitialises) {
   EXPECT_EQ(p.size(), 256u);
   EXPECT_EQ(p.pcie_crossings(), 0u);
   EXPECT_EQ(p.hops(), 0u);
+}
+
+TEST(Packet, ResetHeadersZeroesHeaderRegionAndGrownTail) {
+  Packet p{512};
+  std::fill(p.data().begin(), p.data().end(), std::uint8_t{0xab});
+  p.set_id(7);
+  p.note_pcie_crossing();
+  p.note_hop();
+
+  p.reset_headers(512);
+  for (std::size_t i = 0; i < Packet::kHeaderBytes; ++i) {
+    EXPECT_EQ(p.data()[i], 0u) << "header byte " << i;
+  }
+  // Payload bytes beyond the headers are intentionally left to the producer.
+  EXPECT_EQ(p.data()[Packet::kHeaderBytes], 0xabu);
+  EXPECT_EQ(p.id(), 0u);
+  EXPECT_EQ(p.pcie_crossings(), 0u);
+  EXPECT_EQ(p.hops(), 0u);
+
+  // Shrink, dirty, then grow: the regrown tail must be value-initialised.
+  p.reset_headers(64);
+  std::fill(p.data().begin(), p.data().end(), std::uint8_t{0xcd});
+  p.reset_headers(256);
+  EXPECT_EQ(p.size(), 256u);
+  for (std::size_t i = 64; i < 256; ++i) {
+    EXPECT_EQ(p.data()[i], 0u) << "grown byte " << i;
+  }
+}
+
+TEST(PacketPool, RecycledAcquireHasCleanHeadersAndMetadata) {
+  PacketPool pool{1};
+  {
+    auto p = pool.acquire(512);
+    ASSERT_TRUE(p);
+    std::fill(p->data().begin(), p->data().end(), std::uint8_t{0xee});
+    p->set_id(42);
+    p->note_pcie_crossing();
+  }
+  auto p = pool.acquire(1500);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->size(), 1500u);
+  EXPECT_EQ(p->id(), 0u);
+  EXPECT_EQ(p->pcie_crossings(), 0u);
+  for (std::size_t i = 0; i < Packet::kHeaderBytes; ++i) {
+    EXPECT_EQ(p->data()[i], 0u) << "header byte " << i;
+  }
+  // The tail grown beyond the recycled 512B frame is zero too.
+  for (std::size_t i = 512; i < 1500; ++i) {
+    EXPECT_EQ(p->data()[i], 0u) << "grown byte " << i;
+  }
+  // No parse ghosts from the previous occupant: all-zero headers are not a
+  // valid IPv4 frame.
+  EXPECT_FALSE(p->ipv4().has_value());
+}
+
+TEST(PacketBuilder, BuildOverwritesRecycledPayloadDeterministically) {
+  PacketBuilder builder;
+  builder.size(256).flow(sample_tuple()).payload_seed(77);
+
+  Packet fresh;
+  builder.build_into(fresh);
+
+  Packet dirty;
+  dirty.reset(256);
+  std::fill(dirty.data().begin(), dirty.data().end(), std::uint8_t{0x5a});
+  builder.build_into(dirty);
+
+  ASSERT_EQ(fresh.size(), dirty.size());
+  EXPECT_TRUE(std::equal(fresh.data().begin(), fresh.data().end(),
+                         dirty.data().begin()))
+      << "a rebuilt recycled frame must be byte-identical to a fresh build";
 }
 
 TEST(Packet, MetadataAccessors) {

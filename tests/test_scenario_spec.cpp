@@ -309,6 +309,137 @@ scale_in_below = 0.4
   EXPECT_TRUE(first.value() == second.value());
 }
 
+constexpr const char* kClusterText = R"(
+[scenario]
+name = c
+kind = cluster
+duration_ms = 30
+warmup_ms = 5
+seed = 9
+
+[traffic]
+arrival = cbr
+sizes = fixed 512
+
+[chain]
+name = hot
+spec = wire | S:Firewall S:Monitor C:DPI | host
+offered_gbps = 2.8
+server = 0
+
+[chain]
+name = calm
+spec = wire | S:Firewall | wire
+offered_gbps = 0.5
+
+[cluster]
+servers = 4
+rebalance = on
+inter_server_us = 40
+trigger_utilization = 0.95
+target_max_load = 0.85
+period_ms = 5
+first_check_ms = 5
+cooldown_ms = 15
+)";
+
+TEST(ScenarioSpec, ParsesClusterKind) {
+  const auto result = ScenarioSpec::parse(kClusterText);
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.kind, ScenarioKind::kCluster);
+  EXPECT_EQ(spec.cluster.servers, 4u);
+  EXPECT_TRUE(spec.cluster.rebalance);
+  EXPECT_DOUBLE_EQ(spec.cluster.inter_server_us, 40.0);
+  EXPECT_DOUBLE_EQ(spec.cluster.trigger_utilization, 0.95);
+  EXPECT_DOUBLE_EQ(spec.cluster.target_max_load, 0.85);
+  ASSERT_EQ(spec.chains.size(), 2u);
+  EXPECT_EQ(spec.chains[0].server, 0);
+  EXPECT_EQ(spec.chains[1].server, -1);  // round-robin default
+}
+
+TEST(ScenarioSpecRoundTrip, ClusterRoundTrips) {
+  const auto first = ScenarioSpec::parse(kClusterText);
+  ASSERT_TRUE(first.has_value()) << first.error().what();
+  const auto second = ScenarioSpec::parse(first.value().to_text());
+  ASSERT_TRUE(second.has_value()) << second.error().what();
+  EXPECT_TRUE(first.value() == second.value());
+}
+
+TEST(ScenarioSpec, ClusterRequiresClusterSection) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = c
+kind = cluster
+
+[chain]
+name = a
+spec = wire | S:Firewall | wire
+)");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("[cluster]"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ClusterRejectsServerOutOfRange) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = c
+kind = cluster
+
+[chain]
+name = a
+spec = wire | S:Firewall | wire
+server = 2
+
+[cluster]
+servers = 2
+)");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("out of range"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ChainServerKeyRejectedOutsideCluster) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = d
+kind = deployment
+
+[chain]
+name = a
+spec = wire | S:Firewall | wire
+server = 0
+)");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("only valid for kind = cluster"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, ClusterSectionRejectedOutsideClusterKind) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = t
+kind = compare
+chain = wire | S:Monitor | wire
+
+[variant]
+policy = pam
+
+[cluster]
+servers = 2
+)");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("only valid for kind = cluster"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, ScaledMultipliesClusterChainRates) {
+  const auto result = ScenarioSpec::parse(kClusterText);
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec scaled = result.value().scaled(1.5);
+  EXPECT_NEAR(scaled.chains[0].offered_gbps, 4.2, 1e-12);
+  EXPECT_NEAR(scaled.chains[1].offered_gbps, 0.75, 1e-12);
+}
+
 TEST(ScenarioSpec, ScaledMultipliesRates) {
   const auto result = ScenarioSpec::parse(R"(
 [scenario]
