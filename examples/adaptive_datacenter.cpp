@@ -47,7 +47,8 @@ int main() {
 
   std::printf("--- controller timeline ---\n");
   for (const auto& event : controller.events()) {
-    std::printf("[%10s] %s\n", event.at.to_string().c_str(), event.what.c_str());
+    std::printf("[%10s] %-17s %s\n", event.at.to_string().c_str(),
+                std::string{to_string(event.kind)}.c_str(), event.detail.c_str());
   }
   std::printf("\n--- migrations ---\n");
   for (const auto& record : controller.engine().records()) {

@@ -2,8 +2,26 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pam {
+
+std::string format_double_shortest(double v) {
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::string s = format("%.*g", prec, v);
+    if (std::strtod(s.c_str(), nullptr) == v) {
+      return s;
+    }
+  }
+  return format("%.17g", v);
+}
+
+bool parse_double_strict(std::string_view s, double& out) {
+  const std::string buf{s};
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end != buf.c_str() && *end == '\0';
+}
 
 std::string format(const char* fmt, ...) {
   std::va_list args;

@@ -18,6 +18,16 @@ namespace pam {
 /// Trim ASCII whitespace on both ends.
 [[nodiscard]] std::string_view trim(std::string_view s) noexcept;
 
+/// Formats `v` with the fewest significant digits that parse back to
+/// exactly `v` — the canonical rendering for config surfaces that promise
+/// bit-exact text round-trips (scenario specs, policy parameters).
+[[nodiscard]] std::string format_double_shortest(double v);
+
+/// Strict full-string double parse: the entire input must be consumed.
+/// Unlike bare strtod, trailing junk ("1.5x") is a failure, not a prefix
+/// match.
+[[nodiscard]] bool parse_double_strict(std::string_view s, double& out);
+
 /// Dotted-quad rendering of a host-order IPv4 address.
 [[nodiscard]] std::string ipv4_to_string(std::uint32_t addr_host_order);
 

@@ -1,0 +1,222 @@
+// The control-plane API: ONE sense → decide → act loop for every controller.
+//
+// The paper's contribution is a decision loop — "the network administrators
+// can periodically query the load of SmartNIC and CPU and execute the PAM
+// border vNF selection algorithm" — and the repo used to carry two divergent
+// copies of it (single-server Controller, rack-scale FleetController) with
+// separate trigger/cooldown/event code.  ControlPlane owns the loop once:
+//
+//   every `period`, per managed chain:
+//     skip while an action is in flight or the cooldown is running
+//     Sensor::sense    — offered load (trailing window) + analytic
+//                        utilisation of the chain's resident view
+//     hot?             — chain demand >= trigger, or the shared slot is hot
+//       Sensor::plan   — run the installed MigrationPolicy on that view
+//       feasible       — Actuator::execute (loss-free migration engine)
+//       infeasible     — Actuator::scale_out (record the OpenNF request on
+//                        one box; actually move a border NF cross-server in
+//                        a rack)
+//     calm?            — optionally run the scale-in policy (pull pushed-
+//                        aside vNFs back to the SmartNIC)
+//
+// Controller and FleetController are thin specialisations: they implement
+// the Sensor (what "load" and "the chain" mean locally) and the Actuator
+// (what "migrate" and "scale out" do locally) and delegate everything else
+// here.  Every decision is recorded as a typed ControlEvent — machine-
+// readable telemetry serialised into the `control_events` JSON section by
+// the experiment layer (docs/REPRODUCING.md documents the schema).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/chain_analyzer.hpp"
+#include "core/migration_plan.hpp"
+#include "core/policy.hpp"
+#include "sim/simulation_kernel.hpp"
+
+namespace pam {
+
+/// One control-plane decision, typed for machines and narrated for humans.
+struct ControlEvent {
+  /// What the loop decided.  Serialised names (JSON `kind`) are listed next
+  /// to each enumerator; `to_string`/`control_event_kind_from_string`
+  /// convert.
+  enum class Kind : std::uint8_t {
+    kTriggered,        ///< "triggered": overload detected, policy armed
+    kPlanned,          ///< "planned": feasible migration plan handed to the engine
+    kMigrated,         ///< "migrated": an executed plan completed
+    kInfeasible,       ///< "infeasible": no plan (or move) could relieve the hot spot
+    kScaleOut,         ///< "scale-out": scale-out requested / decided
+    kScaleIn,          ///< "scale-in": calm-direction plan handed to the engine
+    kCrossServerMove,  ///< "cross-server-move": a border NF landed on another server
+  };
+
+  SimTime at = SimTime::zero();  ///< simulated time of the decision
+  Kind kind = Kind::kTriggered;
+  std::size_t chain = 0;   ///< managed-chain index (0 on a single box)
+  std::size_t server = 0;  ///< home slot; target slot for scale-out/cross-server events
+  /// NFs moved by this decision, in plan order (empty for pure observations).
+  std::vector<std::string> moved_nfs;
+  /// Observed (kTriggered) or projected-after-the-action utilisations.
+  double smartnic_utilization = 0.0;
+  double cpu_utilization = 0.0;
+  std::string detail;  ///< human-readable narration (the old free-text `what`)
+};
+
+/// Serialised name of `kind` (e.g. "cross-server-move").
+[[nodiscard]] std::string_view to_string(ControlEvent::Kind kind) noexcept;
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<ControlEvent::Kind> control_event_kind_from_string(
+    std::string_view name) noexcept;
+/// Every kind, in declaration order — for docs, CLIs and CI validators.
+[[nodiscard]] const std::vector<ControlEvent::Kind>& all_control_event_kinds();
+
+/// The shared loop's knobs.  Identical semantics on one box and on a rack;
+/// rack-only knobs (target slot ceiling, fabric cost) live with
+/// FleetController.
+struct ControlPlaneOptions {
+  SimTime period = SimTime::milliseconds(10.0);
+  SimTime first_check = SimTime::milliseconds(10.0);
+  /// SmartNIC utilisation that arms the policy.
+  double trigger_utilization = 1.0;
+  /// Quiet time per chain after a completed action before re-triggering.
+  SimTime cooldown = SimTime::milliseconds(20.0);
+  /// Trailing window used to estimate the offered load.
+  SimTime rate_window = SimTime::milliseconds(5.0);
+
+  /// Bidirectional placement: when set, the scale-in policy (see
+  /// ControlPlane::set_scale_in_policy) runs whenever the SmartNIC sits
+  /// *below* this threshold, returning pushed-aside vNFs.  Keep it well
+  /// under the overload trigger to avoid migration ping-pong.
+  double scale_in_below_utilization = 0.0;  ///< 0 disables scale-in
+};
+
+class ControlPlane {
+ public:
+  /// One tick's sensor reading for one chain.
+  struct Sample {
+    /// False when nothing of the chain is resident on its home slot
+    /// (everything already off-loaded) — the loop skips the tick.
+    bool has_resident = true;
+    Gbps offered{0.0};        ///< trailing-window ingress estimate
+    UtilizationReport util;   ///< analytic utilisation of the resident view
+    /// Live shared-slot overload (co-homed chains can saturate a slot while
+    /// each chain sits below the trigger).  Always false on a single box.
+    bool slot_hot = false;
+    std::size_t server = 0;   ///< home slot id, stamped into events
+  };
+
+  /// A policy evaluation against the sensor's chain view.  Step indices in
+  /// `plan` are REAL chain indices (sensors working on a reduced view remap
+  /// before returning).
+  struct Planned {
+    MigrationPlan plan;
+    /// Post-plan utilisation of the view (feasible, non-empty plans only).
+    double projected_smartnic = 0.0;
+    double projected_cpu = 0.0;
+  };
+
+  /// What the loop reads: offered load and the ChainAnalyzer view of each
+  /// managed chain.  Implementations must not mutate simulation state.
+  class Sensor {
+   public:
+    virtual ~Sensor() = default;
+    /// Current reading for chain `c`.
+    [[nodiscard]] virtual Sample sense(std::size_t c) const = 0;
+    /// Human narration of an overload reading (kTriggered event detail).
+    [[nodiscard]] virtual std::string describe_overload(std::size_t c,
+                                                        const Sample& sample) const = 0;
+    /// Runs `policy` against the same view sense() evaluated.
+    [[nodiscard]] virtual Planned plan(std::size_t c, const MigrationPolicy& policy,
+                                       Gbps offered) const = 0;
+  };
+
+  /// What the loop drives: plan execution and the scale-out fallback.
+  class Actuator {
+   public:
+    virtual ~Actuator() = default;
+    /// True while chain `c` has a migration or cross-server move executing.
+    [[nodiscard]] virtual bool in_flight(std::size_t c) const = 0;
+    /// Executes `plan` loss-free; must invoke `done` exactly once when the
+    /// last step completes.
+    virtual void execute(std::size_t c, const MigrationPlan& plan,
+                         std::function<void()> done) = 0;
+    /// Push-aside cannot relieve the hot spot (`reason`): record an
+    /// OpenNF-style request (single box) or move a border NF to another
+    /// server (rack).  Implementations emit their own kInfeasible /
+    /// kScaleOut / kCrossServerMove events via emit()/complete_action().
+    virtual void scale_out(std::size_t c, const std::string& reason, Gbps offered) = 0;
+  };
+
+  /// `sensor` and `actuator` must outlive the plane (they are normally the
+  /// owning controller itself).  `policy` plans relieving migrations for
+  /// every chain unless a per-chain override is installed.
+  ControlPlane(SimulationKernel& kernel, Sensor& sensor, Actuator& actuator,
+               std::size_t num_chains, std::unique_ptr<MigrationPolicy> policy,
+               ControlPlaneOptions options = {});
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Installs the calm-direction policy (see
+  /// ControlPlaneOptions::scale_in_below_utilization).
+  void set_scale_in_policy(std::unique_ptr<MigrationPolicy> policy) {
+    scale_in_policy_ = std::move(policy);
+  }
+
+  /// Per-chain policy override (heterogeneous fleets); nullptr restores the
+  /// shared default.
+  void set_chain_policy(std::size_t c, std::unique_ptr<MigrationPolicy> policy);
+
+  /// The policy that plans for chain `c` (override or shared default).
+  [[nodiscard]] const MigrationPolicy& policy(std::size_t c) const;
+
+  /// Registers the periodic check with the kernel.  Call before the run.
+  void arm();
+
+  /// One immediate sweep over all chains (what the periodic tick runs);
+  /// exposed so harnesses can drive the loop without a traffic source.
+  void check_all();
+
+  [[nodiscard]] const std::vector<ControlEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const ControlPlaneOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::size_t num_chains() const noexcept { return chains_.size(); }
+  [[nodiscard]] SimTime now() const noexcept { return kernel_.now(); }
+
+  /// Appends `event` stamped with the current simulated time.  Public so
+  /// Actuator implementations can record their asynchronous outcomes.
+  void emit(ControlEvent event);
+
+  /// Marks chain `c`'s action finished: anchors the cooldown at now().
+  /// Actuators call this from completion callbacks of asynchronous moves.
+  void complete_action(std::size_t c);
+
+ private:
+  struct ChainState {
+    SimTime last_action_done = SimTime::nanoseconds(-1);  ///< <0: never acted
+  };
+
+  void check(std::size_t c);
+
+  SimulationKernel& kernel_;
+  Sensor& sensor_;
+  Actuator& actuator_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  std::unique_ptr<MigrationPolicy> scale_in_policy_;
+  std::vector<std::unique_ptr<MigrationPolicy>> chain_policies_;  ///< overrides
+  ControlPlaneOptions options_;
+  std::vector<ChainState> chains_;
+  std::vector<ControlEvent> events_;
+};
+
+}  // namespace pam

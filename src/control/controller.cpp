@@ -7,67 +7,58 @@ namespace pam {
 Controller::Controller(ChainSimulator& sim, std::unique_ptr<MigrationPolicy> policy,
                        ControllerOptions options)
     : sim_(sim),
-      policy_(std::move(policy)),
-      options_(options),
       analyzer_(sim.server(), sim.calibration()),
-      engine_(sim) {}
+      engine_(sim),
+      plane_(sim.kernel(), *this, *this, /*num_chains=*/1, std::move(policy),
+             options) {}
 
-void Controller::arm() {
-  sim_.schedule_periodic(options_.first_check, options_.period, [this] { check(); });
+ControlPlane::Sample Controller::sense(std::size_t /*c*/) const {
+  ControlPlane::Sample sample;
+  sample.offered = sim_.observed_ingress_rate(plane_.options().rate_window);
+  sample.util = analyzer_.utilization(sim_.chain(), sample.offered);
+  return sample;
 }
 
-void Controller::note(std::string what) {
-  events_.push_back(ControllerEvent{sim_.now(), std::move(what)});
+std::string Controller::describe_overload(std::size_t /*c*/,
+                                          const ControlPlane::Sample& sample) const {
+  return format("overload detected at %s offered: %s",
+                sample.offered.to_string().c_str(), sample.util.describe().c_str());
 }
 
-void Controller::check() {
-  if (engine_.busy()) {
-    return;  // one migration at a time
+ControlPlane::Planned Controller::plan(std::size_t /*c*/,
+                                       const MigrationPolicy& policy,
+                                       Gbps offered) const {
+  ControlPlane::Planned out;
+  out.plan = policy.plan(sim_.chain(), analyzer_, offered);
+  if (out.plan.feasible && !out.plan.empty()) {
+    const auto projected =
+        analyzer_.utilization(out.plan.apply_to(sim_.chain()), offered);
+    out.projected_smartnic = projected.smartnic;
+    out.projected_cpu = projected.cpu;
   }
-  if (last_migration_done_.ns() >= 0 &&
-      sim_.now() - last_migration_done_ < options_.cooldown) {
-    return;
-  }
-  const Gbps rate = sim_.observed_ingress_rate(options_.rate_window);
-  const auto util = analyzer_.utilization(sim_.chain(), rate);
-  if (util.smartnic < options_.trigger_utilization) {
-    // Calm direction: pull pushed-aside vNFs back when well under the
-    // trigger and a scale-in policy is installed.
-    if (scale_in_policy_ != nullptr &&
-        util.smartnic < options_.scale_in_below_utilization) {
-      const MigrationPlan back = scale_in_policy_->plan(sim_.chain(), analyzer_, rate);
-      if (back.feasible && !back.empty()) {
-        note(back.describe());
-        engine_.execute(back, [this] {
-          last_migration_done_ = sim_.now();
-          note("scale-in complete");
-        });
-      }
-    }
-    return;
-  }
-  note(format("overload detected at %s offered: %s", rate.to_string().c_str(),
-              util.describe().c_str()));
+  return out;
+}
 
-  const MigrationPlan plan = policy_->plan(sim_.chain(), analyzer_, rate);
-  if (!plan.feasible) {
-    // Both devices hot: the paper defers to OpenNF-style scale-out ("the
-    // network operator must start another instance").  Record the decision;
-    // instance provisioning is outside the single-server data plane.
-    if (!scale_out_requested_) {
-      scale_out_requested_ = true;
-      note("plan infeasible -> scale-out requested: " + plan.infeasibility_reason);
-    }
+bool Controller::in_flight(std::size_t /*c*/) const { return engine_.busy(); }
+
+void Controller::execute(std::size_t /*c*/, const MigrationPlan& plan,
+                         std::function<void()> done) {
+  engine_.execute(plan, std::move(done));
+}
+
+void Controller::scale_out(std::size_t c, const std::string& reason,
+                           Gbps /*offered*/) {
+  // One box cannot provision another instance; record the decision once —
+  // instance provisioning is outside the single-server data plane.
+  if (scale_out_requested_) {
     return;
   }
-  if (plan.empty()) {
-    return;
-  }
-  note(plan.describe());
-  engine_.execute(plan, [this] {
-    last_migration_done_ = sim_.now();
-    note(format("migration complete (%zu step(s))", engine_.records().size()));
-  });
+  scale_out_requested_ = true;
+  ControlEvent event;
+  event.kind = ControlEvent::Kind::kScaleOut;
+  event.chain = c;
+  event.detail = "plan infeasible -> scale-out requested: " + reason;
+  plane_.emit(std::move(event));
 }
 
 }  // namespace pam

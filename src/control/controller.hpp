@@ -1,90 +1,84 @@
-// The scaling controller.
+// The single-server scaling controller.
 //
 // "The network administrators can periodically query the load of SmartNIC
 // and CPU and execute the PAM border vNF selection algorithm" — this class
-// is that loop, running inside simulated time:
+// runs that loop for one chain on one box.  The loop itself (period,
+// trigger, cooldown, in-flight tracking, typed ControlEvent log) lives in
+// ControlPlane; Controller is the single-server specialisation:
 //
-//   every `period`:
-//     estimate the offered load from the trailing ingress window
-//     evaluate device utilisation with ChainAnalyzer
-//     if the SmartNIC exceeds `trigger_utilization` and no migration is in
-//     progress and the cooldown has expired:
-//         plan  = policy->plan(...)
-//         feasible      -> hand to the MigrationEngine
-//         infeasible    -> record a scale-out decision (OpenNF fallback)
+//   Sensor    — trailing-window ingress rate + ChainAnalyzer utilisation of
+//               the simulator's chain
+//   Actuator  — hand feasible plans to the loss-free MigrationEngine; when
+//               a plan is infeasible (both devices hot), record an
+//               OpenNF-style scale-out request ("the network operator must
+//               start another instance" — actually executing it is
+//               FleetController's rack-scale job)
 //
-// All decisions land in an event log the examples print as a timeline.
+// All decisions land in the plane's typed event log, which the experiment
+// layer serialises as the `control_events` JSON section.
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "chain/chain_analyzer.hpp"
-#include "core/policy.hpp"
+#include "control/control_plane.hpp"
 #include "migration/migration_engine.hpp"
 
 namespace pam {
 
-struct ControllerOptions {
-  SimTime period = SimTime::milliseconds(10.0);
-  SimTime first_check = SimTime::milliseconds(10.0);
-  /// SmartNIC utilisation that arms the policy.
-  double trigger_utilization = 1.0;
-  /// Quiet time after a completed migration before re-triggering.
-  SimTime cooldown = SimTime::milliseconds(20.0);
-  /// Trailing window used to estimate the offered load.
-  SimTime rate_window = SimTime::milliseconds(5.0);
+/// The single-server controller exposes exactly the shared loop's knobs.
+using ControllerOptions = ControlPlaneOptions;
 
-  /// Bidirectional placement: when set, a second policy (normally
-  /// ScaleInPolicy) runs whenever the SmartNIC sits *below* this threshold,
-  /// returning pushed-aside vNFs to the SmartNIC.  Keep it well under the
-  /// overload trigger to avoid migration ping-pong.
-  double scale_in_below_utilization = 0.0;  ///< 0 disables scale-in
-};
-
-struct ControllerEvent {
-  SimTime at = SimTime::zero();
-  std::string what;
-};
-
-class Controller {
+class Controller final : private ControlPlane::Sensor,
+                         private ControlPlane::Actuator {
  public:
   Controller(ChainSimulator& sim, std::unique_ptr<MigrationPolicy> policy,
              ControllerOptions options = {});
 
   /// Installs the calm-direction policy (see
-  /// ControllerOptions::scale_in_below_utilization).
+  /// ControlPlaneOptions::scale_in_below_utilization).
   void set_scale_in_policy(std::unique_ptr<MigrationPolicy> policy) {
-    scale_in_policy_ = std::move(policy);
+    plane_.set_scale_in_policy(std::move(policy));
   }
 
   /// Registers the periodic check with the simulator.  Call before run().
-  void arm();
+  void arm() { plane_.arm(); }
 
-  [[nodiscard]] const std::vector<ControllerEvent>& events() const noexcept {
-    return events_;
+  [[nodiscard]] const std::vector<ControlEvent>& events() const noexcept {
+    return plane_.events();
   }
   [[nodiscard]] std::size_t migrations_executed() const noexcept {
     return engine_.records().size();
   }
   [[nodiscard]] const MigrationEngine& engine() const noexcept { return engine_; }
   [[nodiscard]] bool scale_out_requested() const noexcept { return scale_out_requested_; }
+  /// The shared loop (options, per-chain policies, event emission).
+  [[nodiscard]] ControlPlane& plane() noexcept { return plane_; }
 
  private:
-  void check();
-  void note(std::string what);
+  // ControlPlane::Sensor
+  [[nodiscard]] ControlPlane::Sample sense(std::size_t c) const override;
+  [[nodiscard]] std::string describe_overload(
+      std::size_t c, const ControlPlane::Sample& sample) const override;
+  [[nodiscard]] ControlPlane::Planned plan(std::size_t c,
+                                           const MigrationPolicy& policy,
+                                           Gbps offered) const override;
+
+  // ControlPlane::Actuator
+  [[nodiscard]] bool in_flight(std::size_t c) const override;
+  void execute(std::size_t c, const MigrationPlan& plan,
+               std::function<void()> done) override;
+  void scale_out(std::size_t c, const std::string& reason, Gbps offered) override;
 
   ChainSimulator& sim_;
-  std::unique_ptr<MigrationPolicy> policy_;
-  std::unique_ptr<MigrationPolicy> scale_in_policy_;
-  ControllerOptions options_;
   ChainAnalyzer analyzer_;
   MigrationEngine engine_;
-  std::vector<ControllerEvent> events_;
-  SimTime last_migration_done_ = SimTime::nanoseconds(-1);
   bool scale_out_requested_ = false;
+  ControlPlane plane_;  ///< last member: its Sensor/Actuator are *this
 };
 
 }  // namespace pam

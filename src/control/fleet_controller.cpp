@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "chain/border.hpp"
 #include "common/strings.hpp"
@@ -11,24 +12,19 @@ namespace pam {
 FleetController::FleetController(ClusterSimulator& cluster,
                                  std::unique_ptr<MigrationPolicy> policy,
                                  FleetControllerOptions options)
-    : cluster_(cluster), policy_(std::move(policy)), options_(options) {
+    : cluster_(cluster),
+      options_(options),
+      plane_(cluster.kernel(), *this, *this, cluster.num_chains(),
+             std::move(policy), options) {
   analyzers_.reserve(cluster_.num_servers());
   for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
     analyzers_.emplace_back(cluster_.server(s), cluster_.calibration());
   }
   chains_.resize(cluster_.num_chains());
+  views_.resize(cluster_.num_chains());
   for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
     chains_[c].engine = std::make_unique<MigrationEngine>(cluster_.chain_sim(c));
   }
-}
-
-void FleetController::arm() {
-  cluster_.kernel().schedule_periodic(options_.first_check, options_.period,
-                                      [this] { check(); });
-}
-
-void FleetController::note(std::size_t c, std::string what) {
-  events_.push_back(FleetEvent{cluster_.kernel().now(), c, std::move(what)});
 }
 
 std::size_t FleetController::migrations_executed() const noexcept {
@@ -39,98 +35,113 @@ std::size_t FleetController::migrations_executed() const noexcept {
   return n;
 }
 
-ServiceChain FleetController::home_view(std::size_t c,
-                                        std::vector<std::size_t>& index_map) const {
+const FleetController::HomeView& FleetController::home_view(std::size_t c) const {
   const ChainSimulator& sim = cluster_.chain_sim(c);
+  HomeView& view = views_.at(c);
+  if (view.built_at == cluster_.kernel().now()) {
+    return view;  // same tick: placement cannot have changed underneath us
+  }
   const ServiceChain& full = sim.chain();
   ServiceChain reduced{full.name()};
   reduced.set_ingress(full.ingress());
   reduced.set_egress(full.egress());
-  index_map.clear();
+  view.index_map.clear();
   for (std::size_t i = 0; i < full.size(); ++i) {
     if (sim.node_server(i) == sim.home_server()) {
       reduced.add_node(full.node(i).spec, full.node(i).location);
-      index_map.push_back(i);
+      view.index_map.push_back(i);
     }
   }
-  return reduced;
+  view.chain = std::move(reduced);
+  view.built_at = cluster_.kernel().now();
+  return view;
 }
 
-void FleetController::check() {
-  for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
-    check_chain(c);
+ControlPlane::Sample FleetController::sense(std::size_t c) const {
+  const ChainSimulator& sim = cluster_.chain_sim(c);
+  const std::size_t home = sim.home_server();
+
+  ControlPlane::Sample sample;
+  sample.server = home;
+  sample.offered = sim.observed_ingress_rate(options_.rate_window);
+
+  const ServiceChain& resident = home_view(c).chain;
+  if (resident.empty()) {
+    sample.has_resident = false;
+    return sample;
   }
+  sample.util = analyzers_[home].utilization(resident, sample.offered);
+  // Second overload signal beyond the chain's own analytic demand: the
+  // slot's live device load — co-homed chains can saturate a shared
+  // SmartNIC while every individual chain sits below the trigger.
+  sample.slot_hot =
+      cluster_.server_nic_load(home) >= options_.trigger_utilization;
+  return sample;
 }
 
-void FleetController::check_chain(std::size_t c) {
-  ChainState& state = chains_[c];
-  if (state.engine->busy() || state.remote_move_in_progress) {
-    return;  // one action at a time per chain
-  }
-  if (state.last_action_done.ns() >= 0 &&
-      cluster_.kernel().now() - state.last_action_done < options_.cooldown) {
-    return;
-  }
+std::string FleetController::describe_overload(
+    std::size_t /*c*/, const ControlPlane::Sample& sample) const {
+  return format("overload on server %zu (nic load %.2f) at %s offered: %s",
+                sample.server, cluster_.server_nic_load(sample.server),
+                sample.offered.to_string().c_str(),
+                sample.util.describe().c_str());
+}
 
+ControlPlane::Planned FleetController::plan(std::size_t c,
+                                            const MigrationPolicy& policy,
+                                            Gbps offered) const {
+  const std::size_t home = cluster_.chain_sim(c).home_server();
+  const HomeView& view = home_view(c);
+
+  ControlPlane::Planned out;
+  out.plan = policy.plan(view.chain, analyzers_[home], offered);
+  if (out.plan.feasible && !out.plan.empty()) {
+    const auto projected =
+        analyzers_[home].utilization(out.plan.apply_to(view.chain), offered);
+    out.projected_smartnic = projected.smartnic;
+    out.projected_cpu = projected.cpu;
+    for (auto& step : out.plan.steps) {
+      step.node_index = view.index_map.at(step.node_index);  // reduced -> real
+    }
+  }
+  return out;
+}
+
+bool FleetController::in_flight(std::size_t c) const {
+  const ChainState& state = chains_.at(c);
+  return state.engine->busy() || state.remote_move_in_progress;
+}
+
+void FleetController::execute(std::size_t c, const MigrationPlan& plan,
+                              std::function<void()> done) {
+  chains_.at(c).engine->execute(plan, std::move(done));
+}
+
+void FleetController::scale_out(std::size_t c, const std::string& reason,
+                                Gbps offered) {
   ChainSimulator& sim = cluster_.chain_sim(c);
   const std::size_t home = sim.home_server();
-  const Gbps rate = sim.observed_ingress_rate(options_.rate_window);
 
-  std::vector<std::size_t> index_map;
-  const ServiceChain resident = home_view(c, index_map);
-  if (resident.empty()) {
-    return;  // everything already off-loaded; nothing left to relieve
-  }
-  const ChainAnalyzer& analyzer = analyzers_[home];
-  const auto util = analyzer.utilization(resident, rate);
-  // Two overload signals: this chain's own analytic demand, and the slot's
-  // live device load — co-homed chains can saturate a shared SmartNIC while
-  // every individual chain sits below the trigger.
-  const bool chain_hot = util.smartnic >= options_.trigger_utilization;
-  const bool slot_hot =
-      cluster_.server_nic_load(home) >= options_.trigger_utilization;
-  if (!chain_hot && !slot_hot) {
-    return;
-  }
-  note(c, format("overload on server %zu (nic load %.2f) at %s offered: %s",
-                 home, cluster_.server_nic_load(home), rate.to_string().c_str(),
-                 util.describe().c_str()));
-
-  // First choice: the paper's push-aside migration within the home server.
-  MigrationPlan plan = policy_->plan(resident, analyzer, rate);
-  if (plan.feasible && !plan.empty()) {
-    for (auto& step : plan.steps) {
-      step.node_index = index_map.at(step.node_index);  // reduced -> real
-    }
-    note(c, plan.describe());
-    state.engine->execute(plan, [this, c] {
-      chains_[c].last_action_done = cluster_.kernel().now();
-      note(c, "migration complete");
-    });
-    return;
-  }
-  if (plan.feasible && plan.empty() && !slot_hot) {
-    return;  // policy saw no useful move and no emergency
-  }
-  const std::string reason = plan.feasible
-                                 ? "slot saturated by co-homed chains"
-                                 : plan.infeasibility_reason;
-
-  // Both home devices hot: cross-server scale-out.  Candidates are the
-  // home chain's SmartNIC border NFs — moving one is crossing-safe on the
-  // home server (PAM Step 1), and it re-enters the fleet at the target's
-  // SmartNIC side.
-  const BorderSets borders = find_borders(resident);
+  // Candidates are the home chain's SmartNIC border NFs — moving one is
+  // crossing-safe on the home server (PAM Step 1), and it re-enters the
+  // fleet at the target's SmartNIC side.
+  const HomeView& view = home_view(c);
+  const BorderSets borders = find_borders(view.chain);
   std::vector<std::size_t> candidates;
   for (const std::size_t reduced_idx : borders.all()) {
-    const std::size_t real_idx = index_map.at(reduced_idx);
+    const std::size_t real_idx = view.index_map.at(reduced_idx);
     if (!sim.paused(real_idx)) {
       candidates.push_back(real_idx);
     }
   }
   if (candidates.empty()) {
-    note(c, format("scale-out needed but no movable border NF: %s",
-                   reason.c_str()));
+    ControlEvent event;
+    event.kind = ControlEvent::Kind::kInfeasible;
+    event.chain = c;
+    event.server = home;
+    event.detail =
+        format("scale-out needed but no movable border NF: %s", reason.c_str());
+    plane_.emit(std::move(event));
     return;
   }
 
@@ -148,7 +159,7 @@ void FleetController::check_chain(std::size_t c) {
       continue;
     }
     const double contribution =
-        sim.chain().offered_at(candidate, rate).value() / nf_capacity.value();
+        sim.chain().offered_at(candidate, offered).value() / nf_capacity.value();
     double best_load = std::numeric_limits<double>::infinity();
     for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
       if (s == home) {
@@ -170,21 +181,33 @@ void FleetController::check_chain(std::size_t c) {
     }
   }
   if (target == home) {
-    note(c, format("scale-out needed but no slot can absorb a border NF "
-                   "under %.2f load: %s",
-                   options_.target_max_load, reason.c_str()));
+    ControlEvent event;
+    event.kind = ControlEvent::Kind::kInfeasible;
+    event.chain = c;
+    event.server = home;
+    event.detail = format("scale-out needed but no slot can absorb a border NF "
+                          "under %.2f load: %s",
+                          options_.target_max_load, reason.c_str());
+    plane_.emit(std::move(event));
     return;
   }
 
   const std::string nf_name = sim.chain().node(idx).spec.name;
-  note(c, format("%s -> scale-out: moving %s to server %zu "
-                 "(projected load %.2f)",
-                 reason.c_str(), nf_name.c_str(), target, projected));
+  ControlEvent decided;
+  decided.kind = ControlEvent::Kind::kScaleOut;
+  decided.chain = c;
+  decided.server = target;
+  decided.moved_nfs.push_back(nf_name);
+  decided.smartnic_utilization = projected;
+  decided.detail = format("%s -> scale-out: moving %s to server %zu "
+                          "(projected load %.2f)",
+                          reason.c_str(), nf_name.c_str(), target, projected);
+  plane_.emit(std::move(decided));
 
   // Loss-free cross-server move: pause, pay the fabric transfer, re-bind,
   // flush.  Mirrors the single-server engine's pause/transfer/resume at
   // rack granularity.
-  state.remote_move_in_progress = true;
+  chains_.at(c).remote_move_in_progress = true;
   sim.pause_node(idx);
   cluster_.kernel().schedule_after(
       options_.remote_migration_cost, [this, c, idx, target, nf_name] {
@@ -192,12 +215,18 @@ void FleetController::check_chain(std::size_t c) {
         const std::size_t buffered = moved_sim.buffered_at(idx);
         cluster_.move_node(c, idx, target, Location::kSmartNic);
         moved_sim.resume_node(idx);
-        ChainState& done = chains_[c];
-        done.remote_move_in_progress = false;
-        done.last_action_done = cluster_.kernel().now();
+        chains_.at(c).remote_move_in_progress = false;
+        plane_.complete_action(c);
         ++scale_out_moves_;
-        note(c, format("scale-out complete: %s now on server %zu (%zu buffered)",
-                       nf_name.c_str(), target, buffered));
+        ControlEvent done;
+        done.kind = ControlEvent::Kind::kCrossServerMove;
+        done.chain = c;
+        done.server = target;
+        done.moved_nfs.push_back(nf_name);
+        done.detail =
+            format("scale-out complete: %s now on server %zu (%zu buffered)",
+                   nf_name.c_str(), target, buffered);
+        plane_.emit(std::move(done));
       });
 }
 

@@ -2,50 +2,45 @@
 //
 // Controller (controller.hpp) runs the paper's loop for one chain on one
 // server and, when a migration is infeasible (both devices hot), can only
-// *log* an OpenNF-style scale-out request.  FleetController closes that
-// loop for a rack: it holds a fleet view — one ChainAnalyzer per server
-// plus the cluster's live device load — and when single-server push-aside
-// migration cannot relieve a hot slot, the overloaded chain's border NFs
-// are actually moved to the least-loaded other server (pause -> transfer
-// over the rack fabric -> re-bind -> resume, loss-free like the
-// single-server engine).
+// *record* an OpenNF-style scale-out request.  FleetController closes that
+// loop for a rack.  The loop itself — period, trigger, cooldown, in-flight
+// tracking, typed ControlEvent log — is ControlPlane's; this class is the
+// rack specialisation:
 //
-// Per check period, per chain:
-//   estimate offered load from the trailing ingress window
-//   evaluate the home slot with that server's ChainAnalyzer (home-resident
-//   nodes only — off-loaded nodes no longer burn home capacity)
-//   overloaded?
-//     single-server plan feasible  -> MigrationEngine (unchanged mechanism)
-//     infeasible                   -> cross-server scale-out:
-//         pick a SmartNIC border NF (crossing-safe, Step 1 of PAM)
-//         pick the least-loaded target slot below `target_max_load`
-//         move the NF there (takes effect for packets not yet routed)
+//   Sensor    — per chain: trailing-window ingress rate + the home slot's
+//               ChainAnalyzer over the chain's *resident* view (off-loaded
+//               nodes no longer burn home capacity), plus the slot's live
+//               device load (co-homed chains can saturate a shared SmartNIC
+//               while every individual chain sits below the trigger)
+//   Actuator  — feasible plans run on the chain's own loss-free
+//               MigrationEngine; infeasible ones trigger cross-server
+//               scale-out: pick a crossing-safe SmartNIC border NF (Step 1
+//               of PAM), pick the least-loaded target slot that can absorb
+//               it below `target_max_load`, and move it there loss-free
+//               (pause -> transfer over the rack fabric -> re-bind ->
+//               resume)
 //
-// All decisions land in a timestamped event log, like Controller's.
+// Policies come from the PolicyRegistry: one shared default plus optional
+// per-chain overrides (heterogeneous fleets), both installable through the
+// scenario layer's [policy] / per-chain `policy` keys.
 
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "chain/chain_analyzer.hpp"
-#include "core/policy.hpp"
+#include "control/control_plane.hpp"
 #include "migration/migration_engine.hpp"
 #include "sim/cluster_simulator.hpp"
 
 namespace pam {
 
-struct FleetControllerOptions {
-  SimTime period = SimTime::milliseconds(10.0);
-  SimTime first_check = SimTime::milliseconds(10.0);
-  /// Home-SmartNIC utilisation that arms the policy for a chain.
-  double trigger_utilization = 1.0;
-  /// Quiet time per chain after a completed action before re-triggering.
-  SimTime cooldown = SimTime::milliseconds(20.0);
-  /// Trailing window used to estimate each chain's offered load.
-  SimTime rate_window = SimTime::milliseconds(5.0);
+/// The shared loop's knobs plus the rack-only ones.
+struct FleetControllerOptions : ControlPlaneOptions {
   /// A target slot qualifies only while its hottest device is below this.
   double target_max_load = 0.9;
   /// Pause-to-resume cost of one cross-server NF move (state over the rack
@@ -54,25 +49,27 @@ struct FleetControllerOptions {
   SimTime remote_migration_cost = SimTime::milliseconds(1.0);
 };
 
-struct FleetEvent {
-  SimTime at = SimTime::zero();
-  std::size_t chain = 0;
-  std::string what;
-};
-
-class FleetController {
+class FleetController final : private ControlPlane::Sensor,
+                              private ControlPlane::Actuator {
  public:
-  /// `policy` plans single-server migrations for every chain (stateless
-  /// policies — all of core's — are safe to share).
+  /// `policy` plans single-server migrations for every chain without a
+  /// per-chain override (stateless policies — all of core's — are safe to
+  /// share).
   FleetController(ClusterSimulator& cluster, std::unique_ptr<MigrationPolicy> policy,
                   FleetControllerOptions options = {});
 
+  /// Per-chain policy override (heterogeneous fleets); nullptr restores the
+  /// shared default.  Call before arm().
+  void set_chain_policy(std::size_t c, std::unique_ptr<MigrationPolicy> policy) {
+    plane_.set_chain_policy(c, std::move(policy));
+  }
+
   /// Registers the periodic fleet check with the shared kernel.  Call
   /// before ClusterSimulator::run().
-  void arm();
+  void arm() { plane_.arm(); }
 
-  [[nodiscard]] const std::vector<FleetEvent>& events() const noexcept {
-    return events_;
+  [[nodiscard]] const std::vector<ControlEvent>& events() const noexcept {
+    return plane_.events();
   }
   /// Completed single-server (push-aside) migrations across all chains.
   [[nodiscard]] std::size_t migrations_executed() const noexcept;
@@ -80,31 +77,51 @@ class FleetController {
   [[nodiscard]] std::size_t scale_out_moves() const noexcept {
     return scale_out_moves_;
   }
+  /// The shared loop (options, per-chain policies, event emission).
+  [[nodiscard]] ControlPlane& plane() noexcept { return plane_; }
 
  private:
   struct ChainState {
     std::unique_ptr<MigrationEngine> engine;
     bool remote_move_in_progress = false;
-    SimTime last_action_done = SimTime::nanoseconds(-1);
   };
 
-  void check();
-  void check_chain(std::size_t c);
-  void note(std::size_t c, std::string what);
+  // ControlPlane::Sensor
+  [[nodiscard]] ControlPlane::Sample sense(std::size_t c) const override;
+  [[nodiscard]] std::string describe_overload(
+      std::size_t c, const ControlPlane::Sample& sample) const override;
+  [[nodiscard]] ControlPlane::Planned plan(std::size_t c,
+                                           const MigrationPolicy& policy,
+                                           Gbps offered) const override;
+
+  // ControlPlane::Actuator
+  [[nodiscard]] bool in_flight(std::size_t c) const override;
+  void execute(std::size_t c, const MigrationPlan& plan,
+               std::function<void()> done) override;
+  void scale_out(std::size_t c, const std::string& reason, Gbps offered) override;
 
   /// The chain restricted to nodes still bound to the home slot, plus the
   /// mapping from reduced indices back to real ones.  Off-loaded nodes no
   /// longer consume home capacity, so they must not count against it.
-  [[nodiscard]] ServiceChain home_view(std::size_t c,
-                                       std::vector<std::size_t>& index_map) const;
+  struct HomeView {
+    ServiceChain chain{""};
+    std::vector<std::size_t> index_map;  ///< reduced index -> real index
+    SimTime built_at = SimTime::nanoseconds(-1);
+  };
+
+  /// Builds (or returns the tick's cached) home view of chain `c`.  One
+  /// loop tick calls sense -> plan -> scale_out at a single simulated
+  /// instant with no placement change in between, so a view built "now" is
+  /// valid for the whole tick.
+  [[nodiscard]] const HomeView& home_view(std::size_t c) const;
 
   ClusterSimulator& cluster_;
-  std::unique_ptr<MigrationPolicy> policy_;
   FleetControllerOptions options_;
   std::vector<ChainAnalyzer> analyzers_;  ///< one per rack slot
   std::vector<ChainState> chains_;
-  std::vector<FleetEvent> events_;
+  mutable std::vector<HomeView> views_;   ///< per-chain per-tick cache
   std::size_t scale_out_moves_ = 0;
+  ControlPlane plane_;  ///< last member: its Sensor/Actuator are *this
 };
 
 }  // namespace pam

@@ -1,0 +1,145 @@
+// The policy registry: name → factory + parameter schema for every
+// migration policy the control plane can run.
+//
+// Scenario files, the pam_exp CLI and the experiment runner all select
+// policies by name (`pam`, `naive`, `naive-min`, `none`, `scale-in`, or
+// anything registered later) and tune them with key=value parameters — no
+// recompile, no string switch.  Unknown names and unknown parameter keys
+// are strict errors that list what IS registered, replacing the old silent
+// fall-back to NoMigrationPolicy.
+//
+// Adding a policy is a one-file change (docs/ARCHITECTURE.md has the full
+// recipe): implement MigrationPolicy, then register a PolicyInfo from the
+// same .cpp —
+//
+//   PAM_REGISTER_MIGRATION_POLICY(my_policy, (PolicyInfo{
+//       "my-policy",
+//       "one-line summary",
+//       {{"knob", 1.0, "what the knob does"}},
+//       [](const PolicyConfig& cfg) -> std::unique_ptr<MigrationPolicy> {
+//         return std::make_unique<MyPolicy>(cfg.get("knob", 1.0));
+//       }}))
+//
+// (Keep the registration in a translation unit that is certainly linked —
+// e.g. next to code the binary already calls; a static library may drop an
+// otherwise-unreferenced TU together with its registrar.)
+//
+// The registry is process-wide and single-threaded, like the simulator.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/policy.hpp"
+
+namespace pam {
+
+/// A policy selection: registered name plus key=value tuning parameters.
+/// Plain data; the inline text form is `NAME` or `NAME:key=val,key=val`.
+struct PolicyConfig {
+  std::string name;
+  /// Ordered so `parse(to_string()) == *this` round-trips exactly.
+  std::vector<std::pair<std::string, double>> params;
+
+  [[nodiscard]] bool operator==(const PolicyConfig&) const = default;
+
+  /// True for the "inherit the surrounding default" sentinel.
+  [[nodiscard]] bool empty() const noexcept { return name.empty(); }
+
+  /// `params[key]`, or `fallback` when absent (factories pass the schema
+  /// default).
+  [[nodiscard]] double get(std::string_view key, double fallback) const noexcept;
+
+  /// True when `key` is already set (duplicate detection in both parsers).
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+
+  /// Inline text form: `pam` or `pam:utilization_limit=0.9,max_migrations=32`.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the inline form.  Syntax only — registry validation (known
+  /// name/keys) is PolicyRegistry::validate's job.
+  [[nodiscard]] static Result<PolicyConfig> parse(std::string_view text);
+};
+
+/// One tunable of a registered policy.
+struct PolicyParamSpec {
+  std::string key;
+  double default_value = 0.0;
+  std::string description;
+  /// Accepted range, inclusive.  Out-of-range or non-finite values are
+  /// validation errors, so factories may cast blindly (e.g. to a count).
+  double min_value = 0.0;
+  double max_value = 1.0e6;
+};
+
+/// Everything the registry knows about one policy.
+struct PolicyInfo {
+  std::string name;     ///< selection key (also the `.scn` / CLI spelling)
+  std::string summary;  ///< one line for `pam_exp policies`
+  std::vector<PolicyParamSpec> params;  ///< accepted keys + defaults
+  /// Builds an instance from a validated config.  Absent params default.
+  std::function<std::unique_ptr<MigrationPolicy>(const PolicyConfig&)> factory;
+};
+
+class PolicyRegistry {
+ public:
+  /// The process-wide registry; built-ins are registered on first use.
+  [[nodiscard]] static PolicyRegistry& instance();
+
+  /// Registers `info`.  Empty names, missing factories and duplicate names
+  /// are rejected (the error names the clash).
+  Result<bool> add(PolicyInfo info);
+
+  /// Removes a registration (test isolation for throwaway policies).
+  bool remove(std::string_view name);
+
+  [[nodiscard]] const PolicyInfo* find(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return find(name) != nullptr;
+  }
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// "naive, naive-min, none, pam, scale-in" — for error messages.
+  [[nodiscard]] std::string names_joined(std::string_view separator = ", ") const;
+
+  /// Strict check of `config`: the name must be registered and every
+  /// parameter key must be in the policy's schema.  Errors list the
+  /// registered policies (unknown name) or the accepted keys (unknown
+  /// parameter).
+  Result<bool> validate(const PolicyConfig& config) const;
+
+  /// validate() + the factory.  The ONLY way experiment code builds
+  /// policies.
+  Result<std::unique_ptr<MigrationPolicy>> create(const PolicyConfig& config) const;
+
+ private:
+  PolicyRegistry();  ///< registers the built-in policies
+
+  std::map<std::string, PolicyInfo, std::less<>> entries_;
+};
+
+/// add() for static registrars: a failure (duplicate name, missing
+/// factory) is printed to stderr so a clashing registration can never
+/// vanish silently.  Returns whether the registration took effect.
+bool register_policy_or_report(PolicyInfo info);
+
+/// Registers a policy at static-initialisation time from the defining
+/// translation unit.  `ident` must be unique within the TU; `...` is a
+/// parenthesised `PolicyInfo{...}` initialiser (see the file comment for a
+/// worked example and the linker caveat).  Name clashes are reported on
+/// stderr at process start.
+#define PAM_REGISTER_MIGRATION_POLICY(ident, ...)            \
+  namespace {                                                \
+  const bool pam_policy_registrar_##ident =                  \
+      ::pam::register_policy_or_report(__VA_ARGS__);         \
+  }
+
+}  // namespace pam

@@ -168,10 +168,38 @@ void write_run(JsonWriter& w, const MeasuredRun& run) {
   w.end_object();
 }
 
+/// One `control_events` array: the typed ControlPlane decision log.
+/// `spec` resolves chain indices to declared names (cluster runs).
+void write_control_events(JsonWriter& w, const std::vector<ControlEvent>& events,
+                          const ScenarioSpec& spec) {
+  w.begin_array();
+  for (const auto& event : events) {
+    w.begin_object();
+    w.key("at_ms"); w.value(event.at.ms());
+    w.key("kind"); w.value(to_string(event.kind));
+    w.key("chain"); w.value(static_cast<std::uint64_t>(event.chain));
+    if (event.chain < spec.chains.size()) {
+      w.key("chain_name"); w.value(spec.chains[event.chain].name);
+    }
+    w.key("server"); w.value(static_cast<std::uint64_t>(event.server));
+    w.key("moved_nfs");
+    w.begin_array();
+    for (const auto& nf : event.moved_nfs) {
+      w.value(nf);
+    }
+    w.end_array();
+    w.key("smartnic_utilization"); w.value(event.smartnic_utilization);
+    w.key("cpu_utilization"); w.value(event.cpu_utilization);
+    w.key("detail"); w.value(event.detail);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 void write_variant(JsonWriter& w, const VariantResult& vr) {
   w.begin_object();
   w.key("label"); w.value(vr.label);
-  w.key("policy"); w.value(to_string(vr.policy));
+  w.key("policy"); w.value(vr.policy);
   w.key("plan_rate_gbps"); w.value(vr.plan_rate_gbps);
   w.key("measure_rate_gbps"); w.value(vr.measure_rate_gbps);
   w.key("chain_before"); w.value(vr.chain_before);
@@ -260,19 +288,15 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
     case ScenarioKind::kTimeline: {
       const TimelineResult& tl = *result.timeline;
       w.key("chain"); w.value(result.spec.chain);
+      w.key("policy"); w.value(result.spec.policy.to_string());
+      if (result.spec.scale_in.name != "none") {
+        w.key("scale_in_policy"); w.value(result.spec.scale_in.to_string());
+      }
       w.key("chain_before"); w.value(tl.chain_before);
       w.key("chain_after"); w.value(tl.chain_after);
       w.key("migrations_executed"); w.value(tl.migrations_executed);
       w.key("scale_out_requested"); w.value(tl.scale_out_requested);
-      w.key("events");
-      w.begin_array();
-      for (const auto& event : tl.events) {
-        w.begin_object();
-        w.key("at_ms"); w.value(event.at_ms);
-        w.key("what"); w.value(event.what);
-        w.end_object();
-      }
-      w.end_array();
+      w.key("control_events"); write_control_events(w, tl.events, result.spec);
       w.key("metrics"); write_run(w, tl.metrics);
       break;
     }
@@ -280,6 +304,7 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       const ClusterResult& cr = *result.cluster;
       w.key("servers"); w.value(static_cast<std::uint64_t>(cr.servers));
       w.key("rebalance"); w.value(cr.rebalance);
+      w.key("policy"); w.value(result.spec.policy.to_string());
       w.key("migrations_executed");
       w.value(static_cast<std::uint64_t>(cr.migrations_executed));
       w.key("scale_out_moves");
@@ -307,11 +332,15 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       w.end_array();
       w.key("chains");
       w.begin_array();
-      for (const auto& chain : cr.chains) {
+      for (std::size_t i = 0; i < cr.chains.size(); ++i) {
+        const auto& chain = cr.chains[i];
         w.begin_object();
         w.key("name"); w.value(chain.name);
         w.key("home_server");
         w.value(static_cast<std::uint64_t>(chain.home_server));
+        if (i < result.spec.chains.size() && !result.spec.chains[i].policy.empty()) {
+          w.key("policy"); w.value(result.spec.chains[i].policy.to_string());
+        }
         w.key("chain_before"); w.value(chain.chain_before);
         w.key("chain_after"); w.value(chain.chain_after);
         w.key("nodes_off_home");
@@ -321,15 +350,7 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         w.end_object();
       }
       w.end_array();
-      w.key("events");
-      w.begin_array();
-      for (const auto& event : cr.events) {
-        w.begin_object();
-        w.key("at_ms"); w.value(event.at_ms);
-        w.key("what"); w.value(event.what);
-        w.end_object();
-      }
-      w.end_array();
+      w.key("control_events"); write_control_events(w, cr.events, result.spec);
       break;
     }
     case ScenarioKind::kDeployment: {
@@ -398,7 +419,7 @@ void print_compare(const RunResult& result, bool verbose, std::FILE* out) {
   std::fprintf(out, "-----------------------+-----------+-------+--------+-----------+-------------------------\n");
   for (const auto& vr : result.variants) {
     std::fprintf(out, "%-22s | %-9s | %5zu | %+4d=%u | %9.2f | nic %.2f cpu %.2f @ %.2f\n",
-                 vr.label.c_str(), std::string{to_string(vr.policy)}.c_str(),
+                 vr.label.c_str(), vr.policy.c_str(),
                  vr.plan.steps.size(), vr.plan.total_crossing_delta(),
                  vr.analytic.pcie_crossings, vr.analytic.max_rate_gbps,
                  vr.analytic.smartnic_utilization, vr.analytic.cpu_utilization,
@@ -486,13 +507,28 @@ void print_capacity(const RunResult& result, std::FILE* out) {
   }
 }
 
+/// "  <time> ms | [kind       ] detail" — one line per typed decision.
+void print_control_event(const ControlEvent& event, const char* chain_name,
+                         std::FILE* out) {
+  std::fprintf(out, "  %8.2f ms | %-17s | %s%s%s%s\n", event.at.ms(),
+               std::string{to_string(event.kind)}.c_str(),
+               chain_name != nullptr ? "[" : "",
+               chain_name != nullptr ? chain_name : "",
+               chain_name != nullptr ? "] " : "", event.detail.c_str());
+}
+
 void print_timeline(const RunResult& result, std::FILE* out) {
   const TimelineResult& tl = *result.timeline;
   std::fprintf(out, "chain before: %s\n", tl.chain_before.c_str());
-  std::fprintf(out, "chain after:  %s\n\n", tl.chain_after.c_str());
+  std::fprintf(out, "chain after:  %s\n", tl.chain_after.c_str());
+  std::fprintf(out, "policy: %s%s%s\n\n", result.spec.policy.to_string().c_str(),
+               result.spec.scale_in.name != "none" ? ", scale-in: " : "",
+               result.spec.scale_in.name != "none"
+                   ? result.spec.scale_in.to_string().c_str()
+                   : "");
   std::fprintf(out, "controller timeline:\n");
   for (const auto& event : tl.events) {
-    std::fprintf(out, "  %8.2f ms | %s\n", event.at_ms, event.what.c_str());
+    print_control_event(event, nullptr, out);
   }
   if (tl.events.empty()) {
     std::fprintf(out, "  (no controller events)\n");
@@ -541,10 +577,11 @@ void print_deployment(const RunResult& result, bool verbose, std::FILE* out) {
 void print_cluster(const RunResult& result, bool verbose, std::FILE* out) {
   const ClusterResult& cr = *result.cluster;
   std::fprintf(out,
-               "%zu server(s), %zu chain(s), rebalance %s | migrations %zu, "
-               "cross-server moves %zu\n\n",
+               "%zu server(s), %zu chain(s), rebalance %s (policy %s) | "
+               "migrations %zu, cross-server moves %zu\n\n",
                cr.servers, cr.chains.size(), cr.rebalance ? "on" : "off",
-               cr.migrations_executed, cr.scale_out_moves);
+               result.spec.policy.to_string().c_str(), cr.migrations_executed,
+               cr.scale_out_moves);
 
   std::fprintf(out, "%-7s | %6s | %5s | %-21s | %9s %9s %9s\n", "server",
                "chains", "nodes", "util nic/cpu/pcie", "injected", "delivered",
@@ -589,7 +626,10 @@ void print_cluster(const RunResult& result, bool verbose, std::FILE* out) {
   if (verbose || !cr.events.empty()) {
     std::fprintf(out, "\nfleet controller timeline:\n");
     for (const auto& event : cr.events) {
-      std::fprintf(out, "  %8.2f ms | %s\n", event.at_ms, event.what.c_str());
+      const char* chain_name = event.chain < result.spec.chains.size()
+                                   ? result.spec.chains[event.chain].name.c_str()
+                                   : "?";
+      print_control_event(event, chain_name, out);
     }
     if (cr.events.empty()) {
       std::fprintf(out, "  (no fleet controller events)\n");

@@ -1,6 +1,7 @@
 // pam_exp — the experiment-runner CLI.
 //
 //   pam_exp list                          # bundled scenario presets
+//   pam_exp policies                      # registered migration policies
 //   pam_exp run <scenario>... [options]   # execute scenarios
 //   pam_exp sweep <scenario> --factors LO:HI:STEPS [options]
 //
@@ -12,6 +13,11 @@
 //   --verbose       include policy decision traces in the report
 //   --dir DIR       scenario directory (default: $PAM_SCENARIOS_DIR,
 //                   ./scenarios, or the source-tree scenarios/)
+//   --policy NAME[:key=val,...]
+//                   (run/sweep) re-point the scenario at a registered
+//                   policy: replaces the [policy] default, clears per-chain
+//                   overrides, and re-points every compare variant — same
+//                   registry path as the .scn surface, no side channel
 //
 // Exit status: 0 on success, 1 on any configuration or I/O error.
 
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "control/policy_registry.hpp"
 #include "experiment/metrics_sink.hpp"
 #include "experiment/scenario_library.hpp"
 #include "experiment/scenario_runner.hpp"
@@ -37,13 +44,17 @@ using namespace pam;
 int usage(std::FILE* out) {
   std::fprintf(out,
                "usage: pam_exp list [--dir DIR]\n"
+               "       pam_exp policies\n"
                "       pam_exp run <scenario>... [--json[=FILE]] [--quiet] "
-               "[--verbose] [--dir DIR]\n"
+               "[--verbose] [--policy NAME[:key=val,...]] [--dir DIR]\n"
                "       pam_exp sweep <scenario> --factors LO:HI:STEPS "
-               "[--json[=FILE]] [--quiet] [--dir DIR]\n"
+               "[--json[=FILE]] [--quiet] [--policy NAME[:key=val,...]] "
+               "[--dir DIR]\n"
                "\n"
                "<scenario> is a bundled preset name (see 'pam_exp list') or a "
-               "path to a .scn file.\n");
+               "path to a .scn file.\n"
+               "--policy re-runs any preset under a registered policy (see "
+               "'pam_exp policies').\n");
   return out == stdout ? 0 : 1;
 }
 
@@ -55,6 +66,7 @@ struct Options {
   bool verbose = false;
   std::string dir;
   std::string factors;
+  std::string policy;  ///< --policy NAME[:key=val,...]; empty = none
 };
 
 bool parse_args(int argc, char** argv, int first, Options& out) {
@@ -81,6 +93,12 @@ bool parse_args(int argc, char** argv, int first, Options& out) {
         return false;
       }
       out.factors = argv[++i];
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --policy needs NAME[:key=val,...]\n");
+        return false;
+      }
+      out.policy = argv[++i];
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return false;
@@ -182,10 +200,70 @@ int cmd_list(const Options& /*opt*/) {
   return 0;
 }
 
+int cmd_policies(const Options& /*opt*/) {
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  std::printf("registered migration policies:\n");
+  for (const auto& name : registry.names()) {
+    const PolicyInfo* info = registry.find(name);
+    std::printf("  %-10s %s\n", name.c_str(), info->summary.c_str());
+    for (const auto& param : info->params) {
+      std::printf("             %s = %g in [%g, %g]  (%s)\n", param.key.c_str(),
+                  param.default_value, param.min_value, param.max_value,
+                  param.description.c_str());
+    }
+  }
+  std::printf(
+      "\nselect with [policy]/[variant]/[chain] keys in a .scn file or\n"
+      "'pam_exp run <scenario> --policy NAME[:key=val,...]'.\n");
+  return 0;
+}
+
+/// Resolves --policy through the registry up front so a typo fails before
+/// any scenario runs, listing what is registered.  Returns false on error;
+/// leaves `out` empty when the flag was not given.
+bool resolve_policy_override(const Options& opt, std::optional<PolicyConfig>& out) {
+  if (opt.policy.empty()) {
+    return true;
+  }
+  auto parsed = PolicyConfig::parse(opt.policy);
+  if (!parsed) {
+    std::fprintf(stderr, "error: --policy: %s\n", parsed.error().what().c_str());
+    return false;
+  }
+  auto valid = PolicyRegistry::instance().validate(parsed.value());
+  if (!valid) {
+    std::fprintf(stderr, "error: --policy: %s\n", valid.error().what().c_str());
+    return false;
+  }
+  out = std::move(parsed).value();
+  return true;
+}
+
+/// Capacity searches take no migration policy and deployment runs use the
+/// multi-chain planner, so a --policy override would silently change
+/// nothing there — reject instead.
+bool policy_override_applies(const ScenarioSpec& spec,
+                             const std::optional<PolicyConfig>& override_policy) {
+  if (!override_policy) {
+    return true;
+  }
+  if (spec.kind == ScenarioKind::kCapacity ||
+      spec.kind == ScenarioKind::kDeployment) {
+    std::fprintf(stderr, "error: --policy does not apply to %s scenarios ('%s')\n",
+                 std::string{to_string(spec.kind)}.c_str(), spec.name.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_run(const Options& opt) {
   if (opt.scenarios.empty()) {
     std::fprintf(stderr, "error: 'run' needs at least one scenario\n");
     return usage(stderr);
+  }
+  std::optional<PolicyConfig> override_policy;
+  if (!resolve_policy_override(opt, override_policy)) {
+    return 1;
   }
   std::vector<ScenarioSpec> specs;
   for (const auto& ref : opt.scenarios) {
@@ -194,7 +272,11 @@ int cmd_run(const Options& opt) {
       std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
       return 1;
     }
-    specs.push_back(std::move(spec).value());
+    if (!policy_override_applies(spec.value(), override_policy)) {
+      return 1;
+    }
+    specs.push_back(override_policy ? spec.value().with_policy(*override_policy)
+                                    : std::move(spec).value());
   }
   return run_specs(specs, opt);
 }
@@ -215,10 +297,20 @@ int cmd_sweep(const Options& opt) {
                  "and STEPS >= 2 (e.g. 0.5:2.0:7)\n");
     return 1;
   }
+  std::optional<PolicyConfig> override_policy;
+  if (!resolve_policy_override(opt, override_policy)) {
+    return 1;
+  }
   auto spec = load(opt.scenarios.front());
   if (!spec) {
     std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
     return 1;
+  }
+  if (!policy_override_applies(spec.value(), override_policy)) {
+    return 1;
+  }
+  if (override_policy) {
+    spec = spec.value().with_policy(*override_policy);
   }
   if (spec.value().kind == ScenarioKind::kCapacity) {
     // Capacity searches derive their rates from the capacity table, which
@@ -250,8 +342,13 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, 2, opt)) {
     return 1;
   }
-  if (cmd == "list") {
-    return cmd_list(opt);
+  if (cmd == "list" || cmd == "policies") {
+    if (!opt.policy.empty()) {
+      // Catch the typo'd subcommand instead of silently ignoring the flag.
+      std::fprintf(stderr, "error: --policy only applies to 'run' and 'sweep'\n");
+      return 1;
+    }
+    return cmd == "list" ? cmd_list(opt) : cmd_policies(opt);
   }
   if (cmd == "run") {
     return cmd_run(opt);

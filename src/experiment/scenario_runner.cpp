@@ -10,13 +10,11 @@
 #include "chain/deployment.hpp"
 #include "common/strings.hpp"
 #include "control/controller.hpp"
+#include "control/fleet_controller.hpp"
+#include "control/policy_registry.hpp"
 #include "control/scale_out.hpp"
 #include "core/multi_chain_pam.hpp"
-#include "core/naive_policy.hpp"
-#include "core/pam_policy.hpp"
-#include "core/scale_in_policy.hpp"
 #include "device/server.hpp"
-#include "control/fleet_controller.hpp"
 #include "sim/chain_simulator.hpp"
 #include "sim/cluster_simulator.hpp"
 
@@ -24,20 +22,12 @@ namespace pam {
 
 namespace {
 
-std::unique_ptr<MigrationPolicy> make_policy(PolicyChoice choice) {
-  switch (choice) {
-    case PolicyChoice::kNone:
-      return std::make_unique<NoMigrationPolicy>();
-    case PolicyChoice::kPam:
-      return std::make_unique<PamPolicy>();
-    case PolicyChoice::kNaiveBottleneck:
-      return std::make_unique<NaiveBottleneckPolicy>();
-    case PolicyChoice::kNaiveMinCapacity:
-      return std::make_unique<NaiveMinCapacityPolicy>();
-    case PolicyChoice::kScaleIn:
-      return std::make_unique<ScaleInPolicy>();
-  }
-  return std::make_unique<NoMigrationPolicy>();
+/// Every policy the runner instantiates comes from the registry — specs are
+/// validated at parse time, so a failure here means the registry changed
+/// under us (e.g. a test unregistered a policy); surface it, never fall
+/// back.
+Result<std::unique_ptr<MigrationPolicy>> make_policy(const PolicyConfig& config) {
+  return PolicyRegistry::instance().create(config);
 }
 
 LatencySummary summarize(const LatencyRecorder& rec) {
@@ -133,7 +123,7 @@ MeasuredRun simulate_once(const ScenarioSpec& spec, const ServiceChain& chain,
   return to_measured(report, size_point);
 }
 
-RunResult run_compare(const ScenarioSpec& spec, const ServiceChain& chain) {
+Result<RunResult> run_compare(const ScenarioSpec& spec, const ServiceChain& chain) {
   RunResult result;
   result.spec = spec;
 
@@ -144,12 +134,15 @@ RunResult run_compare(const ScenarioSpec& spec, const ServiceChain& chain) {
   for (const auto& variant : spec.variants) {
     VariantResult vr;
     vr.label = variant.label;
-    vr.policy = variant.policy;
+    vr.policy = variant.policy.to_string();
     vr.plan_rate_gbps = spec.plan_rate_gbps;
     vr.chain_before = chain.describe();
 
-    const auto policy = make_policy(variant.policy);
-    vr.plan = policy->plan(chain, analyzer, plan_rate);
+    auto policy = make_policy(variant.policy);
+    if (!policy) {
+      return policy.error();
+    }
+    vr.plan = policy.value()->plan(chain, analyzer, plan_rate);
     const ServiceChain after =
         vr.plan.feasible ? vr.plan.apply_to(chain) : chain;
     vr.chain_after = after.describe();
@@ -244,7 +237,7 @@ RunResult run_capacity(const ScenarioSpec& spec) {
   return result;
 }
 
-RunResult run_timeline(const ScenarioSpec& spec, const ServiceChain& chain) {
+Result<RunResult> run_timeline(const ScenarioSpec& spec, const ServiceChain& chain) {
   RunResult result;
   result.spec = spec;
 
@@ -267,9 +260,17 @@ RunResult run_timeline(const ScenarioSpec& spec, const ServiceChain& chain) {
   opts.first_check = SimTime::milliseconds(spec.controller.first_check_ms);
   opts.cooldown = SimTime::milliseconds(spec.controller.cooldown_ms);
 
-  Controller controller{sim, make_policy(spec.controller.policy), opts};
-  if (spec.controller.scale_in_policy != PolicyChoice::kNone) {
-    controller.set_scale_in_policy(make_policy(spec.controller.scale_in_policy));
+  auto policy = make_policy(spec.policy);
+  if (!policy) {
+    return policy.error();
+  }
+  Controller controller{sim, std::move(policy).value(), opts};
+  if (spec.scale_in.name != "none") {
+    auto scale_in = make_policy(spec.scale_in);
+    if (!scale_in) {
+      return scale_in.error();
+    }
+    controller.set_scale_in_policy(std::move(scale_in).value());
   }
   controller.arm();
 
@@ -277,9 +278,7 @@ RunResult run_timeline(const ScenarioSpec& spec, const ServiceChain& chain) {
                                    SimTime::milliseconds(spec.warmup_ms));
 
   tl.chain_after = sim.chain().describe();
-  for (const auto& event : controller.events()) {
-    tl.events.push_back(TimelineEvent{event.at.ms(), event.what});
-  }
+  tl.events = controller.events();
   tl.migrations_executed = controller.migrations_executed();
   tl.scale_out_requested = controller.scale_out_requested();
   const std::size_t point = spec.traffic.sizes.kind == SizeSpec::Kind::kFixed
@@ -386,7 +385,22 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
     opts.period = SimTime::milliseconds(cs.period_ms);
     opts.first_check = SimTime::milliseconds(cs.first_check_ms);
     opts.cooldown = SimTime::milliseconds(cs.cooldown_ms);
-    fleet.emplace(cluster, std::make_unique<PamPolicy>(), opts);
+    auto policy = make_policy(spec.policy);
+    if (!policy) {
+      return policy.error();
+    }
+    fleet.emplace(cluster, std::move(policy).value(), opts);
+    // Heterogeneous fleets: per-chain [chain] policy overrides.
+    for (std::size_t i = 0; i < spec.chains.size(); ++i) {
+      if (spec.chains[i].policy.empty()) {
+        continue;
+      }
+      auto chain_policy = make_policy(spec.chains[i].policy);
+      if (!chain_policy) {
+        return chain_policy.error();
+      }
+      fleet->set_chain_policy(i, std::move(chain_policy).value());
+    }
     fleet->arm();
   }
 
@@ -397,12 +411,7 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
   cr.servers = cs.servers;
   cr.rebalance = cs.rebalance;
   if (fleet) {
-    for (const auto& event : fleet->events()) {
-      cr.events.push_back(TimelineEvent{event.at.ms(),
-                                        format("[%s] %s",
-                                               spec.chains[event.chain].name.c_str(),
-                                               event.what.c_str())});
-    }
+    cr.events = fleet->events();
     cr.migrations_executed = fleet->migrations_executed();
     cr.scale_out_moves = fleet->scale_out_moves();
   }
@@ -481,9 +490,10 @@ Result<RunResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
         return Error{format("scenario '%s': %s", spec.name.c_str(),
                             parsed.error().what().c_str())};
       }
-      return spec.kind == ScenarioKind::kCompare
-                 ? run_compare(spec, parsed.value())
-                 : run_timeline(spec, parsed.value());
+      if (spec.kind == ScenarioKind::kCompare) {
+        return run_compare(spec, parsed.value());
+      }
+      return run_timeline(spec, parsed.value());
     }
     case ScenarioKind::kCapacity:
       return run_capacity(spec);

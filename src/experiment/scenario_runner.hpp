@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "control/control_plane.hpp"
 #include "core/migration_plan.hpp"
 #include "experiment/scenario_spec.hpp"
 
@@ -65,7 +66,7 @@ struct AnalyticSummary {
 /// the model's view of the migrated chain, and any DES measurements.
 struct VariantResult {
   std::string label;
-  PolicyChoice policy = PolicyChoice::kNone;
+  std::string policy;  ///< the variant's PolicyConfig in text form
   double plan_rate_gbps = 0.0;
   double measure_rate_gbps = 0.0;  ///< resolved (plan / absolute / cap x M)
   std::string chain_before;        ///< describe() of the pre-policy chain
@@ -84,18 +85,12 @@ struct CapacityResult {
   double realized_gbps = 0.0;    ///< DES binary-search saturation point
 };
 
-/// Timestamped controller decision from a timeline scenario.
-struct TimelineEvent {
-  double at_ms = 0.0;
-  std::string what;
-};
-
-/// Result of a timeline scenario: the controller's event log plus the
-/// run-wide DES metrics.
+/// Result of a timeline scenario: the controller's typed decision log plus
+/// the run-wide DES metrics.
 struct TimelineResult {
   std::string chain_before;
   std::string chain_after;  ///< placement after all controller actions
-  std::vector<TimelineEvent> events;
+  std::vector<ControlEvent> events;  ///< the `control_events` JSON section
   std::size_t migrations_executed = 0;
   bool scale_out_requested = false;
   MeasuredRun metrics;
@@ -158,7 +153,7 @@ struct ClusterServerResult {
 struct ClusterResult {
   std::size_t servers = 0;
   bool rebalance = false;
-  std::vector<TimelineEvent> events;       ///< fleet controller decisions
+  std::vector<ControlEvent> events;        ///< fleet controller decisions
   std::size_t migrations_executed = 0;     ///< single-server push-asides
   std::size_t scale_out_moves = 0;         ///< cross-server border-NF moves
   std::vector<ClusterChainResult> chains;

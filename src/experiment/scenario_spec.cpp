@@ -12,17 +12,9 @@ namespace pam {
 
 namespace {
 
-/// Formats `v` with the fewest digits that parse back to exactly `v`, so
-/// to_text() -> parse() round-trips every double bit-exactly.
-std::string fmt_double(double v) {
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::string s = format("%.*g", prec, v);
-    if (std::strtod(s.c_str(), nullptr) == v) {
-      return s;
-    }
-  }
-  return format("%.17g", v);
-}
+/// Canonical shortest-round-trip rendering (common/strings.hpp), aliased to
+/// keep to_text() call sites short.
+std::string fmt_double(double v) { return format_double_shortest(v); }
 
 struct KeyValue {
   int line = 0;
@@ -54,13 +46,6 @@ std::vector<std::string> tokens_of(std::string_view s) {
     out.push_back(std::move(cur));
   }
   return out;
-}
-
-bool parse_double_strict(std::string_view s, double& out) {
-  const std::string buf{s};
-  char* end = nullptr;
-  out = std::strtod(buf.c_str(), &end);
-  return end != buf.c_str() && *end == '\0';
 }
 
 bool parse_u64_strict(std::string_view s, std::uint64_t& out) {
@@ -193,6 +178,8 @@ class SpecParser {
         if (!claim_unique(section) || !parse_scenario(section)) return false;
       } else if (section.name == "traffic") {
         if (!claim_unique(section) || !parse_traffic(section)) return false;
+      } else if (section.name == "policy") {
+        if (!claim_unique(section) || !parse_policy_section(section)) return false;
       } else if (section.name == "variant") {
         if (!parse_variant(section)) return false;
       } else if (section.name == "capacity") {
@@ -370,21 +357,76 @@ class SpecParser {
     return true;
   }
 
-  bool parse_policy(const KeyValue& kv, PolicyChoice& out) {
-    if (kv.value == "none") {
-      out = PolicyChoice::kNone;
-    } else if (kv.value == "pam") {
-      out = PolicyChoice::kPam;
-    } else if (kv.value == "naive") {
-      out = PolicyChoice::kNaiveBottleneck;
-    } else if (kv.value == "naive-min") {
-      out = PolicyChoice::kNaiveMinCapacity;
-    } else if (kv.value == "scale-in") {
-      out = PolicyChoice::kScaleIn;
-    } else {
-      return fail(kv.line, format("unknown policy '%s' (expected "
-                                  "none|pam|naive|naive-min|scale-in)",
-                                  kv.value.c_str()));
+  /// Parses an inline policy value (`NAME[:key=val,...]`) and validates it
+  /// against the registry — unknown names/keys are strict errors listing
+  /// what is registered (no silent fallback).
+  bool parse_policy(const KeyValue& kv, PolicyConfig& out) {
+    auto parsed = PolicyConfig::parse(kv.value);
+    if (!parsed) {
+      return fail(kv.line, parsed.error().what());
+    }
+    auto valid = PolicyRegistry::instance().validate(parsed.value());
+    if (!valid) {
+      return fail(kv.line, valid.error().what());
+    }
+    out = std::move(parsed).value();
+    return true;
+  }
+
+  /// One `param.KEY = NUMBER` (or `scale_in.param.KEY`) entry.
+  bool parse_policy_param(const KeyValue& kv, std::string_view key,
+                          PolicyConfig& target) {
+    double value = 0.0;
+    if (key.empty()) {
+      return fail(kv.line, format("key '%s': missing parameter name", kv.key.c_str()));
+    }
+    if (!parse_double_strict(kv.value, value)) {
+      return fail(kv.line, format("key '%s': expected a number, got '%s'",
+                                  kv.key.c_str(), kv.value.c_str()));
+    }
+    if (target.contains(key)) {
+      return fail(kv.line, format("policy '%s': duplicate parameter '%.*s'",
+                                  target.name.c_str(), static_cast<int>(key.size()),
+                                  key.data()));
+    }
+    target.params.emplace_back(std::string{key}, value);
+    return true;
+  }
+
+  bool parse_policy_section(const Section& s) {
+    policy_line_ = s.line;
+    if (!no_duplicate_keys(s)) return false;
+    // Two passes: `name`/`scale_in` first (they reset the config, inline
+    // params included), then the param.* keys in file order — so key order
+    // within the section does not matter.
+    for (const auto& kv : s.entries) {
+      if (kv.key == "name") {
+        if (!parse_policy(kv, spec_.policy)) return false;
+      } else if (kv.key == "scale_in") {
+        if (!parse_policy(kv, spec_.scale_in)) return false;
+      } else if (kv.key.rfind("param.", 0) != 0 &&
+                 kv.key.rfind("scale_in.param.", 0) != 0) {
+        return fail(kv.line, format("unknown key '%s' in [policy]", kv.key.c_str()));
+      }
+    }
+    for (const auto& kv : s.entries) {
+      if (kv.key.rfind("scale_in.param.", 0) == 0) {
+        if (!parse_policy_param(kv, std::string_view{kv.key}.substr(15),
+                                spec_.scale_in))
+          return false;
+      } else if (kv.key.rfind("param.", 0) == 0) {
+        if (!parse_policy_param(kv, std::string_view{kv.key}.substr(6), spec_.policy))
+          return false;
+      }
+    }
+    // Re-validate with the merged param.* keys.
+    auto valid = PolicyRegistry::instance().validate(spec_.policy);
+    if (!valid) {
+      return fail(s.line, valid.error().what());
+    }
+    valid = PolicyRegistry::instance().validate(spec_.scale_in);
+    if (!valid) {
+      return fail(s.line, valid.error().what());
     }
     return true;
   }
@@ -427,7 +469,7 @@ class SpecParser {
       }
     }
     if (v.label.empty()) {
-      v.label = std::string{to_string(v.policy)};
+      v.label = v.policy.to_string();
     }
     spec_.variants.push_back(std::move(v));
     return true;
@@ -479,10 +521,11 @@ class SpecParser {
   bool parse_controller(const Section& s) {
     if (!no_duplicate_keys(s)) return false;
     for (const auto& kv : s.entries) {
-      if (kv.key == "policy") {
-        if (!parse_policy(kv, spec_.controller.policy)) return false;
-      } else if (kv.key == "scale_in_policy") {
-        if (!parse_policy(kv, spec_.controller.scale_in_policy)) return false;
+      if (kv.key == "policy" || kv.key == "scale_in_policy") {
+        return fail(kv.line,
+                    format("key '%s' moved to the [policy] section (use "
+                           "'name = ...' / 'scale_in = ...')",
+                           kv.key.c_str()));
       } else if (kv.key == "trigger_utilization") {
         if (!need_double(kv, spec_.controller.trigger_utilization)) return false;
       } else if (kv.key == "scale_in_below") {
@@ -520,6 +563,9 @@ class SpecParser {
         }
         decl.server = static_cast<std::int64_t>(v);
         chain_server_line_ = kv.line;
+      } else if (kv.key == "policy") {
+        if (!parse_policy(kv, decl.policy)) return false;
+        chain_policy_line_ = kv.line;
       } else {
         return fail(kv.line, format("unknown key '%s' in [chain]", kv.key.c_str()));
       }
@@ -622,6 +668,18 @@ class SpecParser {
     if (seen_sections_.contains("controller") && !is_timeline) {
       return fail_global("[controller] is only valid for kind = timeline");
     }
+    if (seen_sections_.contains("policy") && !is_timeline && !is_cluster) {
+      return fail(policy_line_,
+                  "[policy] is only valid for kind = timeline or cluster "
+                  "(compare variants carry their own 'policy')");
+    }
+    if (!is_timeline &&
+        !(spec_.scale_in.name == "none" && spec_.scale_in.params.empty())) {
+      // The fleet controller has no calm direction (yet); accepting the key
+      // and ignoring it would break the strict-parsing contract.
+      return fail(policy_line_,
+                  "[policy] 'scale_in' is only used by timeline scenarios");
+    }
     if (!spec_.chains.empty() && !is_deployment && !is_cluster) {
       return fail_global(
           "[chain] sections are only valid for kind = deployment or cluster");
@@ -680,6 +738,10 @@ class SpecParser {
           return fail(chain_server_line_,
                       "[chain] 'server' is only valid for kind = cluster");
         }
+        if (!decl.policy.empty() && !is_cluster) {
+          return fail(chain_policy_line_,
+                      "[chain] 'policy' is only valid for kind = cluster");
+        }
         if (is_cluster &&
             decl.server >= static_cast<std::int64_t>(spec_.cluster.servers)) {
           return fail_global(
@@ -707,6 +769,8 @@ class SpecParser {
   bool rate_seen_ = false;
   int rate_line_ = 0;
   int chain_server_line_ = 0;
+  int chain_policy_line_ = 0;
+  int policy_line_ = 0;
   ScenarioSpec spec_;
   std::string error_;
 };
@@ -764,17 +828,6 @@ std::string_view to_string(ScenarioKind kind) noexcept {
   return "?";
 }
 
-std::string_view to_string(PolicyChoice policy) noexcept {
-  switch (policy) {
-    case PolicyChoice::kNone: return "none";
-    case PolicyChoice::kPam: return "pam";
-    case PolicyChoice::kNaiveBottleneck: return "naive";
-    case PolicyChoice::kNaiveMinCapacity: return "naive-min";
-    case PolicyChoice::kScaleIn: return "scale-in";
-  }
-  return "?";
-}
-
 std::string_view to_string(MeasureMode mode) noexcept {
   switch (mode) {
     case MeasureMode::kAnalytic: return "analytic";
@@ -823,10 +876,24 @@ std::string ScenarioSpec::to_text() const {
     emit("rate", rate_to_text(traffic.rate));
   }
 
+  if (kind == ScenarioKind::kTimeline || kind == ScenarioKind::kCluster) {
+    out += "\n[policy]\n";
+    emit("name", policy.name);
+    for (const auto& [key, value] : policy.params) {
+      emit(("param." + key).c_str(), fmt_double(value));
+    }
+    if (!(scale_in.name == "none" && scale_in.params.empty())) {
+      emit("scale_in", scale_in.name);
+      for (const auto& [key, value] : scale_in.params) {
+        emit(("scale_in.param." + key).c_str(), fmt_double(value));
+      }
+    }
+  }
+
   for (const auto& v : variants) {
     out += "\n[variant]\n";
     emit("label", v.label);
-    emit("policy", std::string{pam::to_string(v.policy)});
+    emit("policy", v.policy.to_string());
     emit("measure_rate", measure_rate_to_text(v.measure_rate));
   }
 
@@ -851,8 +918,6 @@ std::string ScenarioSpec::to_text() const {
 
   if (kind == ScenarioKind::kTimeline) {
     out += "\n[controller]\n";
-    emit("policy", std::string{pam::to_string(controller.policy)});
-    emit("scale_in_policy", std::string{pam::to_string(controller.scale_in_policy)});
     emit("trigger_utilization", fmt_double(controller.trigger_utilization));
     emit("scale_in_below", fmt_double(controller.scale_in_below));
     emit("period_ms", fmt_double(controller.period_ms));
@@ -867,6 +932,9 @@ std::string ScenarioSpec::to_text() const {
     emit("offered_gbps", fmt_double(decl.offered_gbps));
     if (decl.server >= 0) {
       emit("server", format("%lld", static_cast<long long>(decl.server)));
+    }
+    if (!decl.policy.empty()) {
+      emit("policy", decl.policy.to_string());
     }
   }
 
@@ -905,6 +973,19 @@ ScenarioSpec ScenarioSpec::scaled(double factor) const {
   }
   for (auto& decl : out.chains) {
     decl.offered_gbps *= factor;
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::with_policy(const PolicyConfig& policy) const {
+  ScenarioSpec out = *this;
+  out.policy = policy;
+  for (auto& decl : out.chains) {
+    decl.policy = PolicyConfig{};  // overrides yield to the new default
+  }
+  for (auto& v : out.variants) {
+    v.policy = policy;
+    v.label = policy.to_string();
   }
   return out;
 }

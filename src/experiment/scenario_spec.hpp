@@ -23,17 +23,25 @@
 //   [traffic]    arrival (cbr|poisson), sizes (fixed N | imix |
 //                uniform LO HI | sweep), rate (constant G | step B A at_ms=T
 //                | sinusoid BASE AMP period_ms=P; timeline scenarios only)
-//   [variant]    label, policy (none|pam|naive|naive-min|scale-in),
+//   [policy]     name (registered policy, inline params allowed),
+//                param.KEY = NUMBER (repeatable per key), scale_in,
+//                scale_in.param.KEY       — timeline + cluster
+//   [variant]    label, policy (registered name[:key=val,...]),
 //                measure_rate (G | plan | cap x M)    — repeatable; compare
 //   [capacity]   nfs, locations, loss_threshold, search_iters, size_bytes
-//   [controller] policy, scale_in_policy, trigger_utilization,
-//                scale_in_below, period_ms, first_check_ms, cooldown_ms
+//   [controller] trigger_utilization, scale_in_below, period_ms,
+//                first_check_ms, cooldown_ms          — timeline
 //   [chain]      name, spec, offered_gbps,
-//                server (cluster only)    — repeatable; deployment + cluster
+//                server, policy (cluster only) — repeatable; deployment + cluster
 //   [deployment] burst_multiplier, scale_out_headroom
 //   [cluster]    servers, rebalance (on|off), inter_server_us,
 //                trigger_utilization, target_max_load, period_ms,
 //                first_check_ms, cooldown_ms
+//
+// Policies are named, not enumerated: every `policy`/`name` value is
+// resolved against control/policy_registry.hpp at parse time, so an unknown
+// policy (or parameter key) is a strict error listing what IS registered —
+// never a silent fallback.
 //
 // Parsing is strict: unknown sections/keys, duplicate scalar sections,
 // duplicate keys, and missing required fields are all reported as errors
@@ -49,6 +57,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "control/policy_registry.hpp"
 #include "nf/nf_spec.hpp"
 #include "trafficgen/traffic_source_config.hpp"
 
@@ -63,20 +72,10 @@ enum class ScenarioKind : std::uint8_t {
   kCluster,     ///< N servers x M chains under the fleet controller (DES)
 };
 
-/// Which migration policy a variant (or the controller) runs.
-enum class PolicyChoice : std::uint8_t {
-  kNone,              ///< "Original": never migrate
-  kPam,               ///< the paper's push-aside migration
-  kNaiveBottleneck,   ///< UNO-style: migrate the bottleneck vNF
-  kNaiveMinCapacity,  ///< poster §3 wording: migrate the min-θ^S vNF
-  kScaleIn,           ///< PAM in reverse (pull vNFs back to the SmartNIC)
-};
-
 /// Whether a compare scenario evaluates the closed-form model, the DES, or both.
 enum class MeasureMode : std::uint8_t { kAnalytic, kDes, kBoth };
 
 [[nodiscard]] std::string_view to_string(ScenarioKind kind) noexcept;
-[[nodiscard]] std::string_view to_string(PolicyChoice policy) noexcept;
 [[nodiscard]] std::string_view to_string(MeasureMode mode) noexcept;
 
 /// Packet-size selection for the traffic source.
@@ -139,7 +138,7 @@ struct TrafficSpec {
 /// measured at.
 struct VariantSpec {
   std::string label;
-  PolicyChoice policy = PolicyChoice::kNone;
+  PolicyConfig policy{"none", {}};  ///< registry name + tuning parameters
   MeasureRate measure_rate;
 
   [[nodiscard]] bool operator==(const VariantSpec&) const = default;
@@ -156,10 +155,9 @@ struct CapacitySpec {
   [[nodiscard]] bool operator==(const CapacitySpec&) const = default;
 };
 
-/// Controller parameters (timeline scenarios); mirrors ControllerOptions.
+/// Controller loop parameters (timeline scenarios); mirrors
+/// ControlPlaneOptions.  The policies themselves come from [policy].
 struct ControllerSpec {
-  PolicyChoice policy = PolicyChoice::kPam;
-  PolicyChoice scale_in_policy = PolicyChoice::kNone;  ///< kScaleIn enables drain
   double trigger_utilization = 1.0;
   double scale_in_below = 0.0;  ///< 0 disables the calm direction
   double period_ms = 10.0;
@@ -177,6 +175,9 @@ struct ChainDecl {
   /// Home rack slot (cluster scenarios only).  -1 = assign round-robin by
   /// declaration order.
   std::int64_t server = -1;
+  /// Per-chain policy override (cluster scenarios only); empty name =
+  /// inherit the scenario's [policy].
+  PolicyConfig policy;
 
   [[nodiscard]] bool operator==(const ChainDecl&) const = default;
 };
@@ -221,6 +222,10 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
 
   TrafficSpec traffic;
+  /// The control loop's policy ([policy] name/param.*; timeline + cluster).
+  PolicyConfig policy{"pam", {}};
+  /// Calm-direction policy ([policy] scale_in*); "none" disables drain.
+  PolicyConfig scale_in{"none", {}};
   std::vector<VariantSpec> variants;  ///< compare scenarios
   CapacitySpec capacity;              ///< capacity scenarios
   ControllerSpec controller;          ///< timeline scenarios
@@ -242,6 +247,12 @@ struct ScenarioSpec {
   /// measure rates, timeline rate profile, deployment offered loads).  Used
   /// by `pam_exp sweep`.
   [[nodiscard]] ScenarioSpec scaled(double factor) const;
+
+  /// Copy re-pointed at `policy` — the CLI's `--policy` override.  Replaces
+  /// the scenario default, clears per-chain overrides, and re-points every
+  /// compare variant (labels become the policy's text form).  The scale-in
+  /// policy is left alone.
+  [[nodiscard]] ScenarioSpec with_policy(const PolicyConfig& policy) const;
 };
 
 }  // namespace pam

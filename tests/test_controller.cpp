@@ -46,10 +46,15 @@ TEST(Controller, ResolvesOverloadWithPam) {
   EXPECT_EQ(sim.chain().location_of(2), Location::kCpu);
   EXPECT_FALSE(controller.scale_out_requested());
   EXPECT_TRUE(report.conserved());
-  // Timeline recorded detection + plan + completion.
+  // Timeline recorded detection + plan + completion, typed.
   ASSERT_GE(controller.events().size(), 3u);
-  EXPECT_NE(controller.events()[0].what.find("overload detected"),
+  EXPECT_EQ(controller.events()[0].kind, ControlEvent::Kind::kTriggered);
+  EXPECT_NE(controller.events()[0].detail.find("overload detected"),
             std::string::npos);
+  EXPECT_EQ(controller.events()[1].kind, ControlEvent::Kind::kPlanned);
+  ASSERT_EQ(controller.events()[1].moved_nfs.size(), 1u);
+  EXPECT_EQ(controller.events()[1].moved_nfs[0], "Logger");
+  EXPECT_EQ(controller.events()[2].kind, ControlEvent::Kind::kMigrated);
 }
 
 TEST(Controller, QuietBelowTrigger) {
@@ -89,6 +94,12 @@ TEST(Controller, RequestsScaleOutWhenInfeasible) {
   (void)sim.run(SimTime::milliseconds(60), SimTime::milliseconds(5));
   EXPECT_TRUE(controller.scale_out_requested());
   EXPECT_EQ(controller.migrations_executed(), 0u);
+  // The request lands exactly once in the typed event log.
+  std::size_t scale_out_events = 0;
+  for (const auto& event : controller.events()) {
+    scale_out_events += event.kind == ControlEvent::Kind::kScaleOut ? 1 : 0;
+  }
+  EXPECT_EQ(scale_out_events, 1u);
 }
 
 TEST(Controller, CooldownPreventsBackToBackMigrations) {

@@ -195,8 +195,10 @@ arrival = cbr
 sizes = fixed 512
 rate = step 1.2 2.2 at_ms=15
 
+[policy]
+name = pam
+
 [controller]
-policy = pam
 period_ms = 5
 first_check_ms = 5
 cooldown_ms = 10
@@ -208,6 +210,18 @@ cooldown_ms = 10
   EXPECT_FALSE(tl.events.empty());
   EXPECT_NE(tl.chain_before, tl.chain_after);
   EXPECT_GT(tl.metrics.delivered, 0u);
+  // The typed decision log narrates trigger -> plan -> completion, and every
+  // kind is one of the documented enum strings.
+  EXPECT_EQ(tl.events.front().kind, ControlEvent::Kind::kTriggered);
+  bool planned = false;
+  bool migrated = false;
+  for (const auto& event : tl.events) {
+    EXPECT_TRUE(control_event_kind_from_string(to_string(event.kind)).has_value());
+    planned |= event.kind == ControlEvent::Kind::kPlanned;
+    migrated |= event.kind == ControlEvent::Kind::kMigrated;
+  }
+  EXPECT_TRUE(planned);
+  EXPECT_TRUE(migrated);
 }
 
 TEST(ExperimentRunner, DeploymentPlansAcrossChains) {

@@ -29,8 +29,8 @@ TEST(ScenarioSpec, ParsesMinimalCompare) {
   EXPECT_EQ(spec.name, "mini");
   EXPECT_EQ(spec.kind, ScenarioKind::kCompare);
   ASSERT_EQ(spec.variants.size(), 1u);
-  EXPECT_EQ(spec.variants[0].policy, PolicyChoice::kPam);
-  // Label defaults to the policy name.
+  EXPECT_EQ(spec.variants[0].policy, (PolicyConfig{"pam", {}}));
+  // Label defaults to the policy's text form.
   EXPECT_EQ(spec.variants[0].label, "pam");
   EXPECT_EQ(spec.variants[0].measure_rate.kind, MeasureRate::Kind::kPlanRate);
 }
@@ -193,10 +193,142 @@ TEST(ScenarioSpecErrors, SweepSizesOnlyForCompare) {
 }
 
 TEST(ScenarioSpecErrors, BadPolicy) {
+  // Strict: an unknown policy is an error listing the registered names,
+  // never a silent fallback to NoMigrationPolicy.
   expect_error(
       "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
       "[variant]\npolicy = magic\n",
       "unknown policy 'magic'");
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = magic\n",
+      "registered: naive, naive-min, none, pam, scale-in");
+}
+
+TEST(ScenarioSpecErrors, BadPolicyParameter) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = pam:frobnicate=2\n",
+      "unknown parameter 'frobnicate'");
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = pam:utilization_limit=high\n",
+      "expected key=NUMBER");
+}
+
+TEST(ScenarioSpecErrors, ControllerPolicyKeysMovedToPolicySection) {
+  expect_error(
+      "[scenario]\nname = x\nkind = timeline\nchain = wire | S:Monitor | wire\n"
+      "[traffic]\nrate = constant 1\n[controller]\npolicy = pam\n",
+      "moved to the [policy] section");
+}
+
+TEST(ScenarioSpecErrors, PolicySectionOnlyForTimelineAndCluster) {
+  expect_error(
+      "[scenario]\nname = x\nkind = compare\nchain = wire | S:Monitor | wire\n"
+      "[variant]\npolicy = pam\n[policy]\nname = pam\n",
+      "[policy] is only valid for kind = timeline or cluster");
+}
+
+TEST(ScenarioSpec, PolicySectionParsesParamsRegardlessOfKeyOrder) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = t
+kind = timeline
+chain = wire | S:Monitor C:Logger | host
+
+[traffic]
+rate = constant 1
+
+[policy]
+param.utilization_limit = 0.9
+name = pam
+scale_in = scale-in
+scale_in.param.smartnic_ceiling = 0.7
+param.max_migrations = 8
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.policy.name, "pam");
+  EXPECT_DOUBLE_EQ(spec.policy.get("utilization_limit", -1.0), 0.9);
+  EXPECT_DOUBLE_EQ(spec.policy.get("max_migrations", -1.0), 8.0);
+  EXPECT_EQ(spec.scale_in.name, "scale-in");
+  EXPECT_DOUBLE_EQ(spec.scale_in.get("smartnic_ceiling", -1.0), 0.7);
+}
+
+TEST(ScenarioSpecRoundTrip, PolicyParamsRoundTripThroughText) {
+  const auto first = ScenarioSpec::parse(R"(
+[scenario]
+name = t
+kind = timeline
+chain = wire | S:Monitor C:Logger | host
+
+[traffic]
+rate = constant 1
+
+[policy]
+name = pam:utilization_limit=0.85
+param.max_migrations = 4
+scale_in = scale-in:smartnic_ceiling=0.65
+)");
+  ASSERT_TRUE(first.has_value()) << first.error().what();
+  // Inline and param.* spellings merge into one ordered parameter list…
+  EXPECT_DOUBLE_EQ(first.value().policy.get("utilization_limit", -1.0), 0.85);
+  EXPECT_DOUBLE_EQ(first.value().policy.get("max_migrations", -1.0), 4.0);
+  // …and the canonical rendering parses back to an equal spec.
+  const auto second = ScenarioSpec::parse(first.value().to_text());
+  ASSERT_TRUE(second.has_value()) << second.error().what();
+  EXPECT_TRUE(first.value() == second.value()) << first.value().to_text();
+}
+
+TEST(ScenarioSpec, ClusterChainPolicyOverrides) {
+  const auto result = ScenarioSpec::parse(R"(
+[scenario]
+name = c
+kind = cluster
+
+[policy]
+name = pam
+
+[chain]
+name = hot
+spec = wire | S:Firewall | wire
+policy = naive:utilization_limit=0.8
+
+[chain]
+name = calm
+spec = wire | S:Monitor | wire
+
+[cluster]
+servers = 2
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.chains[0].policy.name, "naive");
+  EXPECT_DOUBLE_EQ(spec.chains[0].policy.get("utilization_limit", -1.0), 0.8);
+  EXPECT_TRUE(spec.chains[1].policy.empty());  // inherits [policy]
+  // Round-trips with the override intact.
+  const auto second = ScenarioSpec::parse(spec.to_text());
+  ASSERT_TRUE(second.has_value()) << second.error().what();
+  EXPECT_TRUE(spec == second.value());
+}
+
+TEST(ScenarioSpecErrors, ClusterScaleInRejected) {
+  // The fleet controller has no calm direction; silently accepting the key
+  // would break the strict-parsing contract.
+  expect_error(
+      "[scenario]\nname = c\nkind = cluster\n"
+      "[policy]\nname = pam\nscale_in = scale-in\n"
+      "[chain]\nname = a\nspec = wire | S:Firewall | wire\n"
+      "[cluster]\nservers = 2\n",
+      "'scale_in' is only used by timeline scenarios");
+}
+
+TEST(ScenarioSpecErrors, ChainPolicyOnlyForCluster) {
+  expect_error(
+      "[scenario]\nname = x\nkind = deployment\n"
+      "[chain]\nname = a\nspec = wire | S:Firewall | wire\npolicy = pam\n",
+      "[chain] 'policy' is only valid for kind = cluster");
 }
 
 TEST(ScenarioSpecErrors, BadSizes) {
@@ -297,9 +429,11 @@ arrival = poisson
 sizes = imix
 rate = sinusoid 1.5 0.75 period_ms=40
 
+[policy]
+name = pam
+scale_in = scale-in
+
 [controller]
-policy = pam
-scale_in_policy = scale-in
 trigger_utilization = 0.95
 scale_in_below = 0.4
 )");
