@@ -6,12 +6,16 @@
 // the server count while everything advances on ONE event queue and ONE
 // packet pool — the quantity this bench tracks is how much wall time each
 // additional server costs (events/s is the single-threaded DES budget).
+// With --bench-json[=FILE] (or PAM_BENCH_JSON) every rack size becomes a
+// pam-bench/v1 trajectory record (docs/BENCHMARKS.md); events/s is the
+// gated metric.  PAM_BENCH_QUICK=1 shrinks the simulated window only.
 //
 //   $ ./build/bench/bench_cluster_scale
 
 #include <chrono>
 #include <cstdio>
 
+#include "benchreport/bench_reporter.hpp"
 #include "chain/chain_builder.hpp"
 #include "common/strings.hpp"
 #include "sim/cluster_simulator.hpp"
@@ -29,8 +33,13 @@ ServiceChain slot_chain(std::size_t slot) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== cluster scaling @1.2 Gbps x 512B per server, 30 ms ===\n\n");
+int main(int argc, char** argv) {
+  BenchReporter reporter{"bench_cluster_scale", argc, argv};
+  const SimTime duration = SimTime::milliseconds(bench_quick_mode() ? 10 : 30);
+  const SimTime warmup = SimTime::milliseconds(bench_quick_mode() ? 2 : 5);
+
+  std::printf("=== cluster scaling @1.2 Gbps x 512B per server, %.0f ms ===\n\n",
+              duration.ms());
   std::printf("%7s | %9s | %10s | %9s | %10s | %9s\n", "servers", "injected",
               "goodput", "fleet p99", "wall (ms)", "events/s");
   std::printf("--------+-----------+------------+-----------+------------+----------\n");
@@ -46,21 +55,29 @@ int main() {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const ClusterReport report =
-        cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(5));
+    const ClusterReport report = cluster.run(duration, warmup);
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     const double events = static_cast<double>(cluster.kernel().queue().executed());
+    const double events_per_s = wall_ms > 0.0 ? events / wall_ms * 1e3 : 0.0;
 
     std::printf("%7zu | %9llu | %8.2f G | %6.0f us | %10.1f | %8.2fM\n",
                 servers, static_cast<unsigned long long>(report.injected),
                 report.egress_goodput.value(),
                 report.latency.quantile(0.99).us(), wall_ms,
-                wall_ms > 0.0 ? events / wall_ms / 1e3 : 0.0);
+                events_per_s / 1e6);
+    reporter.add_case("rack_scale")
+        .param("servers", static_cast<std::uint64_t>(servers))
+        .metric("events_per_s", MetricKind::kThroughput, events_per_s, "/s")
+        .metric("fleet_goodput_gbps", MetricKind::kThroughput,
+                report.egress_goodput.value(), "Gbps")
+        .metric("fleet_p99_latency_us", MetricKind::kLatency,
+                report.latency.quantile(0.99).us(), "us")
+        .metric("wall_ms", MetricKind::kInfo, wall_ms, "ms");
   }
 
   std::printf("\n(one shared event queue + packet pool; cost per server is the\n"
               " slope — the single-threaded DES budget for fleet scenarios)\n");
-  return 0;
+  return reporter.flush();
 }

@@ -4,10 +4,37 @@
 //
 // Thin wrapper over the shared experiment runner; the scenario definition
 // lives in scenarios/fig1-crossings.scn (JSON metrics: `pam_exp run
-// fig1-crossings --json`).
+// fig1-crossings --json`).  With --bench-json[=FILE] (or PAM_BENCH_JSON)
+// the per-variant crossings and analytic capacity are additionally emitted
+// as pam-bench/v1 trajectory records (docs/BENCHMARKS.md).
 //
 //   $ ./build/bench/bench_fig1_crossings
 
+#include <cstdio>
+
+#include "benchreport/bench_reporter.hpp"
+#include "experiment/metrics_sink.hpp"
 #include "experiment/scenario_library.hpp"
 
-int main() { return pam::run_bundled_scenario("fig1-crossings", /*verbose=*/true); }
+int main(int argc, char** argv) {
+  using namespace pam;
+  BenchReporter reporter{"bench_fig1_crossings", argc, argv};
+  auto result = execute_bundled_scenario("fig1-crossings");
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+    return 1;
+  }
+  print_report(result.value(), /*verbose=*/true);
+
+  for (const auto& vr : result.value().variants) {
+    reporter.add_case("layout")
+        .param("variant", vr.label)
+        .metric("pcie_crossings", MetricKind::kCount,
+                static_cast<double>(vr.analytic.pcie_crossings), "crossings")
+        .metric("analytic_capacity_gbps", MetricKind::kThroughput,
+                vr.analytic.max_rate_gbps, "Gbps")
+        .metric("plan_migrations", MetricKind::kCount,
+                static_cast<double>(vr.plan.steps.size()), "moves");
+  }
+  return reporter.flush();
+}

@@ -6,9 +6,45 @@
 // Thin wrapper over the shared experiment runner; the measurement protocol
 // (who is measured at which rate, and why) is documented in
 // scenarios/fig2-latency.scn (JSON metrics: `pam_exp run fig2-latency --json`).
+// With --bench-json[=FILE] (or PAM_BENCH_JSON) the per-variant latency
+// averages become pam-bench/v1 trajectory records (docs/BENCHMARKS.md) —
+// DES-deterministic, so the CI gate holds them to the committed baseline.
 //
 //   $ ./build/bench/bench_fig2_latency
 
+#include <cstdio>
+
+#include "benchreport/bench_reporter.hpp"
+#include "experiment/metrics_sink.hpp"
 #include "experiment/scenario_library.hpp"
 
-int main() { return pam::run_bundled_scenario("fig2-latency"); }
+int main(int argc, char** argv) {
+  using namespace pam;
+  BenchReporter reporter{"bench_fig2_latency", argc, argv};
+  auto result = execute_bundled_scenario("fig2-latency");
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+    return 1;
+  }
+  print_report(result.value());
+
+  for (const auto& vr : result.value().variants) {
+    if (vr.runs.empty()) {
+      continue;
+    }
+    double mean_sum = 0.0;
+    double p99_sum = 0.0;
+    for (const auto& run : vr.runs) {
+      mean_sum += run.latency.mean_us;
+      p99_sum += run.latency.p99_us;
+    }
+    const double n = static_cast<double>(vr.runs.size());
+    reporter.add_case("chain_latency")
+        .param("variant", vr.label)
+        .metric("mean_latency_us", MetricKind::kLatency, mean_sum / n, "us",
+                vr.runs.size())
+        .metric("p99_latency_us", MetricKind::kLatency, p99_sum / n, "us",
+                vr.runs.size());
+  }
+  return reporter.flush();
+}

@@ -4,10 +4,37 @@
 //
 // Thin wrapper over the shared experiment runner; the scenario definition
 // lives in scenarios/fig2-throughput.scn (JSON metrics: `pam_exp run
-// fig2-throughput --json`).
+// fig2-throughput --json`).  With --bench-json[=FILE] (or PAM_BENCH_JSON)
+// the per-variant capacities and saturation goodput become pam-bench/v1
+// trajectory records (docs/BENCHMARKS.md).
 //
 //   $ ./build/bench/bench_fig2_throughput
 
+#include <cstdio>
+
+#include "benchreport/bench_reporter.hpp"
+#include "experiment/metrics_sink.hpp"
 #include "experiment/scenario_library.hpp"
 
-int main() { return pam::run_bundled_scenario("fig2-throughput"); }
+int main(int argc, char** argv) {
+  using namespace pam;
+  BenchReporter reporter{"bench_fig2_throughput", argc, argv};
+  auto result = execute_bundled_scenario("fig2-throughput");
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+    return 1;
+  }
+  print_report(result.value());
+
+  for (const auto& vr : result.value().variants) {
+    auto& c = reporter.add_case("chain_throughput");
+    c.param("variant", vr.label);
+    c.metric("analytic_capacity_gbps", MetricKind::kThroughput,
+             vr.analytic.max_rate_gbps, "Gbps");
+    if (!vr.runs.empty()) {
+      c.metric("saturation_goodput_gbps", MetricKind::kThroughput,
+               vr.runs.front().goodput_gbps, "Gbps");
+    }
+  }
+  return reporter.flush();
+}

@@ -1,19 +1,24 @@
 // Companion to Figure 2(a): per-hop decomposition of where each layout's
 // latency goes — the naive migration's penalty shows up as two extra PCIe
-// line items, nothing else changes materially.
+// line items, nothing else changes materially.  With --bench-json[=FILE]
+// (or PAM_BENCH_JSON) the per-layout structural totals and PCIe shares are
+// emitted as pam-bench/v1 trajectory records (docs/BENCHMARKS.md); the
+// totals are closed-form, so any drift is a model change, not noise.
 //
 //   $ ./build/bench/bench_latency_breakdown
 
 #include <cstdio>
 
+#include "benchreport/bench_reporter.hpp"
 #include "chain/chain_analyzer.hpp"
 #include "chain/chain_builder.hpp"
 #include "chain/latency_breakdown.hpp"
 #include "core/naive_policy.hpp"
 #include "core/pam_policy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pam;
+  BenchReporter reporter{"bench_latency_breakdown", argc, argv};
 
   Server server = Server::paper_testbed();
   const ChainAnalyzer analyzer{server};
@@ -28,10 +33,11 @@ int main() {
 
   const struct {
     const char* label;
+    const char* key;  ///< stable record identity ("original"/"naive"/"pam")
     const ServiceChain* chain;
-  } rows[] = {{"Original (Fig 1a)", &original},
-              {"Naive (Fig 1b)", &after_naive},
-              {"PAM (Fig 1c)", &after_pam}};
+  } rows[] = {{"Original (Fig 1a)", "original", &original},
+              {"Naive (Fig 1b)", "naive", &after_naive},
+              {"PAM (Fig 1c)", "pam", &after_pam}};
 
   std::printf("=== structural latency breakdown @512B ===\n");
   for (const auto& row : rows) {
@@ -39,6 +45,12 @@ int main() {
     std::printf("\n%s   %s\n", row.label, row.chain->describe().c_str());
     std::printf("%s", breakdown.render().c_str());
     std::printf("  PCIe share of total: %.1f%%\n", breakdown.crossing_share() * 100.0);
+    reporter.add_case("structural_latency")
+        .param("layout", row.key)
+        .param("probe_bytes", std::uint64_t{512})
+        .metric("total_us", MetricKind::kLatency, breakdown.total.us(), "us")
+        .metric("pcie_share", MetricKind::kRatio, breakdown.crossing_share(),
+                "fraction");
   }
 
   const auto naive_bd = breakdown_latency(after_naive, server, probe);
@@ -47,5 +59,9 @@ int main() {
               (naive_bd.total - pam_bd.total).to_string().c_str(),
               (2.0 * server.pcie().crossing_latency(probe).us()) /
                   (naive_bd.total - pam_bd.total).us() * 100.0);
-  return 0;
+  reporter.add_case("pam_vs_naive")
+      .param("probe_bytes", std::uint64_t{512})
+      .metric("saving_us", MetricKind::kInfo,
+              (naive_bd.total - pam_bd.total).us(), "us");
+  return reporter.flush();
 }

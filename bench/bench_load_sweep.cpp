@@ -6,11 +6,19 @@
 // past Original's knee only the migrated layouts keep up, and PAM tracks
 // ~65-90 us under Naive at every operating point.
 //
+// Doubles as the end-to-end datapath budget bench: the DES wall-clock over
+// the whole sweep yields ns/packet and packets/s, and a tight PacketPool
+// recycle loop isolates the acquire fast path.  With --bench-json[=FILE]
+// (or PAM_BENCH_JSON) everything lands as pam-bench/v1 trajectory records
+// (docs/BENCHMARKS.md).  PAM_BENCH_QUICK=1 shrinks simulated durations and
+// iteration counts without changing the record key set.
+//
 //   $ ./build/bench/bench_load_sweep
 
 #include <chrono>
 #include <cstdio>
 
+#include "benchreport/bench_reporter.hpp"
 #include "chain/chain_analyzer.hpp"
 #include "chain/chain_builder.hpp"
 #include "core/naive_policy.hpp"
@@ -33,7 +41,8 @@ struct Point {
 std::uint64_t g_total_packets = 0;
 double g_total_wall_ms = 0.0;
 
-Point measure(const ServiceChain& chain, Gbps rate) {
+Point measure(const ServiceChain& chain, Gbps rate, SimTime duration,
+              SimTime warmup) {
   Server server = Server::paper_testbed();
   TrafficSourceConfig cfg;
   cfg.rate = RateProfile::constant(rate);
@@ -41,8 +50,7 @@ Point measure(const ServiceChain& chain, Gbps rate) {
   cfg.seed = 5150;
   ChainSimulator sim{chain, server, cfg};
   const auto t0 = std::chrono::steady_clock::now();
-  const SimReport report =
-      sim.run(SimTime::milliseconds(60), SimTime::milliseconds(12));
+  const SimReport report = sim.run(duration, warmup);
   const auto t1 = std::chrono::steady_clock::now();
   g_total_wall_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
   g_total_packets += report.injected;
@@ -51,7 +59,14 @@ Point measure(const ServiceChain& chain, Gbps rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter{"bench_load_sweep", argc, argv};
+  // Quick mode shortens the simulated window only; the swept rates and the
+  // record key set are identical, so trajectories stay comparable.
+  const SimTime duration =
+      SimTime::milliseconds(bench_quick_mode() ? 20 : 60);
+  const SimTime warmup = SimTime::milliseconds(bench_quick_mode() ? 4 : 12);
+
   Server server = Server::paper_testbed();
   const ChainAnalyzer analyzer{server};
   const ServiceChain original = paper_figure1_chain();
@@ -61,18 +76,36 @@ int main() {
   const ServiceChain after_pam =
       PamPolicy{}.plan(original, analyzer, overload).apply_to(original);
 
+  const struct {
+    const char* label;
+    const ServiceChain* chain;
+  } layouts[] = {{"original", &original}, {"naive", &after_naive}, {"pam", &after_pam}};
+
   std::printf("=== load sweep @512B: goodput (Gbps) / mean latency (us) ===\n\n");
   std::printf("%-8s | %-22s | %-22s | %-22s\n", "offered", "Original", "Naive", "PAM");
   std::printf("---------+------------------------+------------------------+-----------------------\n");
   for (const double rate : {0.4, 0.8, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4}) {
-    const Point o = measure(original, Gbps{rate});
-    const Point n = measure(after_naive, Gbps{rate});
-    const Point p = measure(after_pam, Gbps{rate});
+    Point points[3];
+    for (std::size_t l = 0; l < 3; ++l) {
+      points[l] = measure(*layouts[l].chain, Gbps{rate}, duration, warmup);
+      reporter.add_case("sweep")
+          .param("layout", layouts[l].label)
+          .param("offered_gbps", rate)
+          .metric("goodput_gbps", MetricKind::kThroughput,
+                  points[l].goodput.value(), "Gbps")
+          .metric("mean_latency_us", MetricKind::kLatency,
+                  points[l].mean_latency.us(), "us")
+          .metric("drops", MetricKind::kCount,
+                  static_cast<double>(points[l].drops), "packets");
+    }
     std::printf("%5.1f G  | %5.2f / %8.1f%s | %5.2f / %8.1f%s | %5.2f / %8.1f%s\n",
                 rate,
-                o.goodput.value(), o.mean_latency.us(), o.drops ? " *" : "  ",
-                n.goodput.value(), n.mean_latency.us(), n.drops ? " *" : "  ",
-                p.goodput.value(), p.mean_latency.us(), p.drops ? " *" : "  ");
+                points[0].goodput.value(), points[0].mean_latency.us(),
+                points[0].drops ? " *" : "  ",
+                points[1].goodput.value(), points[1].mean_latency.us(),
+                points[1].drops ? " *" : "  ",
+                points[2].goodput.value(), points[2].mean_latency.us(),
+                points[2].drops ? " *" : "  ");
   }
   std::printf("\n('*' marks operating points with drops; latency there measures a\n"
               " saturated drop-tail queue, not the chain)\n");
@@ -80,11 +113,19 @@ int main() {
               analyzer.max_sustainable_rate(original).value(),
               analyzer.max_sustainable_rate(after_naive).value(),
               analyzer.max_sustainable_rate(after_pam).value());
-  std::printf("\nsimulated %llu packets in %.0f ms wall (%.0f kpkt/s)\n",
+  const double kpkt_per_s = g_total_wall_ms > 0.0
+                                ? static_cast<double>(g_total_packets) / g_total_wall_ms
+                                : 0.0;
+  const double ns_per_packet = g_total_packets > 0
+                                   ? g_total_wall_ms * 1e6 /
+                                         static_cast<double>(g_total_packets)
+                                   : 0.0;
+  std::printf("\nsimulated %llu packets in %.0f ms wall (%.0f kpkt/s, %.0f ns/packet)\n",
               static_cast<unsigned long long>(g_total_packets), g_total_wall_ms,
-              g_total_wall_ms > 0.0
-                  ? static_cast<double>(g_total_packets) / g_total_wall_ms
-                  : 0.0);
+              kpkt_per_s, ns_per_packet);
+  reporter.add_case("des_wall")
+      .metric("packets_per_s", MetricKind::kThroughput, kpkt_per_s * 1e3, "/s")
+      .metric("ns_per_packet", MetricKind::kLatency, ns_per_packet, "ns");
 
   // Pool-recycle microbenchmark: isolates PacketPool::acquire's header-only
   // reset (54B touched per recycle instead of a full-frame memset).  MTU
@@ -92,7 +133,7 @@ int main() {
   // noise, a tight RX loop does not.
   {
     PacketPool pool{1};
-    constexpr std::size_t kIters = 2'000'000;
+    const std::size_t kIters = bench_quick_mode() ? 250'000 : 2'000'000;
     constexpr std::size_t kFrame = 1500;
     { auto prime = pool.acquire(kFrame); }
     const auto t0 = std::chrono::steady_clock::now();
@@ -107,6 +148,9 @@ int main() {
         static_cast<double>(kIters);
     std::printf("pool recycle @%zuB: %.1f ns/acquire over %zu iterations "
                 "(%zu ok)\n", kFrame, ns, kIters, live);
+    reporter.add_case("pool_recycle")
+        .param("frame_bytes", std::uint64_t{kFrame})
+        .metric("ns_per_acquire", MetricKind::kLatency, ns, "ns", kIters);
   }
-  return 0;
+  return reporter.flush();
 }

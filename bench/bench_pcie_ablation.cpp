@@ -7,10 +7,15 @@
 //   3. DMA batch-size sweep under the detailed model: interrupt coalescing
 //      amortises doorbells but adds queueing delay.
 //
+// With --bench-json[=FILE] (or PAM_BENCH_JSON) each sweep point becomes a
+// pam-bench/v1 trajectory record (docs/BENCHMARKS.md); all values are
+// closed-form, so drift means the PCIe model changed.
+//
 //   $ ./build/bench/bench_pcie_ablation
 
 #include <cstdio>
 
+#include "benchreport/bench_reporter.hpp"
 #include "chain/chain_analyzer.hpp"
 #include "chain/chain_builder.hpp"
 #include "core/naive_policy.hpp"
@@ -41,7 +46,8 @@ Layouts make_layouts(const Server& server) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter{"bench_pcie_ablation", argc, argv};
   const Bytes probe{512};
 
   std::printf("=== Ablation A1: naive-vs-PAM latency gap vs PCIe crossing cost ===\n");
@@ -60,6 +66,12 @@ int main() {
     std::printf("%13.0f us   | %9.1f us | %9.1f us | %9.1f us | %8.1f%%\n",
                 fixed_us, orig, pam_lat, naive_lat,
                 (naive_lat - pam_lat) / naive_lat * 100.0);
+    reporter.add_case("crossing_cost_sweep")
+        .param("pcie_fixed_us", fixed_us)
+        .metric("pam_latency_us", MetricKind::kLatency, pam_lat, "us")
+        .metric("naive_latency_us", MetricKind::kLatency, naive_lat, "us")
+        .metric("pam_saving", MetricKind::kRatio,
+                (naive_lat - pam_lat) / naive_lat, "fraction");
   }
 
   std::printf("\n=== Ablation A2: simple vs detailed link model ===\n\n");
@@ -68,10 +80,18 @@ int main() {
     std::printf("simple model:   %s -> crossing(512B) = %s\n",
                 server.pcie().describe().c_str(),
                 server.pcie().crossing_latency(probe).to_string().c_str());
+    reporter.add_case("link_model")
+        .param("model", "simple")
+        .metric("crossing_latency_us", MetricKind::kLatency,
+                server.pcie().crossing_latency(probe).us(), "us");
     server.pcie().use_detailed_model(PcieDetailedParams{});
     std::printf("detailed model: %s -> crossing(512B) = %s\n",
                 server.pcie().describe().c_str(),
                 server.pcie().crossing_latency(probe).to_string().c_str());
+    reporter.add_case("link_model")
+        .param("model", "detailed")
+        .metric("crossing_latency_us", MetricKind::kLatency,
+                server.pcie().crossing_latency(probe).us(), "us");
     const Layouts l = make_layouts(server);
     const ChainAnalyzer analyzer{server};
     std::printf("latency under detailed model: original %s | PAM %s | naive %s\n",
@@ -94,8 +114,12 @@ int main() {
     std::printf("%-10u | %-18s | %s\n", batch,
                 server.pcie().fixed_cost().to_string().c_str(),
                 analyzer.structural_latency(l.naive, probe).to_string().c_str());
+    reporter.add_case("dma_batch_sweep")
+        .param("batch", std::uint64_t{batch})
+        .metric("naive_latency_us", MetricKind::kLatency,
+                analyzer.structural_latency(l.naive, probe).us(), "us");
   }
   std::printf("\ntakeaway: the PAM advantage is exactly proportional to the\n"
               "per-crossing cost; no calibration choice flips the ordering.\n");
-  return 0;
+  return reporter.flush();
 }

@@ -7,12 +7,18 @@
 //   - structural latency delta of the resulting layout,
 //   - NFs migrated per alleviation.
 //
+// With --bench-json[=FILE] (or PAM_BENCH_JSON) the per-policy tallies are
+// emitted as pam-bench/v1 trajectory records (docs/BENCHMARKS.md).
+// PAM_BENCH_QUICK=1 shrinks the scenario count (seeded, so still
+// deterministic at each count).
+//
 //   $ ./build/bench/bench_policy_sweep
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "benchreport/bench_reporter.hpp"
 #include "chain/chain_analyzer.hpp"
 #include "chain/chain_builder.hpp"
 #include "common/rng.hpp"
@@ -62,7 +68,8 @@ ServiceChain random_overloaded_chain(Rng& rng, const ChainAnalyzer& analyzer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReporter reporter{"bench_policy_sweep", argc, argv};
   Server server = Server::paper_testbed();
   const ChainAnalyzer analyzer{server};
   const Bytes probe{512};
@@ -73,7 +80,7 @@ int main() {
   policies.emplace_back("NaiveMinCapacity", std::make_unique<NaiveMinCapacityPolicy>());
 
   std::vector<Tally> tallies(policies.size());
-  constexpr int kScenarios = 10000;
+  const int kScenarios = bench_quick_mode() ? 2000 : 10000;
   Rng rng{20180820};  // SIGCOMM'18 poster session date
 
   int generated = 0;
@@ -120,9 +127,23 @@ int main() {
                 static_cast<double>(t.crossings_added) / fixes,
                 static_cast<double>(t.migrations) / fixes,
                 t.latency_delta_us / fixes);
+    // Signed deltas and success shares are context, not speed — kInfo/kRatio
+    // keep them out of the regression gate while still on the trajectory.
+    reporter.add_case("policy_robustness")
+        .param("policy", policies[p].first)
+        .metric("alleviation_rate", MetricKind::kRatio,
+                static_cast<double>(t.alleviated) /
+                    static_cast<double>(t.attempts),
+                "fraction", static_cast<std::uint64_t>(t.attempts))
+        .metric("crossings_per_fix", MetricKind::kInfo,
+                static_cast<double>(t.crossings_added) / fixes, "crossings")
+        .metric("moves_per_fix", MetricKind::kInfo,
+                static_cast<double>(t.migrations) / fixes, "moves")
+        .metric("latency_delta_per_fix_us", MetricKind::kInfo,
+                t.latency_delta_us / fixes, "us");
   }
   std::printf("\nexpected shape: PAM alleviates with ~zero (or negative) added\n"
               "crossings and the smallest latency delta; the bottleneck-driven\n"
               "naive policy pays ~+2 crossings per fix.\n");
-  return 0;
+  return reporter.flush();
 }

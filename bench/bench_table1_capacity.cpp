@@ -4,10 +4,38 @@
 //
 // Thin wrapper over the shared experiment runner; the scenario definition
 // lives in scenarios/table1-capacity.scn (JSON metrics: `pam_exp run
-// table1-capacity --json`).
+// table1-capacity --json`).  With --bench-json[=FILE] (or PAM_BENCH_JSON)
+// each (vNF, device) row becomes a pam-bench/v1 trajectory record
+// (docs/BENCHMARKS.md) — the realized saturation rate is the gated metric.
 //
 //   $ ./build/bench/bench_table1_capacity
 
+#include <cstdio>
+
+#include "benchreport/bench_reporter.hpp"
+#include "experiment/metrics_sink.hpp"
 #include "experiment/scenario_library.hpp"
 
-int main() { return pam::run_bundled_scenario("table1-capacity"); }
+int main(int argc, char** argv) {
+  using namespace pam;
+  BenchReporter reporter{"bench_table1_capacity", argc, argv};
+  auto result = execute_bundled_scenario("table1-capacity");
+  if (!result) {
+    std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
+    return 1;
+  }
+  print_report(result.value());
+
+  for (const auto& row : result.value().capacities) {
+    reporter.add_case("nf_capacity")
+        .param("nf", row.nf)
+        .param("device", row.device)
+        .metric("realized_gbps", MetricKind::kThroughput, row.realized_gbps,
+                "Gbps")
+        .metric("analytic_gbps", MetricKind::kThroughput, row.analytic_gbps,
+                "Gbps")
+        .metric("configured_gbps", MetricKind::kInfo, row.configured_gbps,
+                "Gbps");
+  }
+  return reporter.flush();
+}

@@ -1,0 +1,160 @@
+// Benchmark reporting: the machine-readable perf-trajectory surface.
+//
+// Every binary under bench/ registers its measurements through a
+// BenchReporter and emits one `pam-bench/v1` JSON section when asked to
+// (`--bench-json[=FILE]` or the PAM_BENCH_JSON environment variable);
+// without that request the reporter is inert and the bench's human-readable
+// output is unchanged.  `scripts/run_benches.sh` runs the whole suite and
+// merges the sections into a single BENCH_*.json trajectory file that
+// `scripts/bench_compare.py` diffs in CI.
+//
+// The JSON schema is documented in docs/BENCHMARKS.md; treat it as an
+// interface: additive changes only, and update the doc (and the jq
+// validation in .github/workflows/ci.yml) in the same commit.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pam {
+
+/// What a benchmark metric measures, which fixes the direction
+/// `bench_compare.py` gates on:
+///  - kThroughput: higher is better (events/s, Gbps, bytes/s) — gated;
+///  - kLatency:    lower is better (ns/op, us) — gated;
+///  - kCount / kRatio / kInfo: context only, never gated (counts, shares,
+///    signed deltas, wall-clock totals).
+enum class MetricKind {
+  kThroughput,
+  kLatency,
+  kCount,
+  kRatio,
+  kInfo,
+};
+
+/// The schema string for a MetricKind ("throughput", "latency", ...).
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// One measured value of one benchmark case (one `records[]` entry).
+struct BenchMetric {
+  std::string name;        ///< metric name, e.g. "ns_per_acquire"
+  MetricKind kind = MetricKind::kInfo;
+  double value = 0.0;
+  std::string unit;        ///< canonical unit string, e.g. "ns", "Gbps"
+  std::uint64_t repeats = 1;  ///< timing repetitions folded into `value`
+};
+
+/// One benchmark case: a named measurement point with identifying
+/// parameters and one or more metrics.  The (bench, case, params, metric)
+/// tuple is the identity `bench_compare.py` matches across trajectory
+/// files, so params must hold only what identifies the point (layout,
+/// frame size, server count) — never iteration counts or durations, which
+/// quick mode is free to scale.
+class BenchCase {
+ public:
+  /// Adds an identifying parameter (stored and emitted as a string).
+  BenchCase& param(std::string key, std::string value);
+  /// Adds a numeric identifying parameter (formatted with %g).
+  BenchCase& param(std::string key, double value);
+  /// Adds an integer identifying parameter.
+  BenchCase& param(std::string key, std::uint64_t value);
+
+  /// Records one metric.  `repeats` documents how many timed repetitions
+  /// produced `value` (1 for single-shot or derived values).
+  BenchCase& metric(std::string name, MetricKind kind, double value,
+                    std::string unit, std::uint64_t repeats = 1);
+
+ private:
+  friend class BenchReporter;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<BenchMetric> metrics_;
+};
+
+/// Collects the cases of one bench binary and serialises them as one
+/// `pam-bench/v1` JSON section (see docs/BENCHMARKS.md).
+///
+/// Typical bench main():
+/// ```
+///   BenchReporter reporter{"bench_load_sweep", argc, argv};
+///   ...
+///   reporter.add_case("pool_recycle")
+///       .param("frame_bytes", std::uint64_t{1500})
+///       .metric("ns_per_acquire", MetricKind::kLatency, ns, "ns", iters);
+///   return reporter.flush();
+/// ```
+class BenchReporter {
+ public:
+  /// Reporter with JSON output disabled unless PAM_BENCH_JSON is set.
+  explicit BenchReporter(std::string bench_name);
+
+  /// Parses `--bench-json[=FILE]` out of argv (in addition to the
+  /// PAM_BENCH_JSON environment variable; the flag wins).  FILE `-` or an
+  /// omitted FILE means stdout.  Unknown arguments are ignored — benches
+  /// own their own flags.
+  BenchReporter(std::string bench_name, int argc, char** argv);
+
+  /// Registers a new case; the returned reference stays valid until the
+  /// next add_case() call or the reporter is destroyed.
+  BenchCase& add_case(std::string name);
+
+  /// True when JSON output was requested (flag or environment).
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Destination file ("-" == stdout); empty when disabled.
+  [[nodiscard]] const std::string& output_path() const noexcept { return path_; }
+
+  /// Serialises the section to `out` regardless of enabled().
+  void write_json(std::ostream& out) const;
+
+  /// Writes the section to output_path() when enabled (no-op otherwise).
+  /// Returns a process exit code: 0 on success, 1 when the file cannot be
+  /// written — benches `return reporter.flush();` as their last line.
+  [[nodiscard]] int flush() const;
+
+ private:
+  std::string bench_name_;
+  std::string path_;  ///< "-" == stdout
+  bool enabled_ = false;
+  std::vector<BenchCase> cases_;
+};
+
+/// Warmup/repeat control for time_runs().
+struct BenchTiming {
+  int warmup_runs = 1;  ///< untimed executions before measuring
+  int repeat_runs = 5;  ///< timed executions aggregated into TimingStats
+};
+
+/// Aggregate of `repeats` timed executions, in nanoseconds per execution.
+struct TimingStats {
+  double best_ns = 0.0;   ///< fastest repetition (preferred for gating:
+                          ///< least scheduler noise)
+  double mean_ns = 0.0;
+  double worst_ns = 0.0;
+  std::uint64_t repeats = 0;
+};
+
+/// Runs `fn` under steady-clock timing: `timing.warmup_runs` untimed, then
+/// `timing.repeat_runs` timed.  Returns per-execution stats.
+[[nodiscard]] TimingStats time_runs(const BenchTiming& timing,
+                                    const std::function<void()>& fn);
+
+/// True when PAM_BENCH_QUICK is set to a non-empty, non-"0" value: benches
+/// shrink iteration counts / simulated durations (never the case/metric
+/// key set) so the suite fits a CI budget.
+[[nodiscard]] bool bench_quick_mode() noexcept;
+
+/// Normalizes a time value to nanoseconds.  `unit` is one of
+/// "s", "ms", "us", "ns"; returns a negative value on an unknown unit.
+[[nodiscard]] double time_to_ns(double value, std::string_view unit) noexcept;
+
+/// Normalizes a per-second rate to events per second.  `unit` is one of
+/// "/s", "k/s", "M/s", "G/s"; returns a negative value on an unknown unit.
+[[nodiscard]] double rate_to_per_s(double value, std::string_view unit) noexcept;
+
+}  // namespace pam

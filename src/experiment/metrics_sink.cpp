@@ -1,136 +1,10 @@
 #include "experiment/metrics_sink.hpp"
 
-#include <cmath>
 #include <cstdio>
 
 #include "common/strings.hpp"
 
 namespace pam {
-
-namespace {
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-void JsonWriter::indent() {
-  for (std::size_t i = 0; i < stack_.size(); ++i) {
-    out_ << "  ";
-  }
-}
-
-void JsonWriter::separate() {
-  if (pending_key_) {
-    pending_key_ = false;
-    return;  // value follows "key": on the same line
-  }
-  if (!stack_.empty()) {
-    if (has_element_.back() == '1') {
-      out_ << ",";
-    }
-    has_element_.back() = '1';
-    out_ << "\n";
-    indent();
-  }
-}
-
-void JsonWriter::begin_object() {
-  separate();
-  out_ << "{";
-  stack_ += 'o';
-  has_element_ += '0';
-}
-
-void JsonWriter::end_object() {
-  const bool had = has_element_.back() == '1';
-  stack_.pop_back();
-  has_element_.pop_back();
-  if (had) {
-    out_ << "\n";
-    indent();
-  }
-  out_ << "}";
-  if (stack_.empty()) {
-    out_ << "\n";
-  }
-}
-
-void JsonWriter::begin_array() {
-  separate();
-  out_ << "[";
-  stack_ += 'a';
-  has_element_ += '0';
-}
-
-void JsonWriter::end_array() {
-  const bool had = has_element_.back() == '1';
-  stack_.pop_back();
-  has_element_.pop_back();
-  if (had) {
-    out_ << "\n";
-    indent();
-  }
-  out_ << "]";
-}
-
-void JsonWriter::key(std::string_view k) {
-  separate();
-  out_ << "\"" << json_escape(k) << "\": ";
-  pending_key_ = true;
-}
-
-void JsonWriter::value(std::string_view v) {
-  separate();
-  out_ << "\"" << json_escape(v) << "\"";
-}
-
-void JsonWriter::value(double v) {
-  separate();
-  if (!std::isfinite(v)) {
-    out_ << "null";
-    return;
-  }
-  out_ << format("%.10g", v);
-}
-
-void JsonWriter::value(std::uint64_t v) {
-  separate();
-  out_ << format("%llu", static_cast<unsigned long long>(v));
-}
-
-void JsonWriter::value(std::int64_t v) {
-  separate();
-  out_ << format("%lld", static_cast<long long>(v));
-}
-
-void JsonWriter::value(bool v) {
-  separate();
-  out_ << (v ? "true" : "false");
-}
-
-void JsonWriter::null() {
-  separate();
-  out_ << "null";
-}
 
 namespace {
 

@@ -68,14 +68,17 @@ Result<ScenarioSpec> load_bundled_scenario(std::string_view name) {
   return load_scenario_file(path);
 }
 
-int run_bundled_scenario(std::string_view name, bool verbose) {
+Result<RunResult> execute_bundled_scenario(std::string_view name) {
   auto spec = load_bundled_scenario(name);
   if (!spec) {
-    std::fprintf(stderr, "error: %s\n", spec.error().what().c_str());
-    return 1;
+    return spec.error();
   }
   const ScenarioRunner runner;
-  auto result = runner.run(spec.value());
+  return runner.run(spec.value());
+}
+
+int run_bundled_scenario(std::string_view name, bool verbose) {
+  auto result = execute_bundled_scenario(name);
   if (!result) {
     std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
     return 1;

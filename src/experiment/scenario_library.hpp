@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "experiment/scenario_runner.hpp"
 #include "experiment/scenario_spec.hpp"
 
 namespace pam {
@@ -31,6 +32,11 @@ namespace pam {
 /// Loads the bundled preset `name` (e.g. "fig1-crossings") from
 /// default_scenario_dir().
 [[nodiscard]] Result<ScenarioSpec> load_bundled_scenario(std::string_view name);
+
+/// Loads and runs the bundled preset `name`, returning the structured
+/// result (no printing).  Benches that emit trajectory JSON use this and
+/// print the report themselves.
+[[nodiscard]] Result<RunResult> execute_bundled_scenario(std::string_view name);
 
 /// Loads, runs, and prints the bundled preset `name`; returns a process
 /// exit code (0 success).  This is the whole implementation of the thin
