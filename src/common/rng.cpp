@@ -143,4 +143,11 @@ Rng Rng::split() noexcept {
   return Rng{next_u64() ^ 0xd1b54a32d192ed03ull};
 }
 
+std::uint64_t Rng::derive(std::uint64_t base, std::uint64_t stream) noexcept {
+  // Two splitmix64 rounds decorrelate adjacent (base, stream) pairs.
+  std::uint64_t sm = base ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+  (void)splitmix64(sm);
+  return splitmix64(sm);
+}
+
 }  // namespace pam

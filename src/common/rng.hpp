@@ -58,6 +58,13 @@ class Rng {
   /// Split a statistically independent child stream (for per-component RNGs).
   [[nodiscard]] Rng split() noexcept;
 
+  /// Derives a deterministic child seed for stream `stream` of lineage
+  /// `base`.  The experiment layer threads every per-component seed (traffic
+  /// sources, churn arrivals, link traces, fuzz cases) from the spec's seed
+  /// through this — never std::random_device or the clock.
+  [[nodiscard]] static std::uint64_t derive(std::uint64_t base,
+                                            std::uint64_t stream) noexcept;
+
   /// Raw state access, used by the migration engine to snapshot NFs whose
   /// behaviour depends on randomness (e.g. sampling loggers).
   [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return s_; }

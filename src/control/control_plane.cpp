@@ -26,6 +26,7 @@ std::string_view to_string(ControlEvent::Kind kind) noexcept {
     case ControlEvent::Kind::kScaleOut: return "scale-out";
     case ControlEvent::Kind::kScaleIn: return "scale-in";
     case ControlEvent::Kind::kCrossServerMove: return "cross-server-move";
+    case ControlEvent::Kind::kEvacuated: return "evacuated";
   }
   return "?";
 }
@@ -45,7 +46,7 @@ const std::vector<ControlEvent::Kind>& all_control_event_kinds() {
       ControlEvent::Kind::kTriggered,      ControlEvent::Kind::kPlanned,
       ControlEvent::Kind::kMigrated,       ControlEvent::Kind::kInfeasible,
       ControlEvent::Kind::kScaleOut,       ControlEvent::Kind::kScaleIn,
-      ControlEvent::Kind::kCrossServerMove,
+      ControlEvent::Kind::kCrossServerMove, ControlEvent::Kind::kEvacuated,
   };
   return kinds;
 }

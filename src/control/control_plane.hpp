@@ -57,6 +57,7 @@ struct ControlEvent {
     kScaleOut,         ///< "scale-out": scale-out requested / decided
     kScaleIn,          ///< "scale-in": calm-direction plan handed to the engine
     kCrossServerMove,  ///< "cross-server-move": a border NF landed on another server
+    kEvacuated,        ///< "evacuated": an NF moved off a failed server, loss-free
   };
 
   SimTime at = SimTime::zero();  ///< simulated time of the decision

@@ -109,7 +109,7 @@ ControlPlane::Planned FleetController::plan(std::size_t c,
 
 bool FleetController::in_flight(std::size_t c) const {
   const ChainState& state = chains_.at(c);
-  return state.engine->busy() || state.remote_move_in_progress;
+  return state.engine->busy() || state.remote_moves_in_flight > 0;
 }
 
 void FleetController::execute(std::size_t c, const MigrationPlan& plan,
@@ -162,7 +162,7 @@ void FleetController::scale_out(std::size_t c, const std::string& reason,
         sim.chain().offered_at(candidate, offered).value() / nf_capacity.value();
     double best_load = std::numeric_limits<double>::infinity();
     for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
-      if (s == home) {
+      if (s == home || !cluster_.server_alive(s)) {
         continue;
       }
       const double nic = cluster_.server_nic_load(s);
@@ -207,27 +207,107 @@ void FleetController::scale_out(std::size_t c, const std::string& reason,
   // Loss-free cross-server move: pause, pay the fabric transfer, re-bind,
   // flush.  Mirrors the single-server engine's pause/transfer/resume at
   // rack granularity.
-  chains_.at(c).remote_move_in_progress = true;
+  ++chains_.at(c).remote_moves_in_flight;
   sim.pause_node(idx);
   cluster_.kernel().schedule_after(
-      options_.remote_migration_cost, [this, c, idx, target, nf_name] {
-        ChainSimulator& moved_sim = cluster_.chain_sim(c);
-        const std::size_t buffered = moved_sim.buffered_at(idx);
-        cluster_.move_node(c, idx, target, Location::kSmartNic);
-        moved_sim.resume_node(idx);
-        chains_.at(c).remote_move_in_progress = false;
-        plane_.complete_action(c);
-        ++scale_out_moves_;
-        ControlEvent done;
-        done.kind = ControlEvent::Kind::kCrossServerMove;
-        done.chain = c;
-        done.server = target;
-        done.moved_nfs.push_back(nf_name);
-        done.detail =
-            format("scale-out complete: %s now on server %zu (%zu buffered)",
-                   nf_name.c_str(), target, buffered);
-        plane_.emit(std::move(done));
+      options_.remote_migration_cost, [this, c, idx, target] {
+        complete_remote_move(c, idx, target,
+                             ControlEvent::Kind::kCrossServerMove);
       });
+}
+
+void FleetController::complete_remote_move(std::size_t c, std::size_t node,
+                                           std::size_t target,
+                                           ControlEvent::Kind kind) {
+  ChainSimulator& sim = cluster_.chain_sim(c);
+  const std::string nf_name = sim.chain().node(node).spec.name;
+  const std::size_t buffered = sim.buffered_at(node);
+  --chains_.at(c).remote_moves_in_flight;
+  if (!cluster_.server_alive(target)) {
+    // The target died while the transfer was in flight: abort in place,
+    // loss-free — buffered packets flush through the old binding.
+    sim.resume_node(node);
+    plane_.complete_action(c);
+    ControlEvent aborted;
+    aborted.kind = ControlEvent::Kind::kInfeasible;
+    aborted.chain = c;
+    aborted.server = target;
+    aborted.moved_nfs.push_back(nf_name);
+    aborted.detail = format(
+        "in-flight move of %s aborted: target server %zu died (%zu buffered "
+        "flushed in place)",
+        nf_name.c_str(), target, buffered);
+    plane_.emit(std::move(aborted));
+    return;
+  }
+  // Scale-out deliberately re-enters at the target's SmartNIC; an evacuated
+  // NF keeps its device placement.
+  const Location loc = kind == ControlEvent::Kind::kEvacuated
+                           ? sim.chain().location_of(node)
+                           : Location::kSmartNic;
+  cluster_.move_node(c, node, target, loc);
+  sim.resume_node(node);
+  plane_.complete_action(c);
+  ControlEvent done;
+  done.kind = kind;
+  done.chain = c;
+  done.server = target;
+  done.moved_nfs.push_back(nf_name);
+  if (kind == ControlEvent::Kind::kEvacuated) {
+    ++evacuations_;
+    done.detail =
+        format("evacuation complete: %s now on server %zu (%zu buffered)",
+               nf_name.c_str(), target, buffered);
+  } else {
+    ++scale_out_moves_;
+    done.detail =
+        format("scale-out complete: %s now on server %zu (%zu buffered)",
+               nf_name.c_str(), target, buffered);
+  }
+  plane_.emit(std::move(done));
+}
+
+void FleetController::on_server_failed(std::size_t server) {
+  for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
+    ChainSimulator& sim = cluster_.chain_sim(c);
+    for (std::size_t i = 0; i < sim.chain().size(); ++i) {
+      if (sim.node_server(i) != server || sim.paused(i)) {
+        continue;  // paused: an in-flight move owns this node
+      }
+      // Least-loaded surviving slot.  No target_max_load fit check here —
+      // getting off the dead slot outranks the load SLO.
+      std::size_t target = server;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < cluster_.num_servers(); ++s) {
+        if (s == server || !cluster_.server_alive(s)) {
+          continue;
+        }
+        const double load = cluster_.server_load(s);
+        if (load < best) {
+          best = load;
+          target = s;
+        }
+      }
+      if (target == server) {
+        ControlEvent event;
+        event.kind = ControlEvent::Kind::kInfeasible;
+        event.chain = c;
+        event.server = server;
+        event.moved_nfs.push_back(sim.chain().node(i).spec.name);
+        event.detail = format(
+            "server %zu failed but no surviving slot to evacuate %s to",
+            server, sim.chain().node(i).spec.name.c_str());
+        plane_.emit(std::move(event));
+        continue;
+      }
+      ++chains_.at(c).remote_moves_in_flight;
+      sim.pause_node(i);
+      cluster_.kernel().schedule_after(
+          options_.remote_migration_cost, [this, c, i, target] {
+            complete_remote_move(c, i, target, ControlEvent::Kind::kEvacuated);
+          });
+    }
+  }
 }
 
 }  // namespace pam

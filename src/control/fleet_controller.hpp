@@ -68,6 +68,14 @@ class FleetController final : private ControlPlane::Sensor,
   /// before ClusterSimulator::run().
   void arm() { plane_.arm(); }
 
+  /// Failure response: evacuates every non-paused NF bound to `server` to
+  /// the least-loaded surviving slot, loss-free (pause -> fabric transfer ->
+  /// re-bind -> flush), emitting one kEvacuated event per NF.  Survival
+  /// outranks the SLO, so evacuation ignores target_max_load.  Call after
+  /// ClusterSimulator::fail_server(server); NFs already paused by an
+  /// in-flight move are handled by that move's own dead-target abort.
+  void on_server_failed(std::size_t server);
+
   [[nodiscard]] const std::vector<ControlEvent>& events() const noexcept {
     return plane_.events();
   }
@@ -77,13 +85,17 @@ class FleetController final : private ControlPlane::Sensor,
   [[nodiscard]] std::size_t scale_out_moves() const noexcept {
     return scale_out_moves_;
   }
+  /// Completed failure evacuations (one per NF moved off a dead slot).
+  [[nodiscard]] std::size_t evacuations() const noexcept { return evacuations_; }
   /// The shared loop (options, per-chain policies, event emission).
   [[nodiscard]] ControlPlane& plane() noexcept { return plane_; }
 
  private:
   struct ChainState {
     std::unique_ptr<MigrationEngine> engine;
-    bool remote_move_in_progress = false;
+    /// Concurrent cross-server transfers (scale-out plus evacuations — a
+    /// server failure can put several of one chain's NFs in flight at once).
+    std::size_t remote_moves_in_flight = 0;
   };
 
   // ControlPlane::Sensor
@@ -119,8 +131,14 @@ class FleetController final : private ControlPlane::Sensor,
   FleetControllerOptions options_;
   std::vector<ChainAnalyzer> analyzers_;  ///< one per rack slot
   std::vector<ChainState> chains_;
+  /// Finishes one remote transfer of chain `c`: re-bind (unless the target
+  /// died mid-flight), resume, anchor the cooldown, emit `kind`.
+  void complete_remote_move(std::size_t c, std::size_t node, std::size_t target,
+                            ControlEvent::Kind kind);
+
   mutable std::vector<HomeView> views_;   ///< per-chain per-tick cache
   std::size_t scale_out_moves_ = 0;
+  std::size_t evacuations_ = 0;
   ControlPlane plane_;  ///< last member: its Sensor/Actuator are *this
 };
 

@@ -1,0 +1,60 @@
+// Post-run invariant auditing.
+//
+// A RunResult is a complete, self-describing record of one scenario
+// execution: packet accounting, before/after placements, and the typed
+// ControlEvent log.  That makes a class of correctness properties checkable
+// *after the fact*, with no hooks into the simulator — which is exactly what
+// the scenario fuzzer (scenario_fuzz.hpp) needs: run an arbitrary generated
+// scenario, then audit the wreckage.
+//
+// Invariants checked:
+//
+//   conservation    every measured run satisfies
+//                   injected == delivered + dropped + in_flight_at_end,
+//                   per chain and fleet-wide (nothing vanishes, nothing is
+//                   double-counted — including across failures/evacuations)
+//   nf-state        no NF instance is lost or duplicated: the multiset of
+//                   instance names in every chain_after equals its
+//                   chain_before (migration relocates, never destroys)
+//   monotone-events the control log is causally ordered: event times are
+//                   non-decreasing and within the run horizon
+//   cooldown        no trigger or scale-in plan fires within the cooldown
+//                   window after a completed action on the same chain
+//   single-flight   at most one visible control action is in flight per
+//                   chain at any time (no overlapping plans, no trigger
+//                   while a move is pending)
+//
+// `pam_exp run --check-invariants` audits every scenario it executes;
+// `pam_exp fuzz` audits every generated one.  tests/test_invariants.cpp
+// feeds the checker mutated results to prove each rule actually fires.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/scenario_runner.hpp"
+
+namespace pam {
+
+/// One broken invariant, with a diagnostic precise enough to act on.
+struct InvariantViolation {
+  std::string invariant;  ///< "conservation" | "nf-state" | "monotone-events"
+                          ///< | "cooldown" | "single-flight"
+  std::string detail;     ///< what broke, where, and by how much
+};
+
+/// Everything the audit of one RunResult found.
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// One line per violation ("invariant: detail"), or "all invariants hold".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Audits `result` against every invariant.  Pure function of the result;
+/// never touches the simulator.
+[[nodiscard]] InvariantReport check_invariants(const RunResult& result);
+
+}  // namespace pam

@@ -35,6 +35,7 @@ void write_run(JsonWriter& w, const MeasuredRun& run) {
   w.key("by_nf"); w.value(run.dropped_by_nf);
   w.key("total"); w.value(run.dropped_total());
   w.end_object();
+  w.key("in_flight_at_end"); w.value(run.in_flight_at_end);
   w.key("mean_crossings_per_packet"); w.value(run.mean_crossings_per_packet);
   w.key("smartnic_utilization"); w.value(run.smartnic_utilization);
   w.key("cpu_utilization"); w.value(run.cpu_utilization);
@@ -174,7 +175,10 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       w.key("metrics"); write_run(w, tl.metrics);
       break;
     }
-    case ScenarioKind::kCluster: {
+    case ScenarioKind::kCluster:
+    case ScenarioKind::kChurn:
+    case ScenarioKind::kFailure:
+    case ScenarioKind::kHostile: {
       const ClusterResult& cr = *result.cluster;
       w.key("servers"); w.value(static_cast<std::uint64_t>(cr.servers));
       w.key("rebalance"); w.value(cr.rebalance);
@@ -183,6 +187,46 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       w.value(static_cast<std::uint64_t>(cr.migrations_executed));
       w.key("scale_out_moves");
       w.value(static_cast<std::uint64_t>(cr.scale_out_moves));
+      w.key("evacuations");
+      w.value(static_cast<std::uint64_t>(cr.evacuations));
+      if (!result.spec.failures.empty()) {
+        w.key("failures");
+        w.begin_array();
+        for (const auto& ev : result.spec.failures) {
+          w.begin_object();
+          w.key("server"); w.value(static_cast<std::uint64_t>(ev.server));
+          w.key("at_ms"); w.value(ev.at_ms);
+          if (ev.recover_ms >= 0.0) {
+            w.key("recover_ms"); w.value(ev.recover_ms);
+          }
+          w.end_object();
+        }
+        w.end_array();
+      }
+      if (!result.spec.link.empty()) {
+        w.key("link_trace");
+        w.begin_object();
+        w.key("fabric");
+        w.begin_array();
+        for (const auto& point : result.spec.link.fabric) {
+          w.begin_object();
+          w.key("at_ms"); w.value(point.at_ms);
+          w.key("delay_us"); w.value(point.delay_us);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("fades");
+        w.begin_array();
+        for (const auto& fade : result.spec.link.fades) {
+          w.begin_object();
+          w.key("server"); w.value(static_cast<std::uint64_t>(fade.server));
+          w.key("at_ms"); w.value(fade.at_ms);
+          w.key("speed"); w.value(fade.speed);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
       w.key("inter_server_hops"); w.value(cr.inter_server_hops);
       w.key("conserved"); w.value(cr.conserved);
       w.key("fleet"); write_run(w, cr.fleet);
@@ -214,6 +258,15 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         w.value(static_cast<std::uint64_t>(chain.home_server));
         if (i < result.spec.chains.size() && !result.spec.chains[i].policy.empty()) {
           w.key("policy"); w.value(result.spec.chains[i].policy.to_string());
+        }
+        if (i < result.spec.chains.size()) {
+          const ChainDecl& decl = result.spec.chains[i];
+          if (decl.arrive_ms > 0.0) {
+            w.key("arrive_ms"); w.value(decl.arrive_ms);
+          }
+          if (decl.depart_ms >= 0.0) {
+            w.key("depart_ms"); w.value(decl.depart_ms);
+          }
         }
         w.key("chain_before"); w.value(chain.chain_before);
         w.key("chain_after"); w.value(chain.chain_after);
@@ -452,10 +505,30 @@ void print_cluster(const RunResult& result, bool verbose, std::FILE* out) {
   const ClusterResult& cr = *result.cluster;
   std::fprintf(out,
                "%zu server(s), %zu chain(s), rebalance %s (policy %s) | "
-               "migrations %zu, cross-server moves %zu\n\n",
+               "migrations %zu, cross-server moves %zu, evacuations %zu\n\n",
                cr.servers, cr.chains.size(), cr.rebalance ? "on" : "off",
                result.spec.policy.to_string().c_str(), cr.migrations_executed,
-               cr.scale_out_moves);
+               cr.scale_out_moves, cr.evacuations);
+  for (const auto& ev : result.spec.failures) {
+    if (ev.recover_ms >= 0.0) {
+      std::fprintf(out, "failure: server %zu dies at %.1f ms, recovers at %.1f ms\n",
+                   ev.server, ev.at_ms, ev.recover_ms);
+    } else {
+      std::fprintf(out, "failure: server %zu dies at %.1f ms (no recovery)\n",
+                   ev.server, ev.at_ms);
+    }
+  }
+  for (const auto& point : result.spec.link.fabric) {
+    std::fprintf(out, "link: fabric delay -> %.1f us at %.1f ms\n", point.delay_us,
+                 point.at_ms);
+  }
+  for (const auto& fade : result.spec.link.fades) {
+    std::fprintf(out, "link: server %zu fades to %.2fx speed at %.1f ms\n",
+                 fade.server, fade.speed, fade.at_ms);
+  }
+  if (!result.spec.failures.empty() || !result.spec.link.empty()) {
+    std::fprintf(out, "\n");
+  }
 
   std::fprintf(out, "%-7s | %6s | %5s | %-21s | %9s %9s %9s\n", "server",
                "chains", "nodes", "util nic/cpu/pcie", "injected", "delivered",
@@ -539,6 +612,9 @@ void print_report(const RunResult& result, bool verbose, std::FILE* out) {
       print_deployment(result, verbose, out);
       break;
     case ScenarioKind::kCluster:
+    case ScenarioKind::kChurn:
+    case ScenarioKind::kFailure:
+    case ScenarioKind::kHostile:
       print_cluster(result, verbose, out);
       break;
   }

@@ -5,6 +5,8 @@
 //   pam_exp run <scenario>... [options]   # execute scenarios
 //   pam_exp sweep <scenario> --factors LO:HI:STEPS [options]
 //   pam_exp bench [--json[=FILE]] [--quick]  # in-process perf quick tier
+//   pam_exp fuzz [--seed N] [--count N] [--quick] [--dump-dir DIR]
+//                                         # invariant-checking scenario fuzzer
 //
 // <scenario> is a bundled preset name (e.g. fig2-latency) or a path to a
 // .scn file.  Options:
@@ -20,7 +22,15 @@
 //                   overrides, and re-points every compare variant — same
 //                   registry path as the .scn surface, no side channel
 //   --quick         (bench) shrink iteration counts / simulated windows
-//                   (equivalent to PAM_BENCH_QUICK=1)
+//                   (equivalent to PAM_BENCH_QUICK=1);
+//                   (fuzz) short DES horizons for CI smoke runs
+//   --check-invariants
+//                   (run) audit every executed scenario with the invariant
+//                   checker (experiment/invariants.hpp); violations fail
+//                   the run with one diagnostic line each
+//   --seed N / --count N / --dump-dir DIR
+//                   (fuzz) campaign seed, number of generated cases, and
+//                   where a shrunk failing .scn reproducer is written
 //
 // `bench` times the three gated trajectory families in-process (control-loop
 // decision latency, packet-pool recycle, shared-kernel events/s) and emits
@@ -45,7 +55,9 @@
 #include "common/strings.hpp"
 #include "control/policy_registry.hpp"
 #include "core/pam_policy.hpp"
+#include "experiment/invariants.hpp"
 #include "experiment/metrics_sink.hpp"
+#include "experiment/scenario_fuzz.hpp"
 #include "experiment/scenario_library.hpp"
 #include "experiment/scenario_runner.hpp"
 #include "packet/packet_pool.hpp"
@@ -65,6 +77,8 @@ int usage(std::FILE* out) {
                "[--json[=FILE]] [--quiet] [--policy NAME[:key=val,...]] "
                "[--dir DIR]\n"
                "       pam_exp bench [--json[=FILE]] [--quick]\n"
+               "       pam_exp fuzz [--seed N] [--count N] [--quick] "
+               "[--dump-dir DIR] [--verbose]\n"
                "\n"
                "<scenario> is a bundled preset name (see 'pam_exp list') or a "
                "path to a .scn file.\n"
@@ -82,7 +96,11 @@ struct Options {
   std::string dir;
   std::string factors;
   std::string policy;  ///< --policy NAME[:key=val,...]; empty = none
-  bool quick = false;  ///< --quick (bench): PAM_BENCH_QUICK semantics
+  bool quick = false;  ///< --quick (bench/fuzz): shrink the work
+  bool check_invariants = false;  ///< --check-invariants (run)
+  std::uint64_t seed = 1;         ///< --seed (fuzz)
+  std::size_t count = 50;         ///< --count (fuzz)
+  std::string dump_dir = ".";     ///< --dump-dir (fuzz)
 };
 
 bool parse_args(int argc, char** argv, int first, Options& out) {
@@ -117,6 +135,30 @@ bool parse_args(int argc, char** argv, int first, Options& out) {
         return false;
       }
       out.policy = argv[++i];
+    } else if (arg == "--check-invariants") {
+      out.check_invariants = true;
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --seed needs a value\n");
+        return false;
+      }
+      out.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--count") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --count needs a value\n");
+        return false;
+      }
+      out.count = std::strtoull(argv[++i], nullptr, 10);
+      if (out.count == 0) {
+        std::fprintf(stderr, "error: --count must be positive\n");
+        return false;
+      }
+    } else if (arg == "--dump-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --dump-dir needs a value\n");
+        return false;
+      }
+      out.dump_dir = argv[++i];
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return false;
@@ -156,6 +198,19 @@ int run_specs(const std::vector<ScenarioSpec>& specs, const Options& opt) {
     if (!opt.quiet) {
       print_report(result.value(), opt.verbose);
       std::printf("\n");
+    }
+    if (opt.check_invariants) {
+      const InvariantReport report = check_invariants(result.value());
+      if (!report.ok()) {
+        std::fprintf(stderr, "error: scenario '%s' violates invariants:\n%s",
+                     result.value().spec.name.c_str(),
+                     report.describe().c_str());
+        return 1;
+      }
+      if (!opt.quiet) {
+        std::printf("invariants: all hold for '%s'\n\n",
+                    result.value().spec.name.c_str());
+      }
     }
     results.push_back(std::move(result).value());
   }
@@ -487,6 +542,20 @@ int main(int argc, char** argv) {
   }
   if (cmd == "bench") {
     return cmd_bench(opt);
+  }
+  if (cmd == "fuzz") {
+    FuzzOptions fuzz;
+    fuzz.seed = opt.seed;
+    fuzz.count = opt.count;
+    fuzz.quick = opt.quick;
+    fuzz.dump_dir = opt.dump_dir;
+    fuzz.verbose = opt.verbose;
+    auto outcome = run_fuzz_campaign(fuzz);
+    if (!outcome) {
+      std::fprintf(stderr, "error: %s\n", outcome.error().what().c_str());
+      return 1;
+    }
+    return outcome.value().failures == 0 ? 0 : 1;
   }
   if (cmd == "--help" || cmd == "-h" || cmd == "help") {
     return usage(stdout);

@@ -1,0 +1,66 @@
+// Scenario fuzzing: generate random *valid* scenarios, execute them, and
+// audit every run with the invariant checker (invariants.hpp).
+//
+// The generator spans every scenario kind — compare, capacity, timeline,
+// deployment, and the fleet kinds (cluster, churn, failure, hostile) — and
+// emits only specs that satisfy the parser's validation rules, so a failure
+// is always a real property violation (round-trip break, runner error, or a
+// broken invariant), never a rejected input.
+//
+// Determinism: one `pam::Rng` lineage derived from `FuzzOptions::seed` via
+// `Rng::derive` drives everything.  Two campaigns with the same seed, count
+// and quick flag produce byte-identical scenario text and an identical
+// campaign digest — CI runs the campaign twice and diffs the digests.
+//
+// On the first failing case the campaign greedily shrinks the spec (dropping
+// chains, variants, failure events, link points, churn decorations) while
+// the failure reproduces, dumps the minimal `.scn` to `dump_dir`, and stops.
+//
+//   pam_exp fuzz --seed 42 --count 25 --quick
+//
+// See docs/FUZZING.md.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+
+/// Campaign parameters (the `pam_exp fuzz` flags).
+struct FuzzOptions {
+  std::uint64_t seed = 1;    ///< campaign seed; everything derives from it
+  std::size_t count = 50;    ///< cases to generate and execute
+  bool quick = false;        ///< short DES horizons (CI smoke)
+  std::string dump_dir = "."; ///< where a shrunk failing .scn is written
+  bool verbose = false;      ///< one line per case instead of a summary
+};
+
+/// What a campaign did.
+struct FuzzOutcome {
+  std::size_t executed = 0;  ///< cases run (including a failing one)
+  std::size_t failures = 0;  ///< 0 or 1 — the campaign stops at the first
+  std::uint64_t digest = 0;  ///< FNV-1a over all scenario text + metrics JSON
+  std::string first_failure_path;    ///< dumped minimal .scn ("" if none)
+  std::string first_failure_detail;  ///< what broke ("" if none)
+};
+
+/// The deterministic generator: the spec for case `index` of a campaign.
+/// `rng` must be positioned by the campaign (one derived stream per case).
+/// Every returned spec parses back from its own to_text() rendering.
+[[nodiscard]] ScenarioSpec generate_random_spec(Rng& rng, std::size_t index,
+                                                bool quick);
+
+/// Runs a campaign: generate -> round-trip -> execute -> check invariants,
+/// case by case.  Progress goes to `out` (nullptr = stdout).  Returns an
+/// error only for environment problems (e.g. dump_dir not writable); a
+/// property failure is reported in the outcome, not as an error.
+[[nodiscard]] Result<FuzzOutcome> run_fuzz_campaign(const FuzzOptions& options,
+                                                    std::FILE* out = nullptr);
+
+}  // namespace pam

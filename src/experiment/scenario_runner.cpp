@@ -8,6 +8,7 @@
 #include "chain/chain_builder.hpp"
 #include "chain/chain_spec.hpp"
 #include "chain/deployment.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "control/controller.hpp"
 #include "control/fleet_controller.hpp"
@@ -56,6 +57,7 @@ MeasuredRun to_measured(const SimReport& report, std::size_t size_bytes) {
   out.dropped_queue_cpu = report.dropped_queue_cpu;
   out.dropped_queue_pcie = report.dropped_queue_pcie;
   out.dropped_by_nf = report.dropped_by_nf;
+  out.in_flight_at_end = report.in_flight_at_end;
   out.mean_crossings_per_packet = report.mean_crossings_per_packet;
   out.smartnic_utilization = report.smartnic_utilization;
   out.cpu_utilization = report.cpu_utilization;
@@ -102,6 +104,12 @@ RateProfile profile_of(const RateSpec& rate) {
     case RateSpec::Kind::kSinusoid:
       return RateProfile::sinusoid(Gbps{rate.a}, Gbps{rate.b},
                                    SimTime::milliseconds(rate.period_ms));
+    case RateSpec::Kind::kFlash:
+      // Flash crowd: base, spike to the peak at `at`, back to base after.
+      return RateProfile::schedule(
+          {{SimTime::zero(), Gbps{rate.a}},
+           {SimTime::milliseconds(rate.at_ms), Gbps{rate.b}},
+           {SimTime::milliseconds(rate.at_ms + rate.for_ms), Gbps{rate.a}}});
   }
   return RateProfile::constant(Gbps{rate.a});
 }
@@ -367,14 +375,23 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
                                  ? static_cast<std::size_t>(decl.server)
                                  : i % cs.servers;
     TrafficSourceConfig cfg;
-    cfg.rate = RateProfile::constant(Gbps{decl.offered_gbps});
+    cfg.rate = decl.has_rate ? profile_of(decl.rate)
+                             : RateProfile::constant(Gbps{decl.offered_gbps});
     cfg.process = spec.traffic.arrival;
     cfg.sizes =
         dist_for(spec.traffic.sizes, size_points(spec.traffic.sizes).front());
-    cfg.seed = spec.seed + i;  // distinct deterministic stream per chain
+    // One seed lineage: every per-chain stream derives from the scenario
+    // seed through a splitmix64 mix, never from clocks or random_device.
+    cfg.seed = Rng::derive(spec.seed, i);
     before.push_back(parsed.value().describe());
     homes.push_back(home);
     cluster.add_chain(std::move(parsed).value(), std::move(cfg), home);
+    if (decl.arrive_ms > 0.0 || decl.depart_ms >= 0.0) {
+      cluster.chain_sim(i).set_active_window(
+          SimTime::milliseconds(decl.arrive_ms),
+          decl.depart_ms >= 0.0 ? SimTime::milliseconds(decl.depart_ms)
+                                : SimTime::nanoseconds(-1));
+    }
   }
 
   std::optional<FleetController> fleet;
@@ -404,6 +421,42 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
     fleet->arm();
   }
 
+  // Failure kind: each event kills a slot (placement-level: bound work keeps
+  // draining through the ToR) and lets the fleet controller evacuate the
+  // resident NFs loss-free; optional recovery re-admits the slot.
+  FleetController* fleet_ptr = fleet ? &*fleet : nullptr;
+  for (const FailureEvent& ev : spec.failures) {
+    const std::size_t victim = ev.server;
+    cluster.kernel().schedule_at(
+        SimTime::milliseconds(ev.at_ms), [&cluster, fleet_ptr, victim] {
+          cluster.fail_server(victim);
+          if (fleet_ptr != nullptr) {
+            fleet_ptr->on_server_failed(victim);
+          }
+        });
+    if (ev.recover_ms >= 0.0) {
+      cluster.kernel().schedule_at(
+          SimTime::milliseconds(ev.recover_ms),
+          [&cluster, victim] { cluster.recover_server(victim); });
+    }
+  }
+
+  // Hostile kind: replay the link trace — fabric delay steps plus per-slot
+  // capacity fades (degraded devices serve slower, so live load climbs).
+  for (const LinkTraceSpec::FabricPoint& point : spec.link.fabric) {
+    cluster.kernel().schedule_at(
+        SimTime::milliseconds(point.at_ms), [&cluster, us = point.delay_us] {
+          cluster.set_fabric_latency(SimTime::microseconds(us));
+        });
+  }
+  for (const LinkTraceSpec::SlotFade& fade : spec.link.fades) {
+    cluster.kernel().schedule_at(
+        SimTime::milliseconds(fade.at_ms),
+        [&cluster, s = fade.server, speed = fade.speed] {
+          cluster.set_slot_speed(s, speed);
+        });
+  }
+
   const ClusterReport report = cluster.run(
       SimTime::milliseconds(spec.duration_ms), SimTime::milliseconds(spec.warmup_ms));
 
@@ -414,6 +467,7 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
     cr.events = fleet->events();
     cr.migrations_executed = fleet->migrations_executed();
     cr.scale_out_moves = fleet->scale_out_moves();
+    cr.evacuations = fleet->evacuations();
   }
 
   const std::size_t point = spec.traffic.sizes.kind == SizeSpec::Kind::kFixed
@@ -441,6 +495,7 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
     fleet_run.dropped_queue_cpu += chain_report.dropped_queue_cpu;
     fleet_run.dropped_queue_pcie += chain_report.dropped_queue_pcie;
     fleet_run.dropped_by_nf += chain_report.dropped_by_nf;
+    fleet_run.in_flight_at_end += chain_report.in_flight_at_end;
     crossings_weighted += chain_report.mean_crossings_per_packet *
                           static_cast<double>(chain_report.measured_delivered);
     crossings_weight += chain_report.measured_delivered;
@@ -500,6 +555,9 @@ Result<RunResult> ScenarioRunner::run(const ScenarioSpec& spec) const {
     case ScenarioKind::kDeployment:
       return run_deployment(spec);
     case ScenarioKind::kCluster:
+    case ScenarioKind::kChurn:
+    case ScenarioKind::kFailure:
+    case ScenarioKind::kHostile:
       return run_cluster(spec);
   }
   return Error{"unknown scenario kind"};

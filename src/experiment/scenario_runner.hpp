@@ -43,6 +43,7 @@ struct MeasuredRun {
   std::uint64_t dropped_queue_cpu = 0;
   std::uint64_t dropped_queue_pcie = 0;
   std::uint64_t dropped_by_nf = 0;
+  std::uint64_t in_flight_at_end = 0;  ///< packets still queued when time ran out
   double mean_crossings_per_packet = 0.0;
   double smartnic_utilization = 0.0;  ///< busy fraction observed by the DES
   double cpu_utilization = 0.0;
@@ -156,6 +157,7 @@ struct ClusterResult {
   std::vector<ControlEvent> events;        ///< fleet controller decisions
   std::size_t migrations_executed = 0;     ///< single-server push-asides
   std::size_t scale_out_moves = 0;         ///< cross-server border-NF moves
+  std::size_t evacuations = 0;             ///< NFs moved off failed servers
   std::vector<ClusterChainResult> chains;
   std::vector<ClusterServerResult> per_server;
   MeasuredRun fleet;                       ///< merged fleet-wide metrics
@@ -171,7 +173,7 @@ struct RunResult {
   std::vector<CapacityResult> capacities;   ///< kind == capacity
   std::optional<TimelineResult> timeline;   ///< kind == timeline
   std::optional<DeploymentResult> deployment;  ///< kind == deployment
-  std::optional<ClusterResult> cluster;     ///< kind == cluster
+  std::optional<ClusterResult> cluster;     ///< fleet kinds (cluster|churn|failure|hostile)
 };
 
 /// Executes scenarios.  Stateless; safe to reuse across runs.

@@ -192,6 +192,10 @@ class SpecParser {
         if (!claim_unique(section) || !parse_deployment(section)) return false;
       } else if (section.name == "cluster") {
         if (!claim_unique(section) || !parse_cluster(section)) return false;
+      } else if (section.name == "failure") {
+        if (!claim_unique(section) || !parse_failure(section)) return false;
+      } else if (section.name == "link") {
+        if (!claim_unique(section) || !parse_link(section)) return false;
       } else {
         return fail(section.line, format("unknown section [%s]", section.name.c_str()));
       }
@@ -228,10 +232,18 @@ class SpecParser {
           spec_.kind = ScenarioKind::kDeployment;
         } else if (kv.value == "cluster") {
           spec_.kind = ScenarioKind::kCluster;
+        } else if (kv.value == "churn") {
+          spec_.kind = ScenarioKind::kChurn;
+        } else if (kv.value == "failure") {
+          spec_.kind = ScenarioKind::kFailure;
+        } else if (kv.value == "hostile") {
+          spec_.kind = ScenarioKind::kHostile;
         } else {
-          return fail(kv.line, format("unknown scenario kind '%s' (expected "
-                                      "compare|capacity|timeline|deployment|cluster)",
-                                      kv.value.c_str()));
+          return fail(kv.line,
+                      format("unknown scenario kind '%s' (expected "
+                             "compare|capacity|timeline|deployment|cluster|"
+                             "churn|failure|hostile)",
+                             kv.value.c_str()));
         }
       } else if (kv.key == "chain") {
         spec_.chain = kv.value;
@@ -325,8 +337,21 @@ class SpecParser {
       }
       return true;
     }
+    if (tok.size() == 5 && tok[0] == "flash") {
+      out.kind = RateSpec::Kind::kFlash;
+      if (!parse_double_strict(tok[1], out.a) || !parse_double_strict(tok[2], out.b) ||
+          !parse_tagged_double(tok[3], "at_ms", out.at_ms) ||
+          !parse_tagged_double(tok[4], "for_ms", out.for_ms) || out.for_ms <= 0.0) {
+        return fail(kv.line,
+                    format("rate: expected 'flash BASE PEAK at_ms=T for_ms=D' "
+                           "with D > 0, got '%s'",
+                           kv.value.c_str()));
+      }
+      return true;
+    }
     return fail(kv.line, format("rate: expected 'constant G' | 'step B A at_ms=T' | "
-                                "'sinusoid BASE AMP period_ms=P', got '%s'",
+                                "'sinusoid BASE AMP period_ms=P' | "
+                                "'flash BASE PEAK at_ms=T for_ms=D', got '%s'",
                                 kv.value.c_str()));
   }
 
@@ -566,6 +591,16 @@ class SpecParser {
       } else if (kv.key == "policy") {
         if (!parse_policy(kv, decl.policy)) return false;
         chain_policy_line_ = kv.line;
+      } else if (kv.key == "arrive_ms") {
+        if (!need_double(kv, decl.arrive_ms)) return false;
+        chain_churn_line_ = kv.line;
+      } else if (kv.key == "depart_ms") {
+        if (!need_double(kv, decl.depart_ms)) return false;
+        chain_churn_line_ = kv.line;
+      } else if (kv.key == "rate") {
+        if (!parse_rate_profile(kv, decl.rate)) return false;
+        decl.has_rate = true;
+        chain_churn_line_ = kv.line;
       } else {
         return fail(kv.line, format("unknown key '%s' in [chain]", kv.key.c_str()));
       }
@@ -633,6 +668,76 @@ class SpecParser {
     return true;
   }
 
+  bool parse_failure(const Section& s) {
+    if (!no_duplicate_keys(s, {"fail"})) return false;
+    for (const auto& kv : s.entries) {
+      if (kv.key != "fail") {
+        return fail(kv.line,
+                    format("unknown key '%s' in [failure]", kv.key.c_str()));
+      }
+      const auto tok = tokens_of(kv.value);
+      FailureEvent event;
+      const bool shape_ok = (tok.size() == 2 || tok.size() == 3) &&
+                            parse_size_strict(tok[0], event.server) &&
+                            parse_tagged_double(tok[1], "at_ms", event.at_ms) &&
+                            (tok.size() == 2 ||
+                             parse_tagged_double(tok[2], "recover_ms",
+                                                 event.recover_ms));
+      if (!shape_ok) {
+        return fail(kv.line,
+                    format("fail: expected 'SERVER at_ms=T [recover_ms=U]', "
+                           "got '%s'",
+                           kv.value.c_str()));
+      }
+      if (event.recover_ms >= 0.0 && event.recover_ms <= event.at_ms) {
+        return fail(kv.line, "fail: recover_ms must be after at_ms");
+      }
+      spec_.failures.push_back(event);
+    }
+    if (spec_.failures.empty()) {
+      return fail(s.line, "[failure] requires at least one 'fail' event");
+    }
+    return true;
+  }
+
+  bool parse_link(const Section& s) {
+    if (!no_duplicate_keys(s, {"fabric", "fade"})) return false;
+    for (const auto& kv : s.entries) {
+      const auto tok = tokens_of(kv.value);
+      if (kv.key == "fabric") {
+        LinkTraceSpec::FabricPoint point;
+        if (tok.size() != 2 || !parse_tagged_double(tok[0], "at_ms", point.at_ms) ||
+            !parse_tagged_double(tok[1], "delay_us", point.delay_us) ||
+            point.delay_us < 0.0) {
+          return fail(kv.line,
+                      format("fabric: expected 'at_ms=T delay_us=D' with D >= 0, "
+                             "got '%s'",
+                             kv.value.c_str()));
+        }
+        spec_.link.fabric.push_back(point);
+      } else if (kv.key == "fade") {
+        LinkTraceSpec::SlotFade fade;
+        if (tok.size() != 3 || !parse_size_strict(tok[0], fade.server) ||
+            !parse_tagged_double(tok[1], "at_ms", fade.at_ms) ||
+            !parse_tagged_double(tok[2], "speed", fade.speed) ||
+            fade.speed <= 0.0 || fade.speed > 100.0) {
+          return fail(kv.line,
+                      format("fade: expected 'SERVER at_ms=T speed=F' with F in "
+                             "(0, 100], got '%s'",
+                             kv.value.c_str()));
+        }
+        spec_.link.fades.push_back(fade);
+      } else {
+        return fail(kv.line, format("unknown key '%s' in [link]", kv.key.c_str()));
+      }
+    }
+    if (spec_.link.empty()) {
+      return fail(s.line,
+                  "[link] requires at least one 'fabric' or 'fade' point");
+    }
+    return true;
+  }
+
   bool check_chain_string(const std::string& chain_spec, const std::string& who) {
     const auto parsed = parse_chain_spec(chain_spec, who);
     if (!parsed) {
@@ -657,7 +762,11 @@ class SpecParser {
     const bool is_capacity = spec_.kind == ScenarioKind::kCapacity;
     const bool is_timeline = spec_.kind == ScenarioKind::kTimeline;
     const bool is_deployment = spec_.kind == ScenarioKind::kDeployment;
-    const bool is_cluster = spec_.kind == ScenarioKind::kCluster;
+    // Fleet kinds share the [cluster]/[chain] rack model and run path.
+    const bool is_fleet = is_fleet_kind(spec_.kind);
+    const bool is_churn = spec_.kind == ScenarioKind::kChurn;
+    const bool is_failure = spec_.kind == ScenarioKind::kFailure;
+    const bool is_hostile = spec_.kind == ScenarioKind::kHostile;
 
     if (!spec_.variants.empty() && !is_compare) {
       return fail_global("[variant] sections are only valid for kind = compare");
@@ -668,10 +777,11 @@ class SpecParser {
     if (seen_sections_.contains("controller") && !is_timeline) {
       return fail_global("[controller] is only valid for kind = timeline");
     }
-    if (seen_sections_.contains("policy") && !is_timeline && !is_cluster) {
+    if (seen_sections_.contains("policy") && !is_timeline && !is_fleet) {
       return fail(policy_line_,
-                  "[policy] is only valid for kind = timeline or cluster "
-                  "(compare variants carry their own 'policy')");
+                  "[policy] is only valid for kind = timeline or cluster-family "
+                  "kinds (cluster|churn|failure|hostile); compare variants "
+                  "carry their own 'policy'");
     }
     if (!is_timeline &&
         !(spec_.scale_in.name == "none" && spec_.scale_in.params.empty())) {
@@ -680,15 +790,23 @@ class SpecParser {
       return fail(policy_line_,
                   "[policy] 'scale_in' is only used by timeline scenarios");
     }
-    if (!spec_.chains.empty() && !is_deployment && !is_cluster) {
+    if (!spec_.chains.empty() && !is_deployment && !is_fleet) {
       return fail_global(
-          "[chain] sections are only valid for kind = deployment or cluster");
+          "[chain] sections are only valid for kind = deployment or cluster-"
+          "family kinds (cluster|churn|failure|hostile)");
     }
     if (seen_sections_.contains("deployment") && !is_deployment) {
       return fail_global("[deployment] is only valid for kind = deployment");
     }
-    if (seen_sections_.contains("cluster") && !is_cluster) {
-      return fail_global("[cluster] is only valid for kind = cluster");
+    if (seen_sections_.contains("cluster") && !is_fleet) {
+      return fail_global(
+          "[cluster] is only valid for kind = cluster|churn|failure|hostile");
+    }
+    if (seen_sections_.contains("failure") && !is_failure) {
+      return fail_global("[failure] is only valid for kind = failure");
+    }
+    if (seen_sections_.contains("link") && !is_hostile) {
+      return fail_global("[link] is only valid for kind = hostile");
     }
     if (rate_seen_ && !is_timeline) {
       return fail(rate_line_,
@@ -721,7 +839,7 @@ class SpecParser {
     if (is_timeline && !rate_seen_) {
       return fail_global("kind = timeline requires [traffic] with a 'rate' profile");
     }
-    if (is_deployment || is_cluster) {
+    if (is_deployment || is_fleet) {
       if (spec_.chains.empty()) {
         return fail_global(format("kind = %s requires at least one [chain]",
                                   std::string{to_string(spec_.kind)}.c_str()));
@@ -734,15 +852,36 @@ class SpecParser {
         if (!check_chain_string(decl.spec, decl.name)) {
           return false;
         }
-        if (decl.server >= 0 && !is_cluster) {
+        if (decl.server >= 0 && !is_fleet) {
           return fail(chain_server_line_,
-                      "[chain] 'server' is only valid for kind = cluster");
+                      "[chain] 'server' is only valid for kind = "
+                      "cluster|churn|failure|hostile");
         }
-        if (!decl.policy.empty() && !is_cluster) {
+        if (!decl.policy.empty() && !is_fleet) {
           return fail(chain_policy_line_,
-                      "[chain] 'policy' is only valid for kind = cluster");
+                      "[chain] 'policy' is only valid for kind = "
+                      "cluster|churn|failure|hostile");
         }
-        if (is_cluster &&
+        const bool has_churn_keys =
+            decl.arrive_ms != 0.0 || decl.depart_ms >= 0.0 || decl.has_rate;
+        if (has_churn_keys && !is_churn) {
+          return fail(chain_churn_line_,
+                      "[chain] 'arrive_ms'/'depart_ms'/'rate' are only valid "
+                      "for kind = churn");
+        }
+        if (is_churn) {
+          if (decl.arrive_ms < 0.0 || decl.arrive_ms >= spec_.duration_ms) {
+            return fail_global(
+                format("chain '%s': arrive_ms must be in [0, duration_ms)",
+                       decl.name.c_str()));
+          }
+          if (decl.depart_ms >= 0.0 && decl.depart_ms <= decl.arrive_ms) {
+            return fail_global(
+                format("chain '%s': depart_ms must be after arrive_ms",
+                       decl.name.c_str()));
+          }
+        }
+        if (is_fleet &&
             decl.server >= static_cast<std::int64_t>(spec_.cluster.servers)) {
           return fail_global(
               format("chain '%s': server %lld out of range (cluster has %zu)",
@@ -751,8 +890,44 @@ class SpecParser {
         }
       }
     }
-    if (is_cluster && !seen_sections_.contains("cluster")) {
-      return fail_global("kind = cluster requires a [cluster] section");
+    if (is_fleet && !seen_sections_.contains("cluster")) {
+      return fail_global(
+          format("kind = %s requires a [cluster] section",
+                 std::string{to_string(spec_.kind)}.c_str()));
+    }
+    if (is_failure) {
+      if (spec_.failures.empty()) {
+        return fail_global(
+            "kind = failure requires [failure] with at least one 'fail'");
+      }
+      if (!spec_.cluster.rebalance) {
+        // Without the fleet controller nobody evacuates a dead slot.
+        return fail_global("kind = failure requires [cluster] rebalance = on");
+      }
+      for (const auto& event : spec_.failures) {
+        if (event.server >= spec_.cluster.servers) {
+          return fail_global(
+              format("[failure] fail: server %zu out of range (cluster has %zu)",
+                     event.server, spec_.cluster.servers));
+        }
+        if (event.at_ms < 0.0 || event.at_ms >= spec_.duration_ms) {
+          return fail_global("[failure] fail: at_ms must be in [0, duration_ms)");
+        }
+      }
+    }
+    if (is_hostile) {
+      if (spec_.link.empty()) {
+        return fail_global(
+            "kind = hostile requires [link] with at least one 'fabric' or "
+            "'fade' point");
+      }
+      for (const auto& fade : spec_.link.fades) {
+        if (fade.server >= spec_.cluster.servers) {
+          return fail_global(
+              format("[link] fade: server %zu out of range (cluster has %zu)",
+                     fade.server, spec_.cluster.servers));
+        }
+      }
     }
     if (spec_.duration_ms <= 0.0 || spec_.warmup_ms < 0.0 ||
         spec_.warmup_ms >= spec_.duration_ms) {
@@ -770,6 +945,7 @@ class SpecParser {
   int rate_line_ = 0;
   int chain_server_line_ = 0;
   int chain_policy_line_ = 0;
+  int chain_churn_line_ = 0;
   int policy_line_ = 0;
   ScenarioSpec spec_;
   std::string error_;
@@ -799,6 +975,9 @@ std::string rate_to_text(const RateSpec& r) {
     case RateSpec::Kind::kSinusoid:
       return "sinusoid " + fmt_double(r.a) + " " + fmt_double(r.b) +
              " period_ms=" + fmt_double(r.period_ms);
+    case RateSpec::Kind::kFlash:
+      return "flash " + fmt_double(r.a) + " " + fmt_double(r.b) +
+             " at_ms=" + fmt_double(r.at_ms) + " for_ms=" + fmt_double(r.for_ms);
   }
   return "constant 1";
 }
@@ -824,6 +1003,9 @@ std::string_view to_string(ScenarioKind kind) noexcept {
     case ScenarioKind::kTimeline: return "timeline";
     case ScenarioKind::kDeployment: return "deployment";
     case ScenarioKind::kCluster: return "cluster";
+    case ScenarioKind::kChurn: return "churn";
+    case ScenarioKind::kFailure: return "failure";
+    case ScenarioKind::kHostile: return "hostile";
   }
   return "?";
 }
@@ -876,7 +1058,7 @@ std::string ScenarioSpec::to_text() const {
     emit("rate", rate_to_text(traffic.rate));
   }
 
-  if (kind == ScenarioKind::kTimeline || kind == ScenarioKind::kCluster) {
+  if (kind == ScenarioKind::kTimeline || is_fleet_kind(kind)) {
     out += "\n[policy]\n";
     emit("name", policy.name);
     for (const auto& [key, value] : policy.params) {
@@ -936,6 +1118,15 @@ std::string ScenarioSpec::to_text() const {
     if (!decl.policy.empty()) {
       emit("policy", decl.policy.to_string());
     }
+    if (decl.arrive_ms != 0.0) {
+      emit("arrive_ms", fmt_double(decl.arrive_ms));
+    }
+    if (decl.depart_ms >= 0.0) {
+      emit("depart_ms", fmt_double(decl.depart_ms));
+    }
+    if (decl.has_rate) {
+      emit("rate", rate_to_text(decl.rate));
+    }
   }
 
   if (kind == ScenarioKind::kDeployment) {
@@ -944,7 +1135,7 @@ std::string ScenarioSpec::to_text() const {
     emit("scale_out_headroom", fmt_double(deployment.scale_out_headroom));
   }
 
-  if (kind == ScenarioKind::kCluster) {
+  if (is_fleet_kind(kind)) {
     out += "\n[cluster]\n";
     emit("servers", format("%zu", cluster.servers));
     emit("rebalance", cluster.rebalance ? "on" : "off");
@@ -954,6 +1145,30 @@ std::string ScenarioSpec::to_text() const {
     emit("period_ms", fmt_double(cluster.period_ms));
     emit("first_check_ms", fmt_double(cluster.first_check_ms));
     emit("cooldown_ms", fmt_double(cluster.cooldown_ms));
+  }
+
+  if (kind == ScenarioKind::kFailure) {
+    out += "\n[failure]\n";
+    for (const auto& event : failures) {
+      std::string value =
+          format("%zu", event.server) + " at_ms=" + fmt_double(event.at_ms);
+      if (event.recover_ms >= 0.0) {
+        value += " recover_ms=" + fmt_double(event.recover_ms);
+      }
+      emit("fail", value);
+    }
+  }
+
+  if (kind == ScenarioKind::kHostile) {
+    out += "\n[link]\n";
+    for (const auto& point : link.fabric) {
+      emit("fabric", "at_ms=" + fmt_double(point.at_ms) +
+                         " delay_us=" + fmt_double(point.delay_us));
+    }
+    for (const auto& fade : link.fades) {
+      emit("fade", format("%zu", fade.server) + " at_ms=" +
+                       fmt_double(fade.at_ms) + " speed=" + fmt_double(fade.speed));
+    }
   }
 
   return out;
@@ -973,6 +1188,12 @@ ScenarioSpec ScenarioSpec::scaled(double factor) const {
   }
   for (auto& decl : out.chains) {
     decl.offered_gbps *= factor;
+    if (decl.has_rate) {
+      decl.rate.a *= factor;
+      if (decl.rate.kind != RateSpec::Kind::kConstant) {
+        decl.rate.b *= factor;
+      }
+    }
   }
   return out;
 }

@@ -16,13 +16,15 @@
 // Sections and keys by scenario kind (see docs/REPRODUCING.md for the
 // worked examples):
 //
-//   [scenario]   name, kind (compare|capacity|timeline|deployment|cluster),
+//   [scenario]   name, kind (compare|capacity|timeline|deployment|cluster|
+//                churn|failure|hostile),
 //                description, note (repeatable), chain (chain-spec string),
 //                plan_rate_gbps, measure (analytic|des|both),
 //                duration_ms, warmup_ms, seed
 //   [traffic]    arrival (cbr|poisson), sizes (fixed N | imix |
 //                uniform LO HI | sweep), rate (constant G | step B A at_ms=T
-//                | sinusoid BASE AMP period_ms=P; timeline scenarios only)
+//                | sinusoid BASE AMP period_ms=P
+//                | flash BASE PEAK at_ms=T for_ms=D; timeline scenarios only)
 //   [policy]     name (registered policy, inline params allowed),
 //                param.KEY = NUMBER (repeatable per key), scale_in,
 //                scale_in.param.KEY       — timeline + cluster
@@ -32,11 +34,19 @@
 //   [controller] trigger_utilization, scale_in_below, period_ms,
 //                first_check_ms, cooldown_ms          — timeline
 //   [chain]      name, spec, offered_gbps,
-//                server, policy (cluster only) — repeatable; deployment + cluster
+//                server, policy (fleet kinds only),
+//                arrive_ms, depart_ms, rate (churn only)
+//                — repeatable; deployment + fleet kinds
 //   [deployment] burst_multiplier, scale_out_headroom
 //   [cluster]    servers, rebalance (on|off), inter_server_us,
 //                trigger_utilization, target_max_load, period_ms,
-//                first_check_ms, cooldown_ms
+//                first_check_ms, cooldown_ms       — all fleet kinds
+//   [failure]    fail = SERVER at_ms=T [recover_ms=U]   — repeatable; failure
+//   [link]       fabric = at_ms=T delay_us=D,
+//                fade = SERVER at_ms=T speed=F     — repeatable; hostile
+//
+// "Fleet kinds" are the multi-server DES kinds sharing the [cluster] rack
+// model: cluster, churn, failure, hostile.
 //
 // Policies are named, not enumerated: every `policy`/`name` value is
 // resolved against control/policy_registry.hpp at parse time, so an unknown
@@ -70,7 +80,17 @@ enum class ScenarioKind : std::uint8_t {
   kTimeline,    ///< one chain driven by a time-varying rate under the controller
   kDeployment,  ///< multi-chain deployment: multi-chain PAM + scale-out sizing
   kCluster,     ///< N servers x M chains under the fleet controller (DES)
+  kChurn,       ///< cluster + tenants arriving/departing with diurnal/flash rates
+  kFailure,     ///< cluster + server death/recovery forcing loss-free evacuation
+  kHostile,     ///< cluster + trace-shaped fabric delay and capacity fades
 };
+
+/// True for the multi-server kinds that share the [cluster] rack model and
+/// run path (cluster, churn, failure, hostile).
+[[nodiscard]] constexpr bool is_fleet_kind(ScenarioKind kind) noexcept {
+  return kind == ScenarioKind::kCluster || kind == ScenarioKind::kChurn ||
+         kind == ScenarioKind::kFailure || kind == ScenarioKind::kHostile;
+}
 
 /// Whether a compare scenario evaluates the closed-form model, the DES, or both.
 enum class MeasureMode : std::uint8_t { kAnalytic, kDes, kBoth };
@@ -95,15 +115,16 @@ struct SizeSpec {
   [[nodiscard]] bool operator==(const SizeSpec&) const = default;
 };
 
-/// Offered-load-over-time profile (timeline scenarios).
+/// Offered-load-over-time profile (timeline scenarios; per-chain in churn).
 struct RateSpec {
-  enum class Kind : std::uint8_t { kConstant, kStep, kSinusoid };
+  enum class Kind : std::uint8_t { kConstant, kStep, kSinusoid, kFlash };
 
   Kind kind = Kind::kConstant;
-  double a = 1.0;         ///< constant rate / step "before" / sinusoid base (Gbps)
-  double b = 0.0;         ///< step "after" / sinusoid amplitude (Gbps)
-  double at_ms = 0.0;     ///< step time
+  double a = 1.0;         ///< constant rate / step "before" / sinusoid base / flash base (Gbps)
+  double b = 0.0;         ///< step "after" / sinusoid amplitude / flash peak (Gbps)
+  double at_ms = 0.0;     ///< step time / flash-crowd onset
   double period_ms = 0.0; ///< sinusoid period
+  double for_ms = 0.0;    ///< flash-crowd duration
 
   [[nodiscard]] bool operator==(const RateSpec&) const = default;
 };
@@ -167,19 +188,62 @@ struct ControllerSpec {
   [[nodiscard]] bool operator==(const ControllerSpec&) const = default;
 };
 
-/// One tenant chain of a deployment or cluster scenario.
+/// One tenant chain of a deployment or fleet scenario.
 struct ChainDecl {
   std::string name;
   std::string spec;          ///< chain-spec string (see chain/chain_spec.hpp)
   double offered_gbps = 1.0;
-  /// Home rack slot (cluster scenarios only).  -1 = assign round-robin by
+  /// Home rack slot (fleet kinds only).  -1 = assign round-robin by
   /// declaration order.
   std::int64_t server = -1;
-  /// Per-chain policy override (cluster scenarios only); empty name =
+  /// Per-chain policy override (fleet kinds only); empty name =
   /// inherit the scenario's [policy].
   PolicyConfig policy;
+  /// Tenant lifetime (churn scenarios only): the traffic source starts at
+  /// arrive_ms and dies at depart_ms (-1 = stays for the whole run).
+  double arrive_ms = 0.0;
+  double depart_ms = -1.0;
+  /// Per-chain offered-load profile (churn only); when unset the chain
+  /// offers a constant offered_gbps.
+  bool has_rate = false;
+  RateSpec rate;
 
   [[nodiscard]] bool operator==(const ChainDecl&) const = default;
+};
+
+/// One server death (and optional recovery) in a failure scenario.
+struct FailureEvent {
+  std::size_t server = 0;
+  double at_ms = 0.0;        ///< death time
+  double recover_ms = -1.0;  ///< recovery time; -1 = stays dead
+
+  [[nodiscard]] bool operator==(const FailureEvent&) const = default;
+};
+
+/// Trace-shaped link behaviour for hostile scenarios: a rack-fabric delay
+/// schedule plus per-slot capacity fades (mmWave-style deep fades).
+struct LinkTraceSpec {
+  struct FabricPoint {
+    double at_ms = 0.0;
+    double delay_us = 50.0;  ///< one-way fabric latency from at_ms onward
+
+    [[nodiscard]] bool operator==(const FabricPoint&) const = default;
+  };
+  struct SlotFade {
+    std::size_t server = 0;
+    double at_ms = 0.0;
+    double speed = 1.0;  ///< NIC+CPU service-rate multiplier from at_ms onward
+
+    [[nodiscard]] bool operator==(const SlotFade&) const = default;
+  };
+
+  std::vector<FabricPoint> fabric;
+  std::vector<SlotFade> fades;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return fabric.empty() && fades.empty();
+  }
+  [[nodiscard]] bool operator==(const LinkTraceSpec&) const = default;
 };
 
 /// Deployment-scenario parameters.
@@ -229,9 +293,11 @@ struct ScenarioSpec {
   std::vector<VariantSpec> variants;  ///< compare scenarios
   CapacitySpec capacity;              ///< capacity scenarios
   ControllerSpec controller;          ///< timeline scenarios
-  std::vector<ChainDecl> chains;      ///< deployment + cluster scenarios
+  std::vector<ChainDecl> chains;      ///< deployment + fleet scenarios
   DeploymentSpec deployment;          ///< deployment scenarios
-  ClusterSpec cluster;                ///< cluster scenarios
+  ClusterSpec cluster;                ///< fleet scenarios
+  std::vector<FailureEvent> failures; ///< failure scenarios
+  LinkTraceSpec link;                 ///< hostile scenarios
 
   [[nodiscard]] bool operator==(const ScenarioSpec&) const = default;
 

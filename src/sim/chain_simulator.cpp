@@ -131,6 +131,9 @@ void ChainSimulator::schedule_next_arrival() {
   if (kernel_->stopped()) {
     return;
   }
+  if (active_stop_.ns() >= 0 && kernel_->now() >= active_stop_) {
+    return;  // tenant departed: the source dies, in-flight packets drain
+  }
   if (traffic_.replay && !traffic_.replay->empty()) {
     schedule_replay_arrival();
     return;
@@ -151,6 +154,9 @@ void ChainSimulator::schedule_next_arrival() {
           : gap_mean;
   kernel_->schedule_after(gap, [this, next_size] {
     if (kernel_->stopped() || kernel_->now() >= kernel_->horizon()) {
+      return;
+    }
+    if (active_stop_.ns() >= 0 && kernel_->now() >= active_stop_) {
       return;
     }
     inject(next_size);
@@ -389,6 +395,10 @@ void ChainSimulator::finish(Packet* p) {
 void ChainSimulator::start() {
   assert(!ran_ && "a ChainSimulator instance runs once");
   ran_ = true;
+  if (active_start_ > SimTime::zero()) {
+    kernel_->schedule_at(active_start_, [this] { schedule_next_arrival(); });
+    return;
+  }
   schedule_next_arrival();
 }
 

@@ -137,6 +137,15 @@ class ChainSimulator {
     inter_server_latency_ = latency;
   }
 
+  /// Traffic-source active window (churn scenarios): the first arrival is
+  /// scheduled at `start`, and the source emits nothing at or after `stop`
+  /// (negative stop = the tenant never departs).  Call before start().
+  /// In-flight packets still drain normally after departure.
+  void set_active_window(SimTime start, SimTime stop) noexcept {
+    active_start_ = start;
+    active_stop_ = stop;
+  }
+
   /// Pause: packets arriving at node i are buffered, not processed.
   void pause_node(std::size_t i);
   /// Resume: flushes the buffer through the node at its current location.
@@ -205,6 +214,8 @@ class ChainSimulator {
   NodeBinding home_;                   ///< home rack slot (ingress/egress side)
   std::vector<NodeBinding> bindings_;  ///< per-node execution slot
   SimTime inter_server_latency_ = SimTime::microseconds(50.0);
+  SimTime active_start_ = SimTime::zero();
+  SimTime active_stop_ = SimTime::nanoseconds(-1);  ///< negative: never stops
 
   std::vector<std::unique_ptr<NetworkFunction>> nfs_;
   std::vector<bool> paused_;

@@ -20,6 +20,7 @@ ClusterSimulator::ClusterSimulator(std::size_t num_servers, Calibration calibrat
     devices_.push_back(std::make_unique<ServerDevices>(
         kernel_.queue(), calibration_, format("[%zu]", s)));
   }
+  alive_.assign(num_servers, true);
 }
 
 std::size_t ClusterSimulator::add_chain(ServiceChain chain,
@@ -52,6 +53,28 @@ double ClusterSimulator::server_cpu_load(std::size_t s) const {
 
 double ClusterSimulator::server_load(std::size_t s) const {
   return std::max(server_nic_load(s), server_cpu_load(s));
+}
+
+void ClusterSimulator::fail_server(std::size_t s) { alive_.at(s) = false; }
+
+void ClusterSimulator::recover_server(std::size_t s) { alive_.at(s) = true; }
+
+std::size_t ClusterSimulator::servers_alive() const {
+  return static_cast<std::size_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+void ClusterSimulator::set_fabric_latency(SimTime latency) {
+  inter_server_latency_ = latency;
+  for (auto& chain : chains_) {
+    chain->set_inter_server_latency(latency);
+  }
+}
+
+void ClusterSimulator::set_slot_speed(std::size_t s, double speed) {
+  assert(speed > 0.0);
+  devices_.at(s)->nic.set_speed(speed);
+  devices_.at(s)->cpu.set_speed(speed);
 }
 
 ClusterReport ClusterSimulator::run(SimTime duration, SimTime warmup) {

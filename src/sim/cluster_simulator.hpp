@@ -116,6 +116,26 @@ class ClusterSimulator {
   /// The hottest of the two.
   [[nodiscard]] double server_load(std::size_t s) const;
 
+  // --- failure scenarios -----------------------------------------------------
+
+  /// Marks slot `s` dead / alive again.  The simulator keeps executing work
+  /// already bound there (the ToR and the slot's queues survive long enough
+  /// to drain); liveness is a placement signal the FleetController consults
+  /// when choosing evacuation / scale-out targets.
+  void fail_server(std::size_t s);
+  void recover_server(std::size_t s);
+  [[nodiscard]] bool server_alive(std::size_t s) const { return alive_.at(s); }
+  [[nodiscard]] std::size_t servers_alive() const;
+
+  // --- hostile-link scenarios ------------------------------------------------
+
+  /// Re-shapes the rack fabric: every chain's inter-slot forwarding latency
+  /// becomes `latency` from now on (trace-driven delay schedules).
+  void set_fabric_latency(SimTime latency);
+  /// Capacity fade: slot `s`'s NIC and CPU service rates are multiplied by
+  /// `speed` (1.0 = nominal) for subsequently submitted jobs.
+  void set_slot_speed(std::size_t s, double speed);
+
   /// Runs every chain to the horizon, drains, and aggregates.  Single-shot.
   [[nodiscard]] ClusterReport run(SimTime duration,
                                   SimTime warmup = SimTime::milliseconds(10));
@@ -127,6 +147,7 @@ class ClusterSimulator {
   std::vector<std::unique_ptr<ServerDevices>> devices_;
   std::vector<std::unique_ptr<ChainSimulator>> chains_;
   std::vector<std::size_t> home_of_;  ///< chain index -> home server id
+  std::vector<bool> alive_;           ///< per-slot liveness (failure kinds)
   SimTime inter_server_latency_;
 };
 

@@ -11,8 +11,16 @@ FcfsServer::FcfsServer(EventQueue& queue, std::string name, std::size_t queue_ca
   assert(queue_capacity > 0);
 }
 
+void FcfsServer::set_speed(double speed) noexcept {
+  assert(speed > 0.0);
+  speed_ = speed;
+}
+
 bool FcfsServer::submit(SimTime service, Completion done) {
   assert(service >= SimTime::zero());
+  if (speed_ != 1.0) {
+    service = service * (1.0 / speed_);
+  }
   if (busy_) {
     if (waiting_.size() >= capacity_) {
       ++rejected_;

@@ -33,6 +33,12 @@ class FcfsServer {
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return capacity_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
 
+  /// Service-rate multiplier for capacity fades (hostile-link scenarios):
+  /// every subsequently submitted job's service time is divided by `speed`.
+  /// 1.0 restores nominal capacity; values in (0, 1) slow the device down.
+  void set_speed(double speed) noexcept;
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
   [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t jobs_rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::size_t max_queue_seen() const noexcept { return max_queue_; }
@@ -62,6 +68,7 @@ class FcfsServer {
   std::uint64_t rejected_ = 0;
   std::size_t max_queue_ = 0;
   SimTime busy_time_ = SimTime::zero();
+  double speed_ = 1.0;
 };
 
 }  // namespace pam

@@ -143,6 +143,119 @@ TEST(Cluster, NoRebalanceWithoutController) {
   EXPECT_TRUE(report.conserved());
 }
 
+TEST(Cluster, ServerFailureEvacuatesResidentNfsLossFree) {
+  // The app chain is homed on server 1 with one NF per device.  When the
+  // slot dies mid-run the fleet controller must move both NFs to the
+  // least-loaded surviving slot without losing a packet, keeping each NF's
+  // device placement (evacuation relocates, it does not re-place).
+  ClusterSimulator cluster{3};
+  cluster.add_chain(ChainBuilder{"busy"}
+                        .add(NfType::kFirewall, "fw0", Location::kSmartNic)
+                        .build(),
+                    traffic(1.0, 31), 0);
+  const std::size_t app =
+      cluster.add_chain(ChainBuilder{"app"}
+                            .add(NfType::kFirewall, "fw1", Location::kSmartNic)
+                            .add(NfType::kDpi, "dpi1", Location::kCpu)
+                            .build(),
+                        traffic(1.0, 32), 1);
+
+  FleetControllerOptions opts;
+  opts.first_check = SimTime::milliseconds(5);
+  opts.period = SimTime::milliseconds(5);
+  opts.trigger_utilization = 2.0;  // quiet loop: failure handling only
+  FleetController fleet{cluster, std::make_unique<PamPolicy>(), opts};
+  fleet.arm();
+  cluster.kernel().schedule_at(SimTime::milliseconds(10), [&] {
+    cluster.fail_server(1);
+    fleet.on_server_failed(1);
+  });
+
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(2));
+
+  EXPECT_EQ(fleet.evacuations(), 2u);
+  EXPECT_EQ(fleet.scale_out_moves(), 0u);
+  std::size_t evacuated_events = 0;
+  for (const ControlEvent& event : fleet.events()) {
+    evacuated_events += event.kind == ControlEvent::Kind::kEvacuated ? 1 : 0;
+  }
+  EXPECT_EQ(evacuated_events, 2u);
+  // Server 2 is idle, server 0 is busy: both NFs land on slot 2, keeping
+  // their SmartNIC/CPU split.
+  const ChainSimulator& sim = cluster.chain_sim(app);
+  EXPECT_EQ(sim.node_server(0), 2u);
+  EXPECT_EQ(sim.node_server(1), 2u);
+  EXPECT_EQ(sim.chain().location_of(0), Location::kSmartNic);
+  EXPECT_EQ(sim.chain().location_of(1), Location::kCpu);
+  // Loss-freedom across the failure episode.
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(cluster.kernel().pool().in_use(), 0u);
+}
+
+TEST(Cluster, DeadTargetAbortsInFlightMoveLossFree) {
+  // The hot chain's scale-out decides on server 1 at the 5 ms check and the
+  // transfer is in flight for 1 ms.  Killing server 1 at 5.5 ms forces the
+  // abort path: resume in place, flush the buffered packets, no move.
+  ClusterSimulator cluster{2};
+  const std::size_t hot = cluster.add_chain(hot_chain(), traffic(2.8, 11), 0);
+  FleetControllerOptions opts;
+  opts.first_check = SimTime::milliseconds(5);
+  opts.period = SimTime::milliseconds(5);
+  FleetController fleet{cluster, std::make_unique<PamPolicy>(), opts};
+  fleet.arm();
+  cluster.kernel().schedule_at(SimTime::milliseconds(5.5), [&] {
+    cluster.fail_server(1);
+    fleet.on_server_failed(1);
+  });
+
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(30), SimTime::milliseconds(2));
+
+  EXPECT_EQ(fleet.scale_out_moves(), 0u);
+  EXPECT_EQ(fleet.evacuations(), 0u);
+  EXPECT_EQ(cluster.chain_sim(hot).nodes_off_home(), 0u);
+  bool aborted = false;
+  for (const ControlEvent& event : fleet.events()) {
+    if (event.kind == ControlEvent::Kind::kInfeasible &&
+        event.detail.find("aborted") != std::string::npos) {
+      aborted = true;
+      EXPECT_NE(event.detail.find("target server 1 died"), std::string::npos)
+          << event.detail;
+    }
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(cluster.kernel().pool().in_use(), 0u);
+}
+
+TEST(Cluster, ChurnWindowBoundsInjectionAndConserves) {
+  // A tenant active only inside [10 ms, 20 ms) of a 30 ms run injects a
+  // strict subset of what a full-run tenant does, and its departure drains
+  // cleanly (no packets stranded in flight).
+  std::uint64_t full_injected = 0;
+  {
+    ClusterSimulator cluster{1};
+    cluster.add_chain(paper_figure1_chain(), traffic(1.0, 41), 0);
+    const ClusterReport report =
+        cluster.run(SimTime::milliseconds(30), SimTime::zero());
+    full_injected = report.injected;
+    EXPECT_TRUE(report.conserved());
+  }
+  ClusterSimulator cluster{1};
+  const std::size_t c =
+      cluster.add_chain(paper_figure1_chain(), traffic(1.0, 41), 0);
+  cluster.chain_sim(c).set_active_window(SimTime::milliseconds(10),
+                                         SimTime::milliseconds(20));
+  const ClusterReport report =
+      cluster.run(SimTime::milliseconds(30), SimTime::zero());
+  EXPECT_GT(report.injected, 0u);
+  EXPECT_LT(report.injected, full_injected);
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.in_flight_at_end, 0u);
+  EXPECT_EQ(cluster.kernel().pool().in_use(), 0u);
+}
+
 constexpr const char* kClusterScn = R"(
 [scenario]
 name = cluster-test

@@ -334,6 +334,105 @@ TEST(ControlPlane, PerChainPolicyOverrides) {
   EXPECT_EQ(actuator.executes, 2);
 }
 
+TEST(ControlPlane, ExternalCompletionMidCooldownReanchorsCooldown) {
+  // A fleet evacuation completes through complete_action() without the loop
+  // having planned anything — e.g. the chain's server died mid-cooldown.
+  // The completion must re-anchor the cooldown window, not leak through it.
+  SimulationKernel kernel;
+  ScriptedSensor sensor;
+  ScriptedActuator actuator;
+  sensor.smartnic = 1.2;
+  sensor.main_plan = feasible_plan();
+
+  // period 10, cooldown 35: the action at 10 ms alone would re-trigger at
+  // 50 ms (see CooldownSuppressesRetrigger).  The external completion at
+  // 25 ms pushes the next eligible check to 60 ms.
+  ControlPlaneOptions opts = fast_loop();
+  opts.cooldown = SimTime::milliseconds(35);
+  ControlPlane plane{kernel, sensor, actuator, 1,
+                     std::make_unique<NoMigrationPolicy>(), opts};
+  plane.arm();
+  kernel.schedule_at(SimTime::milliseconds(25), [&] {
+    ControlEvent evacuated;
+    evacuated.kind = ControlEvent::Kind::kEvacuated;
+    evacuated.chain = 0;
+    evacuated.detail = "evacuation complete (scripted)";
+    plane.emit(std::move(evacuated));
+    plane.complete_action(0);
+  });
+  kernel.run(SimTime::milliseconds(80), SimTime::zero());
+
+  EXPECT_EQ(actuator.executes, 2);
+  ASSERT_EQ(count_kind(plane.events(), ControlEvent::Kind::kTriggered), 2u);
+  EXPECT_EQ(plane.events()[0].at, SimTime::milliseconds(10));
+  EXPECT_EQ(plane.events()[3].kind, ControlEvent::Kind::kEvacuated);
+  EXPECT_EQ(plane.events()[4].kind, ControlEvent::Kind::kTriggered);
+  EXPECT_EQ(plane.events()[4].at, SimTime::milliseconds(60));
+}
+
+TEST(ControlPlane, DepartedChainDoesNotArmScaleIn) {
+  // A churned-out tenant reads as has_resident = false with utilisation 0 —
+  // well under the scale-in threshold.  The empty sample must win: no
+  // scale-in plan for a chain whose NFs are gone.
+  SimulationKernel kernel;
+  ScriptedSensor sensor;
+  ScriptedActuator actuator;
+  sensor.smartnic = 0.0;
+  sensor.has_resident = false;
+  sensor.scale_in_plan = feasible_plan();
+
+  ControlPlaneOptions opts = fast_loop();
+  opts.scale_in_below_utilization = 0.5;
+  auto scale_in = std::make_unique<NoMigrationPolicy>();
+  sensor.scale_in_marker = scale_in.get();
+  ControlPlane plane{kernel, sensor, actuator, 1,
+                     std::make_unique<NoMigrationPolicy>(), opts};
+  plane.set_scale_in_policy(std::move(scale_in));
+  plane.arm();
+  kernel.run(SimTime::milliseconds(60), SimTime::zero());
+
+  EXPECT_EQ(actuator.executes, 0);
+  EXPECT_EQ(sensor.plans_requested, 0);
+  EXPECT_TRUE(plane.events().empty());
+}
+
+TEST(ControlPlane, AbortedInFlightMoveReleasesLoopAfterCooldown) {
+  // An in-flight cross-server move whose target dies resolves by resuming
+  // in place: the actuator reports the abort, completes the action, and
+  // the loop stays quiet for one cooldown before re-triggering.
+  SimulationKernel kernel;
+  ScriptedSensor sensor;
+  ScriptedActuator actuator;
+  sensor.smartnic = 1.2;
+  sensor.main_plan = feasible_plan();
+  actuator.hold_done = true;  // the move hangs in flight…
+
+  ControlPlane plane{kernel, sensor, actuator, 1,
+                     std::make_unique<NoMigrationPolicy>(), fast_loop()};
+  plane.arm();
+  kernel.schedule_at(SimTime::milliseconds(37), [&] {
+    // …until the target server dies at 37 ms and the move aborts.
+    actuator.busy = false;
+    ControlEvent aborted;
+    aborted.kind = ControlEvent::Kind::kInfeasible;
+    aborted.chain = 0;
+    aborted.detail = "in-flight move aborted: target server 1 died";
+    plane.emit(std::move(aborted));
+    plane.complete_action(0);
+  });
+  kernel.run(SimTime::milliseconds(80), SimTime::zero());
+
+  // In flight until 37 ms suppressed checks at 20/30; cooldown 15 ms kept
+  // 40 and 50 quiet; 60 re-triggered (and the second move hangs again).
+  EXPECT_EQ(actuator.executes, 2);
+  ASSERT_EQ(count_kind(plane.events(), ControlEvent::Kind::kTriggered), 2u);
+  const auto& events = plane.events();
+  ASSERT_EQ(events.size(), 5u);  // trig, plan, abort, trig, plan
+  EXPECT_EQ(events[2].kind, ControlEvent::Kind::kInfeasible);
+  EXPECT_EQ(events[3].kind, ControlEvent::Kind::kTriggered);
+  EXPECT_EQ(events[3].at, SimTime::milliseconds(60));
+}
+
 TEST(ControlEventKinds, NamesRoundTrip) {
   for (const ControlEvent::Kind kind : all_control_event_kinds()) {
     const auto name = to_string(kind);
@@ -343,7 +442,11 @@ TEST(ControlEventKinds, NamesRoundTrip) {
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(control_event_kind_from_string("frobnicated").has_value());
-  EXPECT_EQ(all_control_event_kinds().size(), 7u);
+  EXPECT_EQ(all_control_event_kinds().size(), 8u);
+  // The failure-scenario completion kind is part of the public vocabulary.
+  ASSERT_TRUE(control_event_kind_from_string("evacuated").has_value());
+  EXPECT_EQ(*control_event_kind_from_string("evacuated"),
+            ControlEvent::Kind::kEvacuated);
 }
 
 }  // namespace

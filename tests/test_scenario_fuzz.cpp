@@ -1,0 +1,93 @@
+// Scenario-fuzz property tests: the generator's output always round-trips
+// through the canonical text rendering, generation is bit-deterministic in
+// the campaign seed, the generator actually covers every scenario kind, and
+// a short end-to-end campaign (generate -> run -> invariant-check) is clean
+// and reproduces its digest.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "experiment/scenario_fuzz.hpp"
+#include "experiment/scenario_spec.hpp"
+
+namespace pam {
+namespace {
+
+ScenarioSpec spec_for(std::uint64_t campaign_seed, std::size_t index) {
+  Rng rng{Rng::derive(campaign_seed, index)};
+  return generate_random_spec(rng, index, /*quick=*/true);
+}
+
+TEST(ScenarioFuzz, EveryGeneratedSpecRoundTripsThroughText) {
+  // parse(to_text()) == *this, across seeds and case indices.  A failure
+  // here means the generator emitted something the canonical renderer or
+  // parser disagree about — exactly the class of bug the fuzzer exists to
+  // catch before a campaign trips over it.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::size_t index = 0; index < 12; ++index) {
+      const ScenarioSpec spec = spec_for(seed, index);
+      const std::string text = spec.to_text();
+      auto parsed = ScenarioSpec::parse(text, spec.name);
+      ASSERT_TRUE(parsed) << "seed " << seed << " case " << index << ": "
+                          << parsed.error().what() << "\n"
+                          << text;
+      EXPECT_TRUE(parsed.value() == spec)
+          << "seed " << seed << " case " << index
+          << ": round-trip mismatch\n"
+          << text;
+      // The rendering itself is a fixed point.
+      EXPECT_EQ(parsed.value().to_text(), text);
+    }
+  }
+}
+
+TEST(ScenarioFuzz, GenerationIsDeterministicInTheSeed) {
+  for (std::size_t index = 0; index < 6; ++index) {
+    EXPECT_EQ(spec_for(42, index).to_text(), spec_for(42, index).to_text());
+  }
+  // Different streams of the same lineage diverge (the generator would be
+  // useless if every case were the same scenario).
+  std::set<std::string> distinct;
+  for (std::size_t index = 0; index < 16; ++index) {
+    distinct.insert(spec_for(42, index).to_text());
+  }
+  EXPECT_GT(distinct.size(), 8u);
+}
+
+TEST(ScenarioFuzz, GeneratorCoversEveryScenarioKind) {
+  std::set<ScenarioKind> seen;
+  for (std::size_t index = 0; index < 160 && seen.size() < 8; ++index) {
+    seen.insert(spec_for(7, index).kind);
+  }
+  EXPECT_EQ(seen.size(), 8u) << "only " << seen.size()
+                             << " of 8 kinds generated in 160 cases";
+}
+
+TEST(ScenarioFuzz, QuickCampaignIsCleanAndReproducesItsDigest) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.count = 4;
+  options.quick = true;
+  options.dump_dir = ::testing::TempDir();
+
+  FILE* sink = std::fopen("/dev/null", "w");
+  auto first = run_fuzz_campaign(options, sink);
+  auto second = run_fuzz_campaign(options, sink);
+  if (sink != nullptr) {
+    std::fclose(sink);
+  }
+
+  ASSERT_TRUE(first) << first.error().what();
+  ASSERT_TRUE(second) << second.error().what();
+  EXPECT_EQ(first.value().executed, 4u);
+  EXPECT_EQ(first.value().failures, 0u)
+      << first.value().first_failure_detail;
+  EXPECT_EQ(first.value().digest, second.value().digest);
+  EXPECT_NE(first.value().digest, 0u);
+}
+
+}  // namespace
+}  // namespace pam
