@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Runs the static-analysis gate: pam_lint (determinism rules D001..D005,
+# docs/STATIC_ANALYSIS.md) followed by clang-tidy over the curated check
+# set in .clang-tidy.  This is exactly what the `lint` CI job runs.
+#
+#   scripts/run_lint.sh [--build-dir DIR] [--json FILE] [--skip-tidy]
+#
+#   --build-dir DIR  build tree with pam_lint and compile_commands.json
+#                    (default: build)
+#   --json FILE      also write the pam-lint/v1 JSON report to FILE
+#   --skip-tidy      run only pam_lint (e.g. when clang-tidy is absent)
+#
+# pam_lint scans the compile_commands.json file set (plus companion
+# headers) when the database exists, falling back to everything under
+# src/.  clang-tidy is skipped with a warning when no binary is found —
+# CI installs one, so the gate is only ever soft locally.
+set -euo pipefail
+
+ROOT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR=build
+JSON_OUT=""
+SKIP_TIDY=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --json) JSON_OUT="$2"; shift 2 ;;
+    --skip-tidy) SKIP_TIDY=1; shift ;;
+    -h|--help) sed -n '2,16p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *) echo "run_lint: unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+PAM_LINT="$BUILD_DIR/src/lint/pam_lint"
+if [[ ! -x "$PAM_LINT" ]]; then
+  echo "run_lint: $PAM_LINT not found or not executable." >&2
+  echo "run_lint: build it first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target pam_lint" >&2
+  exit 2
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+LINT_ARGS=(--root "$ROOT_DIR")
+if [[ -f "$DB" ]]; then
+  LINT_ARGS+=(--compile-commands "$DB")
+else
+  echo "run_lint: no $DB; scanning all of src/ instead"
+fi
+if [[ -n "$JSON_OUT" ]]; then
+  "$PAM_LINT" "${LINT_ARGS[@]}" --json="$JSON_OUT"
+  echo "run_lint: wrote $JSON_OUT"
+fi
+"$PAM_LINT" "${LINT_ARGS[@]}"
+
+if [[ "$SKIP_TIDY" == 1 ]]; then
+  echo "run_lint: clang-tidy skipped (--skip-tidy)"
+  exit 0
+fi
+
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" > /dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [[ -z "$TIDY" ]]; then
+  echo "run_lint: WARNING: no clang-tidy binary found; tidy stage skipped" >&2
+  echo "run_lint: pam_lint gate PASSED (tidy not run)"
+  exit 0
+fi
+if [[ ! -f "$DB" ]]; then
+  echo "run_lint: WARNING: clang-tidy needs $DB; configure with CMake first" >&2
+  exit 2
+fi
+
+"$TIDY" --version
+# The curated check set (.clang-tidy) runs warnings-as-errors; only
+# project translation units are tidied — third_party and generated code
+# never appear in src/.
+mapfile -t TU < <(python3 - "$DB" "$ROOT_DIR" <<'EOF'
+import json, os, sys
+db, root = sys.argv[1], sys.argv[2]
+seen = set()
+for entry in json.load(open(db)):
+    path = os.path.normpath(os.path.join(entry.get("directory", ""), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith("src" + os.sep) and rel not in seen:
+        seen.add(rel)
+        print(rel)
+EOF
+)
+if [[ "${#TU[@]}" -eq 0 ]]; then
+  echo "run_lint: no src/ translation units in $DB" >&2
+  exit 2
+fi
+echo "run_lint: clang-tidy over ${#TU[@]} translation units"
+STATUS=0
+for f in "${TU[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$ROOT_DIR/$f" || STATUS=1
+done
+if [[ "$STATUS" -ne 0 ]]; then
+  echo "run_lint: clang-tidy FAILED" >&2
+  exit 1
+fi
+echo "run_lint: gate PASSED (pam_lint + clang-tidy)"

@@ -139,6 +139,7 @@ Result<RunResult> run_compare(const ScenarioSpec& spec, const ServiceChain& chai
   const ChainAnalyzer analyzer{server};
   const Gbps plan_rate{spec.plan_rate_gbps};
 
+  result.variants.reserve(spec.variants.size());
   for (const auto& variant : spec.variants) {
     VariantResult vr;
     vr.label = variant.label;
@@ -178,7 +179,9 @@ Result<RunResult> run_compare(const ScenarioSpec& spec, const ServiceChain& chai
     vr.analytic.pcie_crossings = after.pcie_crossings();
 
     if (spec.measure != MeasureMode::kAnalytic) {
-      for (const std::size_t point : size_points(spec.traffic.sizes)) {
+      const auto points = size_points(spec.traffic.sizes);
+      vr.runs.reserve(points.size());
+      for (const std::size_t point : points) {
         vr.runs.push_back(simulate_once(spec, after, measure_rate,
                                         dist_for(spec.traffic.sizes, point),
                                         point));
@@ -336,6 +339,7 @@ Result<RunResult> run_deployment(const ScenarioSpec& spec) {
   dr.weighted_crossings_after = after.weighted_crossings();
 
   const ScaleOutPlanner planner{spec.deployment.scale_out_headroom};
+  dr.chains.reserve(after.size());
   for (std::size_t i = 0; i < after.size(); ++i) {
     const DeployedChain& deployed = after.at(i);
     DeploymentChainResult cr;
@@ -364,6 +368,8 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
                            SimTime::microseconds(cs.inter_server_us)};
   std::vector<std::string> before;
   std::vector<std::size_t> homes;
+  before.reserve(spec.chains.size());
+  homes.reserve(spec.chains.size());
   for (std::size_t i = 0; i < spec.chains.size(); ++i) {
     const ChainDecl& decl = spec.chains[i];
     auto parsed = parse_chain_spec(decl.spec, decl.name);
@@ -477,6 +483,7 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
   fleet_run.size_bytes = point;
   double crossings_weighted = 0.0;
   std::uint64_t crossings_weight = 0;
+  cr.chains.reserve(report.per_chain.size());
   for (std::size_t i = 0; i < report.per_chain.size(); ++i) {
     const SimReport& chain_report = report.per_chain[i];
     ClusterChainResult chain_result;
@@ -500,6 +507,7 @@ Result<RunResult> run_cluster(const ScenarioSpec& spec) {
                           static_cast<double>(chain_report.measured_delivered);
     crossings_weight += chain_report.measured_delivered;
   }
+  cr.per_server.reserve(report.per_server.size());
   for (const ServerSummary& sum : report.per_server) {
     ClusterServerResult server_result;
     server_result.server_id = sum.server_id;

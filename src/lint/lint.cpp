@@ -1,0 +1,936 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace pam::lint {
+namespace {
+
+// --- rule catalogue ----------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"D001", "no-ambient-randomness",
+     "std::random_device / rand() / srand() break replayability; all "
+     "randomness must flow from the scenario seed through pam::Rng"},
+    {"D002", "no-wall-clock",
+     "wall-clock reads (system_clock, time(), gettimeofday, ...) on "
+     "sim/experiment/control paths make runs non-replayable; steady_clock "
+     "is allowed only inside src/benchreport/"},
+    {"D003", "no-unordered-order-dependence",
+     "iterating std::unordered_map/set (or ordering by pointer keys) feeds "
+     "hash-table or address order into output, digests, state blobs or "
+     "decisions; traverse a sorted view instead"},
+    {"D004", "rng-lineage",
+     "every Rng must descend from the scenario seed via Rng::derive; a "
+     "literal reseed forks an untracked stream"},
+    {"D005", "no-raw-alloc-on-hot-path",
+     "new/delete/malloc on packet/event hot paths (src/packet, src/sim) "
+     "bypass PacketPool/arena recycling and wreck tail latency"},
+    {"X001", "allow-hygiene",
+     "pam-lint: allow(...) escape hatches need a known rule id and a "
+     "reason, and must match a finding (stale allows are reported)"},
+};
+
+bool known_rule(const std::string& id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+// --- preprocessed source view ------------------------------------------------
+
+/// One physical line: `code` is the original text with comments and
+/// string/char literal contents blanked to spaces (columns preserved);
+/// `comment` is the concatenated comment text of the line.
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Strips comments and literals with a small state machine (handles line/
+/// block comments, string/char literals with escapes, and raw strings).
+std::vector<SourceLine> preprocess(const std::string& content) {
+  std::vector<SourceLine> lines;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  SourceLine cur;
+
+  const auto flush_line = [&] {
+    lines.push_back(cur);
+    cur = SourceLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string?  R"delim( ... )delim" — scan the delimiter.
+          if (i >= 1 && content[i - 1] == 'R' &&
+              (i < 2 || !(std::isalnum(static_cast<unsigned char>(content[i - 2])) ||
+                          content[i - 2] == '_'))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(' && delim.size() < 16) {
+              delim += content[j++];
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          cur.code += ' ';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not char literals.
+          const bool sep =
+              i >= 1 &&
+              std::isalnum(static_cast<unsigned char>(content[i - 1])) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (sep) {
+            cur.code += c;
+          } else {
+            state = State::kChar;
+            cur.code += ' ';
+          }
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        cur.code += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          cur.code += "  ";
+          ++i;
+        } else {
+          cur.comment += c;
+          cur.code += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          cur.code += "  ";
+          ++i;
+          if (next == '\0') {
+            // dangling escape at EOF; nothing to skip
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          cur.code += ' ';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          cur.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          cur.code += ' ';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Blank the terminator (it contains no newline).
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            cur.code += ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();  // last (possibly newline-less) line
+  return lines;
+}
+
+// --- token helpers -----------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Word-bounded occurrences of `word` in `line` (0-based columns).
+std::vector<std::size_t> find_word(const std::string& line,
+                                   const std::string& word) {
+  std::vector<std::size_t> cols;
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) {
+      cols.push_back(pos);
+    }
+    pos = end;
+  }
+  return cols;
+}
+
+/// First non-space char strictly before `col`, or '\0'.
+char prev_nonspace(const std::string& line, std::size_t col) {
+  while (col > 0) {
+    --col;
+    if (line[col] != ' ' && line[col] != '\t') {
+      return line[col];
+    }
+  }
+  return '\0';
+}
+
+/// Index of the first non-space char at/after `col`, or npos.
+std::size_t next_nonspace(const std::string& line, std::size_t col) {
+  while (col < line.size()) {
+    if (line[col] != ' ' && line[col] != '\t') {
+      return col;
+    }
+    ++col;
+  }
+  return std::string::npos;
+}
+
+/// Occurrences of `name` used as a call: `name (`-with-optional-space.
+/// `member-access` (`.name(`, `->name(`) is excluded so e.g. `.free(` or a
+/// `stats.time(...)` member never matches the C library functions.
+std::vector<std::size_t> find_call(const std::string& line,
+                                   const std::string& name) {
+  std::vector<std::size_t> cols;
+  for (const std::size_t col : find_word(line, name)) {
+    const std::size_t after = next_nonspace(line, col + name.size());
+    if (after == std::string::npos || line[after] != '(') {
+      continue;
+    }
+    const char before = prev_nonspace(line, col);
+    if (before == '.') {
+      continue;
+    }
+    if (before == '>' && col >= 2) {
+      // `->name(` — scan back past spaces for the '-'.
+      std::size_t b = col;
+      while (b > 0 && (line[b - 1] == ' ' || line[b - 1] == '\t')) --b;
+      if (b >= 2 && line[b - 1] == '>' && line[b - 2] == '-') {
+        continue;
+      }
+    }
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+/// True when the expression chain ending just before `col` (identifiers,
+/// member access, indexing — e.g. `nodes_[0].`) is the target of a
+/// range-for, i.e. walks back to a single ':' (not `::`).
+bool chain_starts_at_colon(const std::string& code, std::size_t col) {
+  std::size_t i = col;
+  while (i > 0) {
+    const char c = code[i - 1];
+    if (ident_char(c) || c == '.' || c == '[' || c == ']' || c == ' ' ||
+        c == '\t' || c == '-' || c == '>' || c == '(' || c == ')') {
+      // `(`/`)` admit `(*obj).member`; `-`/`>` admit `->`.  A '(' directly
+      // starting the chain (call argument) is rejected below via ':' check.
+      if (c == '(') {
+        // Only allow '(' as part of a parenthesised object expression,
+        // i.e. when something of the chain was already consumed AND the
+        // paren is closed within the chain — approximation: reject '(' to
+        // avoid flagging `sorted(flows_)` argument positions.
+        return false;
+      }
+      --i;
+      continue;
+    }
+    if (c == ':') {
+      return !(i >= 2 && code[i - 2] == ':');
+    }
+    return false;
+  }
+  return false;
+}
+
+/// True when a `for` keyword appears on line `n` or the two lines above.
+bool in_for_context(const std::vector<SourceLine>& lines, std::size_t n) {
+  for (std::size_t back = 0; back <= 2 && back <= n; ++back) {
+    if (!find_word(lines[n - back].code, "for").empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// --- unordered-container registry (rule D003) --------------------------------
+
+/// Joins the code view into one string with line-start offsets so template
+/// argument lists spanning lines can be bracket-matched.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;  ///< offset of each line in text
+
+  std::size_t line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());  // 1-based
+  }
+};
+
+JoinedCode join_code(const std::vector<SourceLine>& lines) {
+  JoinedCode j;
+  for (const auto& line : lines) {
+    j.line_start.push_back(j.text.size());
+    j.text += line.code;
+    j.text += '\n';
+  }
+  return j;
+}
+
+/// Declared names of unordered containers in one translation unit (self +
+/// companion).  `callables` are getters returning one by reference.
+struct ContainerRegistry {
+  std::set<std::string> variables;
+  std::set<std::string> callables;
+};
+
+/// Matches `<...>` starting at the '<' at `open`, returns the offset one
+/// past the closing '>', or npos.  Tracks nesting and parentheses; gives up
+/// after 2000 chars (not a declaration we can make sense of).
+std::size_t match_angle(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      // `->` and `>>` handled: '>' only closes when depth > 0.
+      if (depth > 0 && (i == 0 || text[i - 1] != '-')) {
+        --depth;
+        if (depth == 0) {
+          return i + 1;
+        }
+      }
+    } else if (c == ';') {
+      return std::string::npos;  // statement ended before close
+    }
+  }
+  return std::string::npos;
+}
+
+void collect_containers(const JoinedCode& j, ContainerRegistry& reg) {
+  for (const char* kind : {"unordered_map", "unordered_set"}) {
+    for (const std::size_t col : find_word(j.text, kind)) {
+      const std::size_t open = next_nonspace(j.text, col + std::string(kind).size());
+      if (open == std::string::npos || j.text[open] != '<') {
+        continue;  // e.g. `#include <unordered_map>` (the '<' precedes)
+      }
+      const std::size_t close = match_angle(j.text, open);
+      if (close == std::string::npos) {
+        continue;
+      }
+      // After the closing '>': optional `&`/`*`, then the declared name.
+      std::size_t p = next_nonspace(j.text, close);
+      while (p != std::string::npos && (j.text[p] == '&' || j.text[p] == '*')) {
+        p = next_nonspace(j.text, p + 1);
+      }
+      if (p == std::string::npos || !ident_char(j.text[p]) ||
+          std::isdigit(static_cast<unsigned char>(j.text[p]))) {
+        continue;  // template argument position, return in a cast, ...
+      }
+      std::size_t e = p;
+      while (e < j.text.size() && ident_char(j.text[e])) ++e;
+      const std::string name = j.text.substr(p, e - p);
+      if (name == "const" || name == "constexpr" || name == "static") {
+        continue;
+      }
+      const std::size_t after = next_nonspace(j.text, e);
+      if (after != std::string::npos && j.text[after] == '(') {
+        reg.callables.insert(name);
+      } else {
+        reg.variables.insert(name);
+      }
+    }
+  }
+}
+
+/// First template argument of the `<...>` list opening at `open`
+/// (bracket-aware, up to the top-level ',' or the closing '>').
+std::string first_template_arg(const std::string& text, std::size_t open) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (c == '>') {
+      if (depth > 0 && text[i - 1] != '-') {
+        --depth;
+        if (depth == 0) break;
+      }
+    } else if (c == ',' && depth == 1) {
+      break;
+    }
+    if (depth >= 1) arg += c;
+  }
+  return arg;
+}
+
+// --- suppressions ------------------------------------------------------------
+
+struct PendingSuppression {
+  std::string rule;      ///< well-formed allows only
+  std::size_t line = 0;  ///< 1-based comment line
+  std::string reason;
+  bool used = false;
+  bool code_on_line = false;  ///< trailing comment (same-line scope) vs
+                              ///< comment-only line (covers the next line)
+};
+
+/// Parses every `pam-lint: allow(RULE) reason` of a file's comments.
+/// Malformed ones (unknown rule, missing reason) become X001 violations.
+void collect_suppressions(const std::vector<SourceLine>& lines,
+                          const std::string& file,
+                          std::vector<PendingSuppression>& out,
+                          std::vector<Violation>& x001) {
+  const std::string marker = "pam-lint:";
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& comment = lines[n].comment;
+    // Directives must START the comment (`// pam-lint: allow(D003) why`);
+    // prose merely mentioning the syntax (docs, this file) is not one.
+    if (!starts_with(trimmed(comment), marker)) {
+      continue;
+    }
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+      std::size_t p = pos + marker.size();
+      pos = p;
+      const std::size_t allow = comment.find("allow(", p);
+      if (allow == std::string::npos) {
+        x001.push_back({"X001", file, n + 1, 1, trimmed(comment),
+                        "pam-lint: directive without allow(RULE)"});
+        continue;
+      }
+      const std::size_t close = comment.find(')', allow);
+      if (close == std::string::npos) {
+        x001.push_back({"X001", file, n + 1, 1, trimmed(comment),
+                        "unterminated allow( directive"});
+        continue;
+      }
+      const std::string rule = trimmed(comment.substr(allow + 6, close - allow - 6));
+      const std::string reason = trimmed(comment.substr(close + 1));
+      if (!known_rule(rule) || rule == "X001") {
+        x001.push_back({"X001", file, n + 1, 1, trimmed(comment),
+                        "allow(" + rule + "): not a suppressible rule id"});
+        continue;
+      }
+      if (reason.empty()) {
+        x001.push_back({"X001", file, n + 1, 1, trimmed(comment),
+                        "allow(" + rule + ") without a reason"});
+        continue;
+      }
+      PendingSuppression s;
+      s.rule = rule;
+      s.line = n + 1;
+      s.reason = reason;
+      s.code_on_line = !trimmed(lines[n].code).empty();
+      out.push_back(s);
+    }
+  }
+}
+
+// --- per-file lint -----------------------------------------------------------
+
+void add_violation(std::vector<Violation>& out, const std::string& rule,
+                   const std::string& file, std::size_t line_1based,
+                   std::size_t col_0based, const std::string& snippet,
+                   const std::string& message) {
+  out.push_back({rule, file, line_1based, col_0based + 1, trimmed(snippet), message});
+}
+
+/// All D00x findings of one file (before suppression filtering).
+std::vector<Violation> scan_file(const std::string& file,
+                                 const std::vector<SourceLine>& lines,
+                                 const ContainerRegistry& reg) {
+  std::vector<Violation> v;
+  const bool benchreport = starts_with(file, "src/benchreport/");
+  const bool hot_path =
+      starts_with(file, "src/packet/") || starts_with(file, "src/sim/");
+
+  const JoinedCode joined = join_code(lines);
+
+  // D003 pointer-keyed ordered containers: flag at the declaration.
+  for (const char* kind : {"map", "set", "multimap", "multiset"}) {
+    for (const std::size_t col : find_word(joined.text, kind)) {
+      const std::size_t open =
+          next_nonspace(joined.text, col + std::string(kind).size());
+      if (open == std::string::npos || joined.text[open] != '<') {
+        continue;
+      }
+      // Require std:: qualification so project types named *map stay out.
+      if (col < 5 || joined.text.compare(col - 5, 5, "std::") != 0) {
+        continue;
+      }
+      const std::string key = first_template_arg(joined.text, open);
+      if (key.find('*') != std::string::npos) {
+        const std::size_t ln = joined.line_of(col);
+        add_violation(v, "D003", file, ln, 0, lines[ln - 1].code,
+                      "std::" + std::string(kind) +
+                          " keyed by a pointer orders by address — "
+                          "nondeterministic across runs (ASLR/allocation "
+                          "order); key by a stable id instead");
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& code = lines[n].code;
+    const std::size_t ln = n + 1;
+
+    // D001 — ambient randomness.
+    for (const std::size_t col : find_word(code, "random_device")) {
+      add_violation(v, "D001", file, ln, col, code,
+                    "std::random_device is nondeterministic; derive a "
+                    "pam::Rng from the scenario seed");
+    }
+    for (const char* fn : {"rand", "srand", "rand_r", "drand48"}) {
+      for (const std::size_t col : find_call(code, fn)) {
+        add_violation(v, "D001", file, ln, col, code,
+                      std::string(fn) + "() uses hidden global state; use "
+                      "the scenario-seeded pam::Rng");
+      }
+    }
+
+    // D002 — wall clock.
+    for (const char* tok :
+         {"system_clock", "high_resolution_clock", "gettimeofday",
+          "clock_gettime", "localtime", "gmtime", "timespec_get"}) {
+      for (const std::size_t col : find_word(code, tok)) {
+        add_violation(v, "D002", file, ln, col, code,
+                      std::string(tok) + " reads the wall clock; sim time "
+                      "must come from the kernel, never the host");
+      }
+    }
+    for (const std::size_t col : find_call(code, "time")) {
+      add_violation(v, "D002", file, ln, col, code,
+                    "time() reads the wall clock; sim time must come from "
+                    "the kernel, never the host");
+    }
+    if (!benchreport) {
+      for (const std::size_t col : find_word(code, "steady_clock")) {
+        add_violation(v, "D002", file, ln, col, code,
+                      "steady_clock is allowlisted only in src/benchreport/ "
+                      "(timing helpers); route measurement through "
+                      "benchreport instead");
+      }
+    }
+
+    // D003 — iteration over registered unordered containers: range-for
+    // (`for (x : flows_)`, `for (x : nodes_[u].next)`, `for (x : obj.get())`)
+    // and explicit iterator loops (`flows_.begin()`).
+    const auto check_iteration = [&](const std::string& name, bool callable) {
+      for (const std::size_t col : find_word(code, name)) {
+        const bool range_for = chain_starts_at_colon(code, col) &&
+                               in_for_context(lines, n);
+        const std::size_t after = next_nonspace(code, col + name.size());
+        const bool begin_call =
+            !callable && after != std::string::npos && code[after] == '.' &&
+            (code.compare(after + 1, 6, "begin(") == 0 ||
+             code.compare(after + 1, 7, "cbegin(") == 0);
+        if (range_for || begin_call) {
+          add_violation(v, "D003", file, ln, col, code,
+                        "iterating unordered container '" + name +
+                            (callable ? "()'" : "'") +
+                            " leaks hash-table order into downstream "
+                            "output/state/decisions; traverse sorted keys "
+                            "instead");
+        }
+      }
+    };
+    for (const auto& name : reg.variables) {
+      check_iteration(name, false);
+    }
+    for (const auto& name : reg.callables) {
+      check_iteration(name, true);
+    }
+
+    // D004 — literal Rng reseed.
+    for (const std::size_t col : find_word(code, "Rng")) {
+      const std::size_t open = next_nonspace(code, col + 3);
+      if (open == std::string::npos ||
+          (code[open] != '(' && code[open] != '{')) {
+        continue;
+      }
+      const std::size_t arg = next_nonspace(code, open + 1);
+      if (arg != std::string::npos &&
+          std::isdigit(static_cast<unsigned char>(code[arg]))) {
+        add_violation(v, "D004", file, ln, col, code,
+                      "Rng seeded with a literal forks an untracked stream; "
+                      "derive the seed via Rng::derive(parent, stream)");
+      }
+    }
+
+    // D005 — raw allocation on hot paths.
+    if (hot_path) {
+      for (const std::size_t col : find_word(code, "new")) {
+        add_violation(v, "D005", file, ln, col, code,
+                      "raw `new` on a packet/event hot path; allocate "
+                      "through PacketPool/arena");
+      }
+      for (const std::size_t col : find_word(code, "delete")) {
+        if (prev_nonspace(code, col) == '=') {
+          continue;  // `= delete;` declarations
+        }
+        add_violation(v, "D005", file, ln, col, code,
+                      "raw `delete` on a packet/event hot path; return "
+                      "storage to PacketPool/arena");
+      }
+      for (const char* fn :
+           {"malloc", "calloc", "realloc", "free", "aligned_alloc", "strdup"}) {
+        for (const std::size_t col : find_call(code, fn)) {
+          add_violation(v, "D005", file, ln, col, code,
+                        std::string(fn) + "() on a packet/event hot path; "
+                        "allocate through PacketPool/arena");
+        }
+      }
+    }
+  }
+  return v;
+}
+
+/// Applies suppressions: an allow on a code line covers that line; an
+/// allow on a comment-only line covers the next line.  Returns surviving
+/// violations; fills the used/stale inventories.
+std::vector<Violation> apply_suppressions(
+    std::vector<Violation> violations,
+    std::vector<PendingSuppression>& pending, const std::string& file,
+    LintReport& report) {
+  std::vector<Violation> out;
+  for (auto& viol : violations) {
+    bool suppressed = false;
+    if (viol.rule != "X001") {
+      for (auto& s : pending) {
+        const std::size_t target = s.code_on_line ? s.line : s.line + 1;
+        if (s.rule == viol.rule && target == viol.line) {
+          s.used = true;
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) {
+      out.push_back(std::move(viol));
+    }
+  }
+  for (auto& s : pending) {
+    Suppression entry{s.rule, file, s.line, s.reason};
+    if (s.used) {
+      report.suppressions.push_back(std::move(entry));
+    } else {
+      report.stale.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+void lint_one(const std::string& file, const std::vector<SourceLine>& lines,
+              const ContainerRegistry& reg, LintReport& report) {
+  std::vector<Violation> violations;
+  std::vector<PendingSuppression> pending;
+  collect_suppressions(lines, file, pending, violations);
+  auto found = scan_file(file, lines, reg);
+  violations.insert(violations.end(), found.begin(), found.end());
+  auto surviving = apply_suppressions(std::move(violations), pending, file, report);
+  report.violations.insert(report.violations.end(), surviving.begin(),
+                           surviving.end());
+  ++report.files_scanned;
+}
+
+/// The companion of src/foo/bar.cpp is src/foo/bar.hpp and vice versa —
+/// member containers are declared in the header and iterated in the source.
+std::string companion_of(const std::string& rel) {
+  const std::size_t dot = rel.rfind('.');
+  if (dot == std::string::npos) {
+    return {};
+  }
+  const std::string ext = rel.substr(dot);
+  if (ext == ".cpp") return rel.substr(0, dot) + ".hpp";
+  if (ext == ".hpp") return rel.substr(0, dot) + ".cpp";
+  return {};
+}
+
+std::string read_file(const std::filesystem::path& p, bool& ok) {
+  std::ifstream in{p, std::ios::binary};
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+// --- public API --------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+LintReport run_lint(const LintOptions& options) {
+  LintReport report;
+  // Preprocess every file once; registry lookups may need companions that
+  // are themselves in the file set.
+  std::map<std::string, std::vector<SourceLine>> sources;
+  for (const auto& rel : options.files) {
+    bool ok = false;
+    const auto content =
+        read_file(std::filesystem::path(options.root) / rel, ok);
+    if (!ok) {
+      report.violations.push_back(
+          {"X001", rel, 0, 0, "", "file could not be read"});
+      continue;
+    }
+    sources.emplace(rel, preprocess(content));
+  }
+  for (const auto& [rel, lines] : sources) {
+    ContainerRegistry reg;
+    collect_containers(join_code(lines), reg);
+    const std::string companion = companion_of(rel);
+    if (!companion.empty()) {
+      const auto it = sources.find(companion);
+      if (it != sources.end()) {
+        collect_containers(join_code(it->second), reg);
+      } else {
+        bool ok = false;
+        const auto content =
+            read_file(std::filesystem::path(options.root) / companion, ok);
+        if (ok) {
+          collect_containers(join_code(preprocess(content)), reg);
+        }
+      }
+    }
+    lint_one(rel, lines, reg, report);
+  }
+  return report;
+}
+
+LintReport lint_source(const std::string& rel_path, const std::string& content) {
+  LintReport report;
+  const auto lines = preprocess(content);
+  ContainerRegistry reg;
+  collect_containers(join_code(lines), reg);
+  lint_one(rel_path, lines, reg, report);
+  return report;
+}
+
+std::vector<std::string> files_under(const std::string& dir,
+                                     const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it{fs::path(dir), ec}, end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const auto ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".cc" && ext != ".h") {
+      continue;
+    }
+    out.push_back(
+        fs::relative(it->path(), fs::path(root), ec).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> files_from_compile_commands(const std::string& db_path,
+                                                     const std::string& root) {
+  namespace fs = std::filesystem;
+  bool ok = false;
+  const std::string text = read_file(fs::path(db_path), ok);
+  if (!ok) {
+    return {};
+  }
+  std::set<std::string> uniq;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) break;
+    const std::size_t open = text.find('"', colon);
+    if (open == std::string::npos) break;
+    std::string value;
+    std::size_t i = open + 1;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        value += text[i + 1];
+        i += 2;
+      } else {
+        value += text[i++];
+      }
+    }
+    pos = i;
+    std::error_code ec;
+    const auto rel = fs::relative(fs::path(value), fs::path(root), ec);
+    if (ec) continue;
+    const std::string rel_str = rel.generic_string();
+    if (starts_with(rel_str, "..") || !starts_with(rel_str, "src/")) {
+      continue;  // third_party, tests, generated files
+    }
+    uniq.insert(rel_str);
+    const std::string companion = companion_of(rel_str);
+    if (!companion.empty() &&
+        fs::exists(fs::path(root) / companion, ec)) {
+      uniq.insert(companion);
+    }
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+void write_json(const LintReport& report, std::ostream& out) {
+  JsonWriter w{out};
+  w.begin_object();
+  w.key("schema");
+  w.value("pam-lint/v1");
+  w.key("files_scanned");
+  w.value(static_cast<std::uint64_t>(report.files_scanned));
+  w.key("rules");
+  w.begin_array();
+  for (const auto& r : rules()) {
+    w.begin_object();
+    w.key("id");
+    w.value(r.id);
+    w.key("name");
+    w.value(r.name);
+    w.key("description");
+    w.value(r.description);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("violations");
+  w.begin_array();
+  for (const auto& v : report.violations) {
+    w.begin_object();
+    w.key("rule");
+    w.value(v.rule);
+    w.key("file");
+    w.value(v.file);
+    w.key("line");
+    w.value(static_cast<std::uint64_t>(v.line));
+    w.key("column");
+    w.value(static_cast<std::uint64_t>(v.column));
+    w.key("snippet");
+    w.value(v.snippet);
+    w.key("message");
+    w.value(v.message);
+    w.end_object();
+  }
+  w.end_array();
+  const auto suppression_array = [&](const std::vector<Suppression>& list) {
+    w.begin_array();
+    for (const auto& s : list) {
+      w.begin_object();
+      w.key("rule");
+      w.value(s.rule);
+      w.key("file");
+      w.value(s.file);
+      w.key("line");
+      w.value(static_cast<std::uint64_t>(s.line));
+      w.key("reason");
+      w.value(s.reason);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  w.key("suppressions");
+  suppression_array(report.suppressions);
+  w.key("stale_suppressions");
+  suppression_array(report.stale);
+  w.key("summary");
+  w.begin_object();
+  w.key("violations");
+  w.value(static_cast<std::uint64_t>(report.violations.size()));
+  w.key("suppressions");
+  w.value(static_cast<std::uint64_t>(report.suppressions.size()));
+  w.key("stale_suppressions");
+  w.value(static_cast<std::uint64_t>(report.stale.size()));
+  w.key("clean");
+  w.value(report.clean());
+  w.end_object();
+  w.end_object();
+  out << "\n";
+}
+
+void write_human(const LintReport& report, std::ostream& out) {
+  std::string last_file;
+  for (const auto& v : report.violations) {
+    if (v.file != last_file) {
+      out << v.file << ":\n";
+      last_file = v.file;
+    }
+    out << "  " << v.file << ":" << v.line << ":" << v.column << ": ["
+        << v.rule << "] " << v.message << "\n";
+    if (!v.snippet.empty()) {
+      out << "      > " << v.snippet << "\n";
+    }
+  }
+  if (!report.suppressions.empty()) {
+    out << "suppressions (" << report.suppressions.size() << "):\n";
+    for (const auto& s : report.suppressions) {
+      out << "  " << s.file << ":" << s.line << ": allow(" << s.rule
+          << ") — " << s.reason << "\n";
+    }
+  }
+  for (const auto& s : report.stale) {
+    out << "  " << s.file << ":" << s.line << ": STALE allow(" << s.rule
+        << ") matches no finding — remove it\n";
+  }
+  out << "pam_lint: " << report.files_scanned << " file(s), "
+      << report.violations.size() << " violation(s), "
+      << report.suppressions.size() << " suppression(s), "
+      << report.stale.size() << " stale\n";
+  out << (report.clean() ? "CLEAN" : "FAILED") << "\n";
+}
+
+}  // namespace pam::lint

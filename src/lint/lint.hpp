@@ -1,0 +1,109 @@
+// pam_lint: the project-specific determinism & race-safety linter.
+//
+// Everything this reproduction promises rests on bit-determinism: the
+// fig1-walkthrough preset is the behaviour-preservation oracle, the fuzzer
+// gates on an FNV-1a campaign digest, and bench_compare assumes replayable
+// runs.  pam_lint mechanizes the manual "RNG audit" as named, testable
+// rules (D001..D005, catalogued in docs/STATIC_ANALYSIS.md) scanned over
+// the comment/string-stripped token stream of every source file — fast
+// enough to run on every build, precise enough to gate CI hard.
+//
+// Scanning is token-based ("AST-lite"): block comments, line comments and
+// string/char literals are blanked before matching, declarations of
+// unordered containers are tracked by name (including the companion
+// header/source of each file), and `// pam-lint: allow(RULE) reason`
+// escape hatches suppress one finding while being inventoried — a
+// suppression without a reason, for an unknown rule, or matching nothing
+// is itself an error.
+//
+// Output is machine-readable JSON (`pam-lint/v1`, mirroring pam-bench/v1;
+// schema in docs/REPRODUCING.md) or a human report.  The `lint` CI job
+// runs it hard over src/.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pam::lint {
+
+/// One rule of the catalogue (docs/STATIC_ANALYSIS.md has the rationale).
+struct RuleInfo {
+  std::string id;           ///< "D001".."D005", "X001"
+  std::string name;         ///< kebab-case short name
+  std::string description;  ///< one-line summary
+};
+
+/// The rule catalogue, in id order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// One finding: `rule` violated at `file:line:column`.
+struct Violation {
+  std::string rule;
+  std::string file;  ///< root-relative path
+  std::size_t line = 0;    ///< 1-based
+  std::size_t column = 0;  ///< 1-based
+  std::string snippet;     ///< the offending source line, trimmed
+  std::string message;     ///< why this is a determinism/race hazard
+};
+
+/// One `// pam-lint: allow(RULE) reason` escape hatch.
+struct Suppression {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;  ///< line the comment appears on
+  std::string reason;
+};
+
+/// Result of linting a file set.  The gate passes iff clean() — stale or
+/// malformed suppressions fail it just like violations do.
+struct LintReport {
+  std::vector<Violation> violations;
+  std::vector<Suppression> suppressions;  ///< used — the inventory
+  std::vector<Suppression> stale;         ///< matched no finding
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return violations.empty() && stale.empty();
+  }
+};
+
+/// Input file set.  Paths are root-relative; rule scoping (src/, the
+/// benchreport/ steady-clock allowlist, packet/sim hot paths) keys off
+/// these relative paths, so keep them repo-shaped even in tests.
+struct LintOptions {
+  std::string root;                 ///< absolute repo root
+  std::vector<std::string> files;   ///< root-relative source paths
+};
+
+/// Lints every file in `options.files` (read from disk under root).
+[[nodiscard]] LintReport run_lint(const LintOptions& options);
+
+/// Lints one in-memory buffer as if it lived at `rel_path` — the unit-test
+/// entry point (no filesystem).  Companion-header container tracking is
+/// limited to `content` itself.
+[[nodiscard]] LintReport lint_source(const std::string& rel_path,
+                                     const std::string& content);
+
+/// All *.hpp/*.cpp under `dir` (absolute), sorted, as paths relative to
+/// `root`.  The default file set is files_under(root + "/src").
+[[nodiscard]] std::vector<std::string> files_under(const std::string& dir,
+                                                   const std::string& root);
+
+/// Extracts the distinct "file" entries of a compile_commands.json that
+/// live under `root`, as sorted root-relative paths.  Headers are added by
+/// pairing: for every listed foo.cpp, a sibling foo.hpp is included when
+/// present.  Returns empty on a missing/unparsable database.
+[[nodiscard]] std::vector<std::string> files_from_compile_commands(
+    const std::string& db_path, const std::string& root);
+
+/// Serialises the `pam-lint/v1` JSON document (docs/REPRODUCING.md).
+void write_json(const LintReport& report, std::ostream& out);
+
+/// Human-readable report: findings grouped by file, then the suppression
+/// inventory and a one-line verdict.
+void write_human(const LintReport& report, std::ostream& out);
+
+}  // namespace pam::lint

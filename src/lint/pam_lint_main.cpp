@@ -1,0 +1,150 @@
+// pam_lint CLI — the determinism & race-safety gate (docs/STATIC_ANALYSIS.md).
+//
+//   pam_lint                          # lint src/ under the cwd, human report
+//   pam_lint --json=lint.json        # machine-readable pam-lint/v1
+//   pam_lint --compile-commands build/compile_commands.json
+//   pam_lint --root /path/to/repo src/nf src/sim/fcfs_server.cpp
+//   pam_lint --list-rules
+//
+// Exit code: 0 when clean, 1 on violations/stale suppressions, 2 on usage
+// or I/O errors.  CI runs this hard on every push (the `lint` job).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: pam_lint [options] [path...]\n"
+      "\n"
+      "Lints PAM sources for determinism & race-safety hazards\n"
+      "(rules D001..D005; docs/STATIC_ANALYSIS.md).\n"
+      "\n"
+      "options:\n"
+      "  --root DIR             repo root (default: current directory)\n"
+      "  --compile-commands F   file list from a compile database\n"
+      "                         (headers paired in automatically)\n"
+      "  --json[=FILE]          emit pam-lint/v1 JSON (default: stdout)\n"
+      "  --list-rules           print the rule catalogue and exit\n"
+      "  -h, --help             this text\n"
+      "\n"
+      "paths are root-relative files or directories; the default file set\n"
+      "is everything under src/.\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string root = fs::current_path().string();
+  std::string compile_commands;
+  std::vector<std::string> paths;
+  bool json = false;
+  std::string json_file;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg.rfind("--compile-commands=", 0) == 0) {
+      compile_commands = arg.substr(19);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = arg.substr(7);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pam_lint: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& r : pam::lint::rules()) {
+      std::printf("  %s  %-32s %s\n", r.id.c_str(), r.name.c_str(),
+                  r.description.c_str());
+    }
+    return 0;
+  }
+
+  std::error_code ec;
+  root = fs::canonical(fs::path(root), ec).string();
+  if (ec) {
+    std::fprintf(stderr, "pam_lint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+
+  pam::lint::LintOptions options;
+  options.root = root;
+  if (!compile_commands.empty()) {
+    options.files =
+        pam::lint::files_from_compile_commands(compile_commands, root);
+    if (options.files.empty()) {
+      std::fprintf(stderr,
+                   "pam_lint: no project sources found in '%s' "
+                   "(missing or unparsable compile database?)\n",
+                   compile_commands.c_str());
+      return 2;
+    }
+  }
+  if (!paths.empty()) {
+    for (const auto& p : paths) {
+      const fs::path abs = fs::path(root) / p;
+      if (fs::is_directory(abs, ec)) {
+        const auto batch = pam::lint::files_under(abs.string(), root);
+        options.files.insert(options.files.end(), batch.begin(), batch.end());
+      } else if (fs::is_regular_file(abs, ec)) {
+        options.files.push_back(p);
+      } else {
+        std::fprintf(stderr, "pam_lint: no such file or directory: %s\n",
+                     p.c_str());
+        return 2;
+      }
+    }
+  }
+  if (options.files.empty()) {
+    options.files =
+        pam::lint::files_under((fs::path(root) / "src").string(), root);
+  }
+
+  const pam::lint::LintReport report = pam::lint::run_lint(options);
+
+  if (json) {
+    if (json_file.empty() || json_file == "-") {
+      pam::lint::write_json(report, std::cout);
+    } else {
+      std::ofstream out{json_file};
+      if (!out) {
+        std::fprintf(stderr, "pam_lint: cannot write %s\n", json_file.c_str());
+        return 2;
+      }
+      pam::lint::write_json(report, out);
+    }
+  } else {
+    pam::lint::write_human(report, std::cout);
+  }
+  return report.clean() ? 0 : 1;
+}

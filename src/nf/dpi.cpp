@@ -37,8 +37,13 @@ void AhoCorasick::compile() {
     }
     nodes_[cur].outputs.push_back(id);
   }
-  // BFS to fill failure links and merge output sets.
+  // BFS to fill failure links and merge output sets.  Queue order varies
+  // with hash-table layout, but every node's fail link and output set
+  // depend only on strictly shallower nodes (final before their children
+  // are visited), so the compiled automaton — and with it find_all() — is
+  // identical for any visit order.
   std::deque<std::uint32_t> queue;
+  // pam-lint: allow(D003) BFS seeding; the compiled automaton is visit-order independent (fail links depend only on shallower, already-final nodes)
   for (const auto& [byte, child] : nodes_[0].next) {
     nodes_[child].fail = 0;
     queue.push_back(child);
@@ -46,6 +51,7 @@ void AhoCorasick::compile() {
   while (!queue.empty()) {
     const std::uint32_t u = queue.front();
     queue.pop_front();
+    // pam-lint: allow(D003) BFS expansion; same argument as the seeding loop above
     for (const auto& [byte, child] : nodes_[u].next) {
       std::uint32_t f = nodes_[u].fail;
       while (f != 0 && !nodes_[f].next.contains(byte)) {

@@ -1,7 +1,9 @@
 #include "nf/load_balancer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 namespace pam {
 namespace {
@@ -79,6 +81,7 @@ bool LoadBalancer::remove_backend(std::uint32_t backend_ip) {
     return false;
   }
   // Invalidate affinity entries that point at the removed backend.
+  // pam-lint: allow(D003) erase decision is a per-entry predicate — the surviving set is iteration-order independent
   for (auto it = flow_table_.begin(); it != flow_table_.end();) {
     if (it->second == backend_ip) {
       it = flow_table_.erase(it);
@@ -117,14 +120,24 @@ NfState LoadBalancer::export_state() const {
     w.u16(b.port);
     w.str(b.label);
   }
+  // Serialise affinity entries in key order so the blob is byte-identical
+  // for identical tables regardless of hash-table layout.
+  std::vector<const FiveTuple*> keys;
+  keys.reserve(flow_table_.size());
+  for (const auto& [key, ip] : flow_table_) {  // pam-lint: allow(D003) key collection; sorted before serialisation below
+    keys.push_back(&key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const FiveTuple* a, const FiveTuple* b) { return *a < *b; });
   w.u32(static_cast<std::uint32_t>(flow_table_.size()));
-  for (const auto& [key, ip] : flow_table_) {
+  for (const FiveTuple* key_ptr : keys) {
+    const FiveTuple& key = *key_ptr;
     w.u32(key.src_ip);
     w.u32(key.dst_ip);
     w.u16(key.src_port);
     w.u16(key.dst_port);
     w.u8(static_cast<std::uint8_t>(key.proto));
-    w.u32(ip);
+    w.u32(flow_table_.at(key));
   }
   return NfState{name(), std::move(w).take()};
 }

@@ -18,10 +18,15 @@ void SpaceSaving::add(const FiveTuple& key, std::uint64_t weight) {
     entries_.emplace(key, Entry{key, weight, 0});
     return;
   }
-  // Evict the current minimum and inherit its count as error bound.
+  // Evict the current minimum and inherit its count as error bound.  Ties
+  // break on the key so the victim never depends on hash-table order.
+  // pam-lint: allow(D003) full scan with (count, key) total order — the chosen victim is iteration-order independent
   auto min_it = entries_.begin();
+  // pam-lint: allow(D003) same scan, loop header
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.count < min_it->second.count) {
+    if (it->second.count < min_it->second.count ||
+        (it->second.count == min_it->second.count &&
+         it->first < min_it->first)) {
       min_it = it;
     }
   }
@@ -33,11 +38,13 @@ void SpaceSaving::add(const FiveTuple& key, std::uint64_t weight) {
 std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
   std::vector<Entry> out;
   out.reserve(entries_.size());
+  // pam-lint: allow(D003) collection pass only; the sort below imposes a (count desc, key asc) total order
   for (const auto& [key, entry] : entries_) {
     out.push_back(entry);
   }
-  std::sort(out.begin(), out.end(),
-            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
   if (out.size() > k) {
     out.resize(k);
   }
@@ -72,8 +79,20 @@ Verdict Monitor::process(Packet& pkt, SimTime now) {
 NfState Monitor::export_state() const {
   StateWriter w;
   w.u64(total_bytes_);
+  // Serialise flows in key order: the blob must be byte-identical for
+  // identical flow tables regardless of hash-table layout (the state blob
+  // feeds transfer-size accounting and any future digest over NF state).
+  std::vector<const FiveTuple*> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [key, stats] : flows_) {  // pam-lint: allow(D003) key collection; sorted before serialisation below
+    keys.push_back(&key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const FiveTuple* a, const FiveTuple* b) { return *a < *b; });
   w.u32(static_cast<std::uint32_t>(flows_.size()));
-  for (const auto& [key, stats] : flows_) {
+  for (const FiveTuple* key_ptr : keys) {
+    const FiveTuple& key = *key_ptr;
+    const FlowStats& stats = flows_.at(key);
     w.u32(key.src_ip);
     w.u32(key.dst_ip);
     w.u16(key.src_port);

@@ -1,6 +1,8 @@
 #include "nf/nat.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace pam {
 
@@ -68,6 +70,7 @@ Verdict Nat::process(Packet& pkt, SimTime now) {
 
 std::size_t Nat::collect_garbage(SimTime now) {
   std::size_t removed = 0;
+  // pam-lint: allow(D003) erase decision is a per-entry predicate — the surviving set and `removed` count are iteration-order independent
   for (auto it = by_internal_.begin(); it != by_internal_.end();) {
     if (now - it->second.last_activity > idle_timeout_) {
       by_public_port_.erase(it->second.public_port);
@@ -88,8 +91,19 @@ NfState Nat::export_state() const {
   w.u16(next_port_);
   w.u64(static_cast<std::uint64_t>(idle_timeout_.ns()));
   w.u64(exhaustion_drops_);
+  // Serialise mappings in key order so the blob is byte-identical for
+  // identical tables regardless of hash-table layout.
+  std::vector<const FiveTuple*> keys;
+  keys.reserve(by_internal_.size());
+  for (const auto& [key, m] : by_internal_) {  // pam-lint: allow(D003) key collection; sorted before serialisation below
+    keys.push_back(&key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const FiveTuple* a, const FiveTuple* b) { return *a < *b; });
   w.u32(static_cast<std::uint32_t>(by_internal_.size()));
-  for (const auto& [key, m] : by_internal_) {
+  for (const FiveTuple* key_ptr : keys) {
+    const FiveTuple& key = *key_ptr;
+    const NatMapping& m = by_internal_.at(key);
     w.u32(key.src_ip);
     w.u32(key.dst_ip);
     w.u16(key.src_port);

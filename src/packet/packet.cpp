@@ -132,6 +132,7 @@ PacketPtr::~PacketPtr() {
   if (p_ != nullptr && pool_ != nullptr) {
     pool_->release(p_);
   } else {
+    // pam-lint: allow(D005) unpooled-owner fallback (tests, standalone builders); pooled packets take the release() branch
     delete p_;
   }
 }
@@ -141,6 +142,7 @@ PacketPtr& PacketPtr::operator=(PacketPtr&& o) noexcept {
     if (p_ != nullptr && pool_ != nullptr) {
       pool_->release(p_);
     } else {
+      // pam-lint: allow(D005) unpooled-owner fallback, same as the destructor
       delete p_;
     }
     p_ = o.p_;

@@ -1,0 +1,64 @@
+// Determinism self-check: the fuzz campaign digest for the CI reference
+// campaign (seed 42, count 25, quick) is pinned as a constant.
+//
+// The digest is FNV-1a over every generated scenario's text plus the
+// metrics JSON of every run, so it transitively covers the RNG lineage,
+// the scenario generator, the DES kernel, every NF's behaviour, and the
+// JSON serialisation path.  Any change that shifts one byte of observable
+// behaviour moves it.  If a PR changes behaviour *on purpose*, re-pin the
+// constant in the same commit and say why in CHANGES.md — that is the
+// point: behaviour drift must be explicit, never accidental.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "experiment/scenario_fuzz.hpp"
+
+namespace pam {
+namespace {
+
+// `pam_exp fuzz --seed 42 --count 25 --quick` — the fuzz-smoke CI campaign.
+constexpr std::uint64_t kPinnedDigest = 0x353b630de528215dULL;
+
+FuzzOutcome run_reference_campaign() {
+  FuzzOptions options;
+  options.seed = 42;
+  options.count = 25;
+  options.quick = true;
+  options.dump_dir = ::testing::TempDir();
+  // Progress output is noise here; route it to the bit bucket.
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  auto result = run_fuzz_campaign(options, sink);
+  if (sink != nullptr) {
+    std::fclose(sink);
+  }
+  EXPECT_TRUE(result.has_value())
+      << (result.has_value() ? "" : result.error().message);
+  return result.has_value() ? result.value() : FuzzOutcome{};
+}
+
+TEST(DeterminismDigest, ReferenceCampaignMatchesPinnedDigest) {
+  const FuzzOutcome outcome = run_reference_campaign();
+  EXPECT_EQ(outcome.executed, 25u);
+  EXPECT_EQ(outcome.failures, 0u) << outcome.first_failure_detail;
+  EXPECT_EQ(outcome.digest, kPinnedDigest)
+      << "campaign digest drifted: got 0x" << std::hex << outcome.digest
+      << ", pinned 0x" << kPinnedDigest
+      << " — behaviour changed; if intentional, re-pin and document";
+}
+
+TEST(DeterminismDigest, CampaignIsReplayableInProcess) {
+  // Two back-to-back campaigns in one process must agree bit-for-bit —
+  // catches hidden global state (statics, ambient RNG, address-ordered
+  // containers) that the cross-process CI diff can miss when layout
+  // happens to repeat.
+  const FuzzOutcome first = run_reference_campaign();
+  const FuzzOutcome second = run_reference_campaign();
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.executed, second.executed);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,350 @@
+// Unit tests for pam_lint (src/lint/): every rule D001..D005 is exercised
+// by a fixture that violates it exactly once, and the allow() escape hatch
+// is proven to suppress, inventory, and go stale correctly (X001).
+//
+// Fixtures go through lint_source(), the no-filesystem entry point.  The
+// rel_path argument matters: rule scoping (the benchreport/ steady-clock
+// allowlist, the packet/sim hot-path scope of D005) keys off it.
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace pam::lint {
+namespace {
+
+// --- rule catalogue ----------------------------------------------------------
+
+TEST(PamLintRules, CatalogueListsAllRulesInOrder) {
+  const auto& catalogue = rules();
+  ASSERT_EQ(catalogue.size(), 6u);
+  EXPECT_EQ(catalogue[0].id, "D001");
+  EXPECT_EQ(catalogue[1].id, "D002");
+  EXPECT_EQ(catalogue[2].id, "D003");
+  EXPECT_EQ(catalogue[3].id, "D004");
+  EXPECT_EQ(catalogue[4].id, "D005");
+  EXPECT_EQ(catalogue[5].id, "X001");
+  for (const auto& rule : catalogue) {
+    EXPECT_FALSE(rule.name.empty()) << rule.id;
+    EXPECT_FALSE(rule.description.empty()) << rule.id;
+  }
+}
+
+// --- D001: ambient randomness ------------------------------------------------
+
+TEST(PamLintD001, RandomDeviceFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <random>\n"
+      "int seed_from_entropy() {\n"
+      "  std::random_device rd;\n"
+      "  return static_cast<int>(rd());\n"
+      "}\n";
+  const LintReport report = lint_source("src/common/fixture_d001.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D001");
+  EXPECT_EQ(report.violations[0].file, "src/common/fixture_d001.cpp");
+  EXPECT_EQ(report.violations[0].line, 3u);
+  EXPECT_EQ(report.files_scanned, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(PamLintD001, LegacyRandCallFlagged) {
+  const std::string src =
+      "int jitter() {\n"
+      "  return rand() % 7;\n"
+      "}\n";
+  const LintReport report = lint_source("src/common/fixture_rand.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D001");
+  EXPECT_EQ(report.violations[0].line, 2u);
+}
+
+TEST(PamLintD001, RandInsideStringsAndCommentsIgnored) {
+  const std::string src =
+      "// a comment mentioning rand() and srand(1) must not fire\n"
+      "const char* kDoc = \"call rand() for chaos\";\n"
+      "/* block comment: std::random_device */\n";
+  const LintReport report = lint_source("src/common/fixture_quiet.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+// --- D002: wall clock --------------------------------------------------------
+
+TEST(PamLintD002, SystemClockFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <chrono>\n"
+      "long stamp() {\n"
+      "  const auto now = std::chrono::system_clock::now();\n"
+      "  return now.time_since_epoch().count();\n"
+      "}\n";
+  const LintReport report = lint_source("src/sim/fixture_d002.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D002");
+  EXPECT_EQ(report.violations[0].line, 3u);
+}
+
+TEST(PamLintD002, SteadyClockAllowedOnlyInBenchreport) {
+  const std::string src =
+      "#include <chrono>\n"
+      "long tick() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const LintReport outside = lint_source("src/experiment/fixture_clock.cpp", src);
+  ASSERT_EQ(outside.violations.size(), 1u);
+  EXPECT_EQ(outside.violations[0].rule, "D002");
+
+  const LintReport inside = lint_source("src/benchreport/fixture_clock.cpp", src);
+  EXPECT_TRUE(inside.violations.empty());
+  EXPECT_TRUE(inside.clean());
+}
+
+// --- D003: unordered iteration order -----------------------------------------
+
+TEST(PamLintD003, RangeForOverUnorderedMapFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "int checksum() {\n"
+      "  int acc = 0;\n"
+      "  for (const auto& [key, value] : flows_) {\n"
+      "    acc += key * value;\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_d003.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D003");
+  EXPECT_EQ(report.violations[0].file, "src/nf/fixture_d003.cpp");
+  EXPECT_EQ(report.violations[0].line, 5u);
+}
+
+TEST(PamLintD003, ExplicitBeginIteratorFlagged) {
+  const std::string src =
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen_;\n"
+      "int first() {\n"
+      "  auto it = seen_.begin();\n"
+      "  return *it;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_begin.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D003");
+  EXPECT_EQ(report.violations[0].line, 4u);
+}
+
+TEST(PamLintD003, PointerKeyedOrderedMapFlaggedAtDeclaration) {
+  const std::string src =
+      "#include <map>\n"
+      "struct Node;\n"
+      "std::map<Node*, int> owners_;\n";
+  const LintReport report = lint_source("src/control/fixture_ptrkey.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D003");
+  EXPECT_EQ(report.violations[0].line, 3u);
+}
+
+TEST(PamLintD003, SortedTraversalOfKeysIsClean) {
+  // The sanctioned pattern: collect keys, sort, then index by key.
+  const std::string src =
+      "#include <algorithm>\n"
+      "#include <unordered_map>\n"
+      "#include <vector>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "int checksum() {\n"
+      "  std::vector<int> keys;\n"
+      "  keys.reserve(flows_.size());\n"
+      "  int acc = 0;\n"
+      "  for (const int key : keys) {\n"
+      "    acc += flows_.at(key);\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_sorted.cpp", src);
+  EXPECT_TRUE(report.violations.empty()) << report.violations.size();
+  EXPECT_TRUE(report.clean());
+}
+
+// --- D004: Rng lineage -------------------------------------------------------
+
+TEST(PamLintD004, LiteralReseedFlaggedExactlyOnce) {
+  const std::string src =
+      "#include \"common/rng.hpp\"\n"
+      "pam::Rng fresh() {\n"
+      "  auto rng = pam::Rng(12345);\n"
+      "  return rng;\n"
+      "}\n";
+  const LintReport report = lint_source("src/experiment/fixture_d004.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D004");
+  EXPECT_EQ(report.violations[0].line, 3u);
+}
+
+TEST(PamLintD004, DerivedSeedIsClean) {
+  const std::string src =
+      "#include \"common/rng.hpp\"\n"
+      "pam::Rng child(pam::Rng& parent) {\n"
+      "  return pam::Rng::derive(parent, 7);\n"
+      "}\n";
+  const LintReport report = lint_source("src/experiment/fixture_derive.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+// --- D005: raw allocation on hot paths ---------------------------------------
+
+TEST(PamLintD005, RawDeleteOnHotPathFlaggedExactlyOnce) {
+  const std::string src =
+      "struct Buf { int* p_; };\n"
+      "void drop(Buf& b) {\n"
+      "  delete b.p_;\n"
+      "}\n";
+  const LintReport report = lint_source("src/packet/fixture_d005.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D005");
+  EXPECT_EQ(report.violations[0].file, "src/packet/fixture_d005.cpp");
+  EXPECT_EQ(report.violations[0].line, 3u);
+}
+
+TEST(PamLintD005, ScopedToHotPathsOnly) {
+  // The same raw delete outside src/packet/ and src/sim/ is out of scope.
+  const std::string src =
+      "struct Buf { int* p_; };\n"
+      "void drop(Buf& b) {\n"
+      "  delete b.p_;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_cold.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(PamLintD005, DeletedFunctionsNotFlagged) {
+  const std::string src =
+      "struct Pool {\n"
+      "  Pool(const Pool&) = delete;\n"
+      "  Pool& operator=(const Pool&) = delete;\n"
+      "};\n";
+  const LintReport report = lint_source("src/sim/fixture_deleted.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+// --- allow() suppression hygiene ---------------------------------------------
+
+TEST(PamLintSuppression, AllowSuppressesAndIsInventoried) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "int count_all() {\n"
+      "  int n = 0;\n"
+      "  // pam-lint: allow(D003) pure count, order cannot leak\n"
+      "  for (const auto& [key, value] : flows_) {\n"
+      "    n += value;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_allow.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_EQ(report.suppressions[0].rule, "D003");
+  EXPECT_EQ(report.suppressions[0].file, "src/nf/fixture_allow.cpp");
+  EXPECT_EQ(report.suppressions[0].line, 5u);
+  EXPECT_EQ(report.suppressions[0].reason, "pure count, order cannot leak");
+  EXPECT_TRUE(report.stale.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(PamLintSuppression, TrailingAllowOnCodeLineCoversThatLine) {
+  const std::string src =
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen_;\n"
+      "bool any() {\n"
+      "  return seen_.begin() != seen_.end();  // pam-lint: allow(D003) emptiness probe\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_trailing.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_EQ(report.suppressions[0].line, 4u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(PamLintSuppression, StaleAllowFailsTheGate) {
+  const std::string src =
+      "// pam-lint: allow(D001) nothing random actually follows\n"
+      "int five() { return 5; }\n";
+  const LintReport report = lint_source("src/common/fixture_stale.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.suppressions.empty());
+  ASSERT_EQ(report.stale.size(), 1u);
+  EXPECT_EQ(report.stale[0].rule, "D001");
+  EXPECT_EQ(report.stale[0].line, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(PamLintSuppression, UnknownRuleIsX001) {
+  const std::string src =
+      "// pam-lint: allow(D999) there is no such rule\n"
+      "int five() { return 5; }\n";
+  const LintReport report = lint_source("src/common/fixture_x001.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "X001");
+  EXPECT_EQ(report.violations[0].line, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(PamLintSuppression, MissingReasonIsX001) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> flows_;\n"
+      "int count_all() {\n"
+      "  int n = 0;\n"
+      "  // pam-lint: allow(D003)\n"
+      "  for (const auto& [key, value] : flows_) {\n"
+      "    n += value;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_noreason.cpp", src);
+  // The malformed directive is X001 AND the D003 it failed to cover stays.
+  ASSERT_EQ(report.violations.size(), 2u);
+  const bool has_x001 = std::any_of(
+      report.violations.begin(), report.violations.end(),
+      [](const Violation& violation) { return violation.rule == "X001"; });
+  const bool has_d003 = std::any_of(
+      report.violations.begin(), report.violations.end(),
+      [](const Violation& violation) { return violation.rule == "D003"; });
+  EXPECT_TRUE(has_x001);
+  EXPECT_TRUE(has_d003);
+  EXPECT_FALSE(report.clean());
+}
+
+// --- output formats ----------------------------------------------------------
+
+TEST(PamLintOutput, JsonDocumentCarriesSchemaAndVerdict) {
+  const std::string src =
+      "int jitter() {\n"
+      "  return rand() % 7;\n"
+      "}\n";
+  const LintReport report = lint_source("src/common/fixture_json.cpp", src);
+  std::ostringstream out;
+  write_json(report, out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"schema\": \"pam-lint/v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"D001\""), std::string::npos);
+  EXPECT_NE(doc.find("\"clean\": false"), std::string::npos);
+}
+
+TEST(PamLintOutput, HumanReportNamesVerdict) {
+  const LintReport clean_report =
+      lint_source("src/common/fixture_empty.cpp", "int five() { return 5; }\n");
+  std::ostringstream out;
+  write_human(clean_report, out);
+  EXPECT_NE(out.str().find("CLEAN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pam::lint
