@@ -45,11 +45,19 @@ if [[ -f "$DB" ]]; then
 else
   echo "run_lint: no $DB; scanning all of src/ instead"
 fi
+# Both passes always run even on violations (set -e is sidestepped with an
+# explicit status), so CI logs get the human-readable report and the 'wrote'
+# message alongside the JSON artifact instead of aborting after the first.
+LINT_STATUS=0
 if [[ -n "$JSON_OUT" ]]; then
-  "$PAM_LINT" "${LINT_ARGS[@]}" --json="$JSON_OUT"
+  "$PAM_LINT" "${LINT_ARGS[@]}" --json="$JSON_OUT" || LINT_STATUS=$?
   echo "run_lint: wrote $JSON_OUT"
 fi
-"$PAM_LINT" "${LINT_ARGS[@]}"
+"$PAM_LINT" "${LINT_ARGS[@]}" || LINT_STATUS=$?
+if [[ "$LINT_STATUS" -ne 0 ]]; then
+  echo "run_lint: pam_lint FAILED" >&2
+  exit "$LINT_STATUS"
+fi
 
 if [[ "$SKIP_TIDY" == 1 ]]; then
   echo "run_lint: clang-tidy skipped (--skip-tidy)"

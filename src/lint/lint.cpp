@@ -134,12 +134,12 @@ std::vector<SourceLine> preprocess(const std::string& content) {
         }
         break;
       case State::kString:
-        if (c == '\\') {
+        if (c == '\\' && next != '\n' && next != '\0') {
+          // Skip the escaped character — but never a newline: a
+          // backslash-newline splice must still reach the top-level '\n'
+          // handling so physical line numbers stay aligned.
           cur.code += "  ";
           ++i;
-          if (next == '\0') {
-            // dangling escape at EOF; nothing to skip
-          }
         } else if (c == '"') {
           state = State::kCode;
           cur.code += ' ';
@@ -148,7 +148,7 @@ std::vector<SourceLine> preprocess(const std::string& content) {
         }
         break;
       case State::kChar:
-        if (c == '\\') {
+        if (c == '\\' && next != '\n' && next != '\0') {
           cur.code += "  ";
           ++i;
         } else if (c == '\'') {

@@ -63,6 +63,21 @@ TEST(PamLintD001, LegacyRandCallFlagged) {
   EXPECT_EQ(report.violations[0].line, 2u);
 }
 
+TEST(PamLintD001, LineSpliceInsideStringKeepsLineNumbers) {
+  // A backslash-newline splice inside a string literal must not swallow
+  // the newline, or every later finding in the file shifts by a line.
+  const std::string src =
+      "const char* kBanner = \"line one \\\n"
+      "line two\";\n"
+      "int jitter() {\n"
+      "  return rand() % 7;\n"
+      "}\n";
+  const LintReport report = lint_source("src/common/fixture_splice.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D001");
+  EXPECT_EQ(report.violations[0].line, 4u);
+}
+
 TEST(PamLintD001, RandInsideStringsAndCommentsIgnored) {
   const std::string src =
       "// a comment mentioning rand() and srand(1) must not fire\n"
