@@ -33,6 +33,7 @@ done
 BENCHES=(
   bench_algorithm_micro
   bench_cluster_scale
+  bench_datacenter_scale
   bench_fig1_crossings
   bench_fig2_latency
   bench_fig2_throughput

@@ -27,6 +27,7 @@ std::string_view to_string(ControlEvent::Kind kind) noexcept {
     case ControlEvent::Kind::kScaleIn: return "scale-in";
     case ControlEvent::Kind::kCrossServerMove: return "cross-server-move";
     case ControlEvent::Kind::kEvacuated: return "evacuated";
+    case ControlEvent::Kind::kCrossRackMove: return "cross_rack_move";
   }
   return "?";
 }
@@ -47,6 +48,7 @@ const std::vector<ControlEvent::Kind>& all_control_event_kinds() {
       ControlEvent::Kind::kMigrated,       ControlEvent::Kind::kInfeasible,
       ControlEvent::Kind::kScaleOut,       ControlEvent::Kind::kScaleIn,
       ControlEvent::Kind::kCrossServerMove, ControlEvent::Kind::kEvacuated,
+      ControlEvent::Kind::kCrossRackMove,
   };
   return kinds;
 }
@@ -91,6 +93,15 @@ void ControlPlane::emit(ControlEvent event) {
 
 void ControlPlane::complete_action(std::size_t c) {
   chains_.at(c).last_action_done = kernel_.now();
+}
+
+bool ControlPlane::chain_busy_or_cooling(std::size_t c) const {
+  if (actuator_.in_flight(c)) {
+    return true;
+  }
+  const ChainState& state = chains_.at(c);
+  return state.last_action_done.ns() >= 0 &&
+         kernel_.now() - state.last_action_done < options_.cooldown;
 }
 
 void ControlPlane::check(std::size_t c) {

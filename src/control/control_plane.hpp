@@ -58,6 +58,7 @@ struct ControlEvent {
     kScaleIn,          ///< "scale-in": calm-direction plan handed to the engine
     kCrossServerMove,  ///< "cross-server-move": a border NF landed on another server
     kEvacuated,        ///< "evacuated": an NF moved off a failed server, loss-free
+    kCrossRackMove,    ///< "cross_rack_move": a border NF leased to another rack
   };
 
   SimTime at = SimTime::zero();  ///< simulated time of the decision
@@ -201,6 +202,13 @@ class ControlPlane {
   /// Marks chain `c`'s action finished: anchors the cooldown at now().
   /// Actuators call this from completion callbacks of asynchronous moves.
   void complete_action(std::size_t c);
+
+  /// True while chain `c` has an action in flight or its cooldown running —
+  /// the mutual-exclusion signal a co-managing control tier (the datacenter
+  /// orchestrator above, the rack controller below) checks before acting on
+  /// the same chain.  Safe only when this plane's kernel is quiescent
+  /// (single-kernel mode, or at an epoch barrier).
+  [[nodiscard]] bool chain_busy_or_cooling(std::size_t c) const;
 
  private:
   struct ChainState {

@@ -47,6 +47,10 @@ const FleetController::HomeView& FleetController::home_view(std::size_t c) const
   reduced.set_egress(full.egress());
   view.index_map.clear();
   for (std::size_t i = 0; i < full.size(); ++i) {
+    if (sim.node_remote(i)) {
+      continue;  // leased to another rack: burns no home capacity, and the
+                 // orchestrator alone may move it again
+    }
     if (sim.node_server(i) == sim.home_server()) {
       reduced.add_node(full.node(i).spec, full.node(i).location);
       view.index_map.push_back(i);
@@ -109,7 +113,10 @@ ControlPlane::Planned FleetController::plan(std::size_t c,
 
 bool FleetController::in_flight(std::size_t c) const {
   const ChainState& state = chains_.at(c);
-  return state.engine->busy() || state.remote_moves_in_flight > 0;
+  if (state.engine->busy() || state.remote_moves_in_flight > 0) {
+    return true;
+  }
+  return external_hold_ != nullptr && external_hold_(c);
 }
 
 void FleetController::execute(std::size_t c, const MigrationPlan& plan,
@@ -271,8 +278,9 @@ void FleetController::on_server_failed(std::size_t server) {
   for (std::size_t c = 0; c < cluster_.num_chains(); ++c) {
     ChainSimulator& sim = cluster_.chain_sim(c);
     for (std::size_t i = 0; i < sim.chain().size(); ++i) {
-      if (sim.node_server(i) != server || sim.paused(i)) {
-        continue;  // paused: an in-flight move owns this node
+      if (sim.node_server(i) != server || sim.paused(i) || sim.node_remote(i)) {
+        continue;  // paused: an in-flight move owns this node; remote: the
+                   // node lives on another rack, untouched by this failure
       }
       // Least-loaded surviving slot.  No target_max_load fit check here —
       // getting off the dead slot outranks the load SLO.

@@ -87,6 +87,15 @@ class FleetController final : private ControlPlane::Sensor,
   }
   /// Completed failure evacuations (one per NF moved off a dead slot).
   [[nodiscard]] std::size_t evacuations() const noexcept { return evacuations_; }
+
+  /// Installs an external hold: while `hold(c)` returns true the loop treats
+  /// chain `c` as having an action in flight.  The datacenter orchestrator
+  /// uses this so a cross-rack lease and a rack-local move never race on the
+  /// same chain.  The predicate is called from this rack's shard thread, so
+  /// it must read only barrier-published state.
+  void set_external_hold(std::function<bool(std::size_t)> hold) {
+    external_hold_ = std::move(hold);
+  }
   /// The shared loop (options, per-chain policies, event emission).
   [[nodiscard]] ControlPlane& plane() noexcept { return plane_; }
 
@@ -137,6 +146,7 @@ class FleetController final : private ControlPlane::Sensor,
                             ControlEvent::Kind kind);
 
   mutable std::vector<HomeView> views_;   ///< per-chain per-tick cache
+  std::function<bool(std::size_t)> external_hold_;  ///< orchestrator veto
   std::size_t scale_out_moves_ = 0;
   std::size_t evacuations_ = 0;
   ControlPlane plane_;  ///< last member: its Sensor/Actuator are *this

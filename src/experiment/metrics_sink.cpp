@@ -189,6 +189,35 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       w.value(static_cast<std::uint64_t>(cr.scale_out_moves));
       w.key("evacuations");
       w.value(static_cast<std::uint64_t>(cr.evacuations));
+      if (cr.shards > 1) {
+        // Sharded datacenter mode only: classic shards=1 output is
+        // byte-identical to what it was before sharding existed.  Note the
+        // deliberate absence of any thread count — the report must be
+        // bit-identical for threads=1 and threads=N.
+        w.key("shards"); w.value(static_cast<std::uint64_t>(cr.shards));
+        w.key("epochs"); w.value(cr.epochs);
+        w.key("cross_rack_moves");
+        w.value(static_cast<std::uint64_t>(cr.cross_rack_moves));
+        w.key("cross_rack_hops"); w.value(cr.cross_rack_hops);
+        w.key("cross_rack_frames"); w.value(cr.cross_rack_frames);
+        w.key("shard_totals");
+        w.begin_array();
+        for (const auto& shard : cr.shard_totals) {
+          w.begin_object();
+          w.key("shard"); w.value(static_cast<std::uint64_t>(shard.shard));
+          w.key("first_server");
+          w.value(static_cast<std::uint64_t>(shard.first_server));
+          w.key("servers"); w.value(static_cast<std::uint64_t>(shard.servers));
+          w.key("events_executed"); w.value(shard.events_executed);
+          w.key("injected"); w.value(shard.injected);
+          w.key("delivered"); w.value(shard.delivered);
+          w.key("dropped"); w.value(shard.dropped);
+          w.key("in_flight_at_end"); w.value(shard.in_flight_at_end);
+          w.key("frames_out"); w.value(shard.frames_out);
+          w.end_object();
+        }
+        w.end_array();
+      }
       if (!result.spec.failures.empty()) {
         w.key("failures");
         w.begin_array();
@@ -272,6 +301,10 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         w.key("chain_after"); w.value(chain.chain_after);
         w.key("nodes_off_home");
         w.value(static_cast<std::uint64_t>(chain.nodes_off_home));
+        if (cr.shards > 1) {
+          w.key("nodes_remote");
+          w.value(static_cast<std::uint64_t>(chain.nodes_remote));
+        }
         w.key("inter_server_hops"); w.value(chain.inter_server_hops);
         w.key("metrics"); write_run(w, chain.metrics);
         w.end_object();
@@ -509,6 +542,17 @@ void print_cluster(const RunResult& result, bool verbose, std::FILE* out) {
                cr.servers, cr.chains.size(), cr.rebalance ? "on" : "off",
                result.spec.policy.to_string().c_str(), cr.migrations_executed,
                cr.scale_out_moves, cr.evacuations);
+  if (cr.shards > 1) {
+    std::fprintf(out,
+                 "sharded: %zu rack(s) x %zu server(s), %llu epoch(s) | "
+                 "cross-rack moves %zu, fabric frames %llu, fabric packets "
+                 "%llu\n",
+                 cr.shards, cr.servers / cr.shards,
+                 static_cast<unsigned long long>(cr.epochs),
+                 cr.cross_rack_moves,
+                 static_cast<unsigned long long>(cr.cross_rack_frames),
+                 static_cast<unsigned long long>(cr.cross_rack_hops));
+  }
   for (const auto& ev : result.spec.failures) {
     if (ev.recover_ms >= 0.0) {
       std::fprintf(out, "failure: server %zu dies at %.1f ms, recovers at %.1f ms\n",

@@ -28,6 +28,9 @@
 //                   (run) audit every executed scenario with the invariant
 //                   checker (experiment/invariants.hpp); violations fail
 //                   the run with one diagnostic line each
+//   --threads N     (run) worker threads for sharded scenarios ([cluster]
+//                   shards > 1); overrides the spec's threads= key.  Never
+//                   changes results — only wall-clock time.
 //   --seed N / --count N / --dump-dir DIR
 //                   (fuzz) campaign seed, number of generated cases, and
 //                   where a shrunk failing .scn reproducer is written
@@ -72,7 +75,8 @@ int usage(std::FILE* out) {
                "usage: pam_exp list [--dir DIR]\n"
                "       pam_exp policies\n"
                "       pam_exp run <scenario>... [--json[=FILE]] [--quiet] "
-               "[--verbose] [--policy NAME[:key=val,...]] [--dir DIR]\n"
+               "[--verbose] [--policy NAME[:key=val,...]] [--threads N] "
+               "[--dir DIR]\n"
                "       pam_exp sweep <scenario> --factors LO:HI:STEPS "
                "[--json[=FILE]] [--quiet] [--policy NAME[:key=val,...]] "
                "[--dir DIR]\n"
@@ -98,6 +102,7 @@ struct Options {
   std::string policy;  ///< --policy NAME[:key=val,...]; empty = none
   bool quick = false;  ///< --quick (bench/fuzz): shrink the work
   bool check_invariants = false;  ///< --check-invariants (run)
+  std::size_t threads = 0;        ///< --threads (run); 0 = use the spec's
   std::uint64_t seed = 1;         ///< --seed (fuzz)
   std::size_t count = 50;         ///< --count (fuzz)
   std::string dump_dir = ".";     ///< --dump-dir (fuzz)
@@ -137,6 +142,16 @@ bool parse_args(int argc, char** argv, int first, Options& out) {
       out.policy = argv[++i];
     } else if (arg == "--check-invariants") {
       out.check_invariants = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads needs a value\n");
+        return false;
+      }
+      out.threads = std::strtoull(argv[++i], nullptr, 10);
+      if (out.threads == 0) {
+        std::fprintf(stderr, "error: --threads must be positive\n");
+        return false;
+      }
     } else if (arg == "--seed") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --seed needs a value\n");
@@ -190,7 +205,7 @@ int run_specs(const std::vector<ScenarioSpec>& specs, const Options& opt) {
   const ScenarioRunner runner;
   std::vector<RunResult> results;
   for (const auto& spec : specs) {
-    auto result = runner.run(spec);
+    auto result = runner.run(spec, opt.threads);
     if (!result) {
       std::fprintf(stderr, "error: %s\n", result.error().what().c_str());
       return 1;

@@ -132,6 +132,8 @@ struct ClusterChainResult {
   std::string chain_before;
   std::string chain_after;
   std::size_t nodes_off_home = 0;  ///< nodes bound to another slot at run end
+  /// Nodes leased to another rack at run end (sharded datacenter mode).
+  std::size_t nodes_remote = 0;
   std::uint64_t inter_server_hops = 0;
   MeasuredRun metrics;
 };
@@ -149,6 +151,19 @@ struct ClusterServerResult {
   std::uint64_t dropped = 0;
 };
 
+/// One kernel shard (rack) of a sharded datacenter run.
+struct ClusterShardResult {
+  std::size_t shard = 0;
+  std::size_t first_server = 0;  ///< global id of the rack's first slot
+  std::size_t servers = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t in_flight_at_end = 0;
+  std::uint64_t frames_out = 0;  ///< fabric frames this shard sent
+};
+
 /// Result of a cluster scenario: the fleet controller's event log, per-chain
 /// and per-server metrics, and the fleet aggregation.
 struct ClusterResult {
@@ -163,6 +178,14 @@ struct ClusterResult {
   MeasuredRun fleet;                       ///< merged fleet-wide metrics
   std::uint64_t inter_server_hops = 0;
   bool conserved = false;
+
+  // --- sharded datacenter mode (shards > 1; all zero/empty otherwise) ------
+  std::size_t shards = 1;
+  std::size_t cross_rack_moves = 0;        ///< committed cross-rack leases
+  std::uint64_t cross_rack_hops = 0;       ///< packets over the shard fabric
+  std::uint64_t cross_rack_frames = 0;     ///< frames exchanged at barriers
+  std::uint64_t epochs = 0;                ///< lock-step epochs executed
+  std::vector<ClusterShardResult> shard_totals;
 };
 
 /// Everything one scenario run produced.  Exactly one of the kind-specific
@@ -183,7 +206,11 @@ class ScenarioRunner {
 
   /// Runs `spec` to completion.  Errors are configuration-level (e.g. a
   /// chain spec that no longer parses); simulation itself cannot fail.
-  [[nodiscard]] Result<RunResult> run(const ScenarioSpec& spec) const;
+  /// `threads_override` > 0 replaces [cluster] threads= for this run
+  /// (sharded scenarios only — an override on a shards=1 spec is an error);
+  /// the thread count never changes results, only wall-clock time.
+  [[nodiscard]] Result<RunResult> run(const ScenarioSpec& spec,
+                                      std::size_t threads_override = 0) const;
 };
 
 }  // namespace pam

@@ -660,6 +660,32 @@ class SpecParser {
         if (!need_double(kv, spec_.cluster.first_check_ms)) return false;
       } else if (kv.key == "cooldown_ms") {
         if (!need_double(kv, spec_.cluster.cooldown_ms)) return false;
+      } else if (kv.key == "shards") {
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(kv.value, v) || v < 1 || v > 1024) {
+          return fail(kv.line, "shards must be an integer in [1, 1024]");
+        }
+        spec_.cluster.shards = static_cast<std::size_t>(v);
+      } else if (kv.key == "threads") {
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(kv.value, v) || v < 1 || v > 256) {
+          return fail(kv.line, "threads must be an integer in [1, 256]");
+        }
+        spec_.cluster.threads = static_cast<std::size_t>(v);
+        cluster_sharded_line_ = kv.line;
+      } else if (kv.key == "cross_rack_us") {
+        if (!need_double(kv, spec_.cluster.cross_rack_us)) return false;
+        cluster_sharded_line_ = kv.line;
+      } else if (kv.key == "orchestrate") {
+        if (kv.value == "on") {
+          spec_.cluster.orchestrate = true;
+        } else if (kv.value == "off") {
+          spec_.cluster.orchestrate = false;
+        } else {
+          return fail(kv.line, format("orchestrate: expected on|off, got '%s'",
+                                      kv.value.c_str()));
+        }
+        cluster_sharded_line_ = kv.line;
       } else {
         return fail(kv.line,
                     format("unknown key '%s' in [cluster]", kv.key.c_str()));
@@ -895,6 +921,24 @@ class SpecParser {
           format("kind = %s requires a [cluster] section",
                  std::string{to_string(spec_.kind)}.c_str()));
     }
+    if (is_fleet) {
+      if (spec_.cluster.shards == 1 && cluster_sharded_line_ != 0) {
+        return fail(cluster_sharded_line_,
+                    "[cluster] 'threads'/'cross_rack_us'/'orchestrate' require "
+                    "shards > 1");
+      }
+      if (spec_.cluster.servers % spec_.cluster.shards != 0) {
+        return fail_global(
+            format("[cluster] servers (%zu) must divide evenly into shards "
+                   "(%zu)",
+                   spec_.cluster.servers, spec_.cluster.shards));
+      }
+      if (spec_.cluster.shards > 1 && spec_.cluster.cross_rack_us <= 0.0) {
+        return fail_global(
+            "[cluster] cross_rack_us must be positive (it is the epoch "
+            "quantum)");
+      }
+    }
     if (is_failure) {
       if (spec_.failures.empty()) {
         return fail_global(
@@ -946,6 +990,7 @@ class SpecParser {
   int chain_server_line_ = 0;
   int chain_policy_line_ = 0;
   int chain_churn_line_ = 0;
+  int cluster_sharded_line_ = 0;
   int policy_line_ = 0;
   ScenarioSpec spec_;
   std::string error_;
@@ -1145,6 +1190,14 @@ std::string ScenarioSpec::to_text() const {
     emit("period_ms", fmt_double(cluster.period_ms));
     emit("first_check_ms", fmt_double(cluster.first_check_ms));
     emit("cooldown_ms", fmt_double(cluster.cooldown_ms));
+    if (cluster.shards > 1) {
+      // Sharded-mode keys round-trip only when present: a shards=1 spec
+      // emits exactly the classic section, so historical texts are stable.
+      emit("shards", format("%zu", cluster.shards));
+      emit("threads", format("%zu", cluster.threads));
+      emit("cross_rack_us", fmt_double(cluster.cross_rack_us));
+      emit("orchestrate", cluster.orchestrate ? "on" : "off");
+    }
   }
 
   if (kind == ScenarioKind::kFailure) {

@@ -266,6 +266,20 @@ struct ClusterSpec {
   double first_check_ms = 10.0;
   double cooldown_ms = 20.0;
 
+  // --- sharded datacenter mode (shards > 1) ---------------------------------
+  /// Kernel shards (racks).  1 = the classic single-kernel rack; > 1
+  /// partitions the fleet into `shards` racks of servers/shards slots each,
+  /// advancing in lock-step epochs (sim/datacenter_simulator.hpp).
+  std::size_t shards = 1;
+  /// Worker threads for the epoch executor; results are bit-identical for
+  /// any value.  Only meaningful (and only accepted) when shards > 1.
+  std::size_t threads = 1;
+  /// One-way cross-rack fabric latency == the epoch quantum (lookahead).
+  double cross_rack_us = 100.0;
+  /// Arm the DatacenterOrchestrator (cross-rack leases) above the per-rack
+  /// fleet controllers.
+  bool orchestrate = true;
+
   [[nodiscard]] bool operator==(const ClusterSpec&) const = default;
 };
 

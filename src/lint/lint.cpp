@@ -33,6 +33,10 @@ const std::vector<RuleInfo> kRules = {
     {"D005", "no-raw-alloc-on-hot-path",
      "new/delete/malloc on packet/event hot paths (src/packet, src/sim) "
      "bypass PacketPool/arena recycling and wreck tail latency"},
+    {"D006", "no-ad-hoc-threading",
+     "std::thread/mutex/atomic/... outside the kernel's shard-execution "
+     "unit (src/sim/epoch_executor.*) forks concurrency that the epoch "
+     "barrier cannot order; parallel work must flow through EpochExecutor"},
     {"X001", "allow-hygiene",
      "pam-lint: allow(...) escape hatches need a known rule id and a "
      "reason, and must match a finding (stale allows are reported)"},
@@ -296,6 +300,17 @@ std::string trimmed(const std::string& s) {
   return s.substr(b, e - b);
 }
 
+/// True when the identifier at `col` is written with an explicit `std::`
+/// qualifier (the codebase never spells it with interior spaces).
+bool std_qualified(const std::string& code, std::size_t col) {
+  if (col < 5 || code.compare(col - 2, 2, "::") != 0) {
+    return false;
+  }
+  const std::size_t end = col - 2;
+  return code.compare(end - 3, 3, "std") == 0 &&
+         (end == 3 || !ident_char(code[end - 4]));
+}
+
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
@@ -494,6 +509,7 @@ std::vector<Violation> scan_file(const std::string& file,
   const bool benchreport = starts_with(file, "src/benchreport/");
   const bool hot_path =
       starts_with(file, "src/packet/") || starts_with(file, "src/sim/");
+  const bool shard_executor = starts_with(file, "src/sim/epoch_executor.");
 
   const JoinedCode joined = join_code(lines);
 
@@ -629,6 +645,38 @@ std::vector<Violation> scan_file(const std::string& file,
           add_violation(v, "D005", file, ln, col, code,
                         std::string(fn) + "() on a packet/event hot path; "
                         "allocate through PacketPool/arena");
+        }
+      }
+    }
+
+    // D006 — ad-hoc threading outside the shard-execution unit.  Only the
+    // std::-qualified spellings are matched so ordinary identifiers like
+    // `barrier_hook_` or a parameter named `threads` never trip the rule.
+    if (!shard_executor) {
+      for (const char* tok :
+           {"thread", "jthread", "mutex", "shared_mutex", "recursive_mutex",
+            "timed_mutex", "condition_variable", "condition_variable_any",
+            "atomic", "atomic_flag", "atomic_ref", "async", "future",
+            "promise", "barrier", "latch", "counting_semaphore",
+            "binary_semaphore", "stop_token"}) {
+        for (const std::size_t col : find_word(code, tok)) {
+          if (!std_qualified(code, col)) {
+            continue;
+          }
+          add_violation(v, "D006", file, ln, col, code,
+                        "std::" + std::string(tok) +
+                            " outside src/sim/epoch_executor.*; shard "
+                            "parallelism must flow through EpochExecutor so "
+                            "the epoch barrier can order it");
+        }
+      }
+      for (const char* fn : {"pthread_create", "pthread_mutex_init",
+                             "pthread_cond_init", "pthread_mutex_lock"}) {
+        for (const std::size_t col : find_call(code, fn)) {
+          add_violation(v, "D006", file, ln, col, code,
+                        std::string(fn) + "() outside src/sim/"
+                        "epoch_executor.*; shard parallelism must flow "
+                        "through EpochExecutor");
         }
       }
     }

@@ -29,6 +29,7 @@ ChainSimulator::ChainSimulator(ServiceChain chain, Server& server,
   }
   bindings_.assign(chain_.size(), home_);
   paused_.assign(chain_.size(), false);
+  remote_.assign(chain_.size(), false);
   buffers_.resize(chain_.size());
   node_stats_.resize(chain_.size());
 }
@@ -53,6 +54,7 @@ ChainSimulator::ChainSimulator(SimulationKernel& kernel, ServerDevices& devices,
   }
   bindings_.assign(chain_.size(), home_);
   paused_.assign(chain_.size(), false);
+  remote_.assign(chain_.size(), false);
   buffers_.resize(chain_.size());
   node_stats_.resize(chain_.size());
 }
@@ -98,6 +100,16 @@ std::size_t ChainSimulator::nodes_off_home() const noexcept {
   std::size_t n = 0;
   for (const auto& b : bindings_) {
     if (b.server != home_.server) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ChainSimulator::nodes_remote() const noexcept {
+  std::size_t n = 0;
+  for (const bool r : remote_) {
+    if (r) {
       ++n;
     }
   }
@@ -263,6 +275,12 @@ void ChainSimulator::advance(Packet* p, std::size_t idx, Hop from) {
     ++total_buffered_;
     return;
   }
+  if (remote_[idx]) {
+    // The node is leased to another rack: the packet leaves this shard as
+    // a serialized FabricFrame and comes back through resume_from_remote.
+    send_to_fabric(p, idx);
+    return;
+  }
   const NodeBinding& binding = bindings_[idx];
   if (from.server != binding.server) {
     // Next NF lives on another rack slot: forward over the inter-server
@@ -277,6 +295,44 @@ void ChainSimulator::advance(Packet* p, std::size_t idx, Hop from) {
   } else {
     process_node(p, idx);
   }
+}
+
+void ChainSimulator::send_to_fabric(Packet* p, std::size_t idx) {
+  assert(fabric_egress_ && "remote node without a fabric send hook");
+  ++cross_rack_hops_;
+  fabric_egress_(*p, idx);
+  // The packet stays logically in flight (in_flight_ unchanged) while its
+  // serialized form crosses the fabric; only the buffer goes back to the
+  // pool, to be recycled by home traffic in the meantime.
+  pool().release(p);
+}
+
+void ChainSimulator::resume_from_remote(std::size_t i, const RemoteReturn& ret) {
+  if (!ret.passed) {
+    assert(in_flight_ > 0);
+    --in_flight_;
+    if (ret.drop == 1) {
+      ++dropped_queue_nic_;
+    } else {
+      ++dropped_by_nf_;
+    }
+    return;
+  }
+  auto handle = pool().acquire(ret.bytes.size());
+  if (!handle) {
+    // Home pool exhausted at re-entry: the returning frame has nowhere to
+    // land, which on hardware is a NIC-side loss.
+    assert(in_flight_ > 0);
+    --in_flight_;
+    ++dropped_queue_nic_;
+    return;
+  }
+  Packet* p = handle.release();
+  std::copy(ret.bytes.begin(), ret.bytes.end(), p->data().begin());
+  p->set_id(ret.packet_id);
+  p->set_ingress_time(ret.ingress_time);
+  p->restore_path_counters(ret.pcie_crossings, ret.hops);
+  advance(p, i + 1, Hop{home_.server, Location::kSmartNic});
 }
 
 void ChainSimulator::forward_to_server(Packet* p, std::size_t to_server,

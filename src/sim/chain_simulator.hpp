@@ -40,6 +40,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -166,6 +167,60 @@ class ChainSimulator {
   /// sink must outlive the run.
   void capture_egress(PacketTrace* sink) noexcept { capture_ = sink; }
 
+  // --- cross-rack leases (sharded datacenter mode) --------------------------
+  //
+  // A DatacenterOrchestrator can lease one of this chain's nodes to a slot
+  // on another rack (a different kernel shard).  The home simulator then
+  // serializes packets reaching that node onto the shard fabric instead of
+  // processing them locally; the fabric hands the visit's outcome back via
+  // resume_from_remote.  In flight across the fabric, a packet exists only
+  // as its serialized form — the home Packet object returns to the pool and
+  // a fresh one is materialized on return — but it stays counted in
+  // in_flight_ throughout, so conservation is exact.
+
+  /// Outcome of one remote visit, as reported back by the fabric.
+  struct RemoteReturn {
+    bool passed = false;
+    /// 1 = drop-tail at the host SmartNIC, 2 = policy drop by the leased NF
+    /// (meaningful only when !passed; mirrors FabricFrame::Outcome).
+    int drop = 0;
+    std::span<const std::uint8_t> bytes;  ///< the frame after the remote NF ran
+    std::uint64_t packet_id = 0;
+    SimTime ingress_time;
+    std::uint32_t pcie_crossings = 0;
+    std::uint32_t hops = 0;
+  };
+
+  /// Installs the fabric send hook: every packet reaching a remote node is
+  /// handed to `fn` (which serializes it into the shard mailbox) and its
+  /// home buffer returns to the pool.
+  void set_fabric_egress(std::function<void(const Packet&, std::size_t)> fn) {
+    fabric_egress_ = std::move(fn);
+  }
+
+  /// Marks node i as leased to another rack.  Takes effect for packets not
+  /// yet routed to it; requires a fabric hook before traffic reaches it.
+  void set_node_remote(std::size_t i, bool remote) { remote_.at(i) = remote; }
+  [[nodiscard]] bool node_remote(std::size_t i) const { return remote_.at(i); }
+  /// Count of nodes currently leased to other racks.
+  [[nodiscard]] std::size_t nodes_remote() const noexcept;
+
+  /// Detaches the functional NF instance at i so it can move into the lease
+  /// on the host rack (the NF's state travels with it — same rule as
+  /// intra-rack migration).  Mark the node remote before packets flow.
+  [[nodiscard]] std::unique_ptr<NetworkFunction> take_nf(std::size_t i) {
+    return std::move(nfs_.at(i));
+  }
+
+  /// Re-materializes a packet returning from its remote visit and advances
+  /// it past node i; remote drops are charged to home counters.
+  void resume_from_remote(std::size_t i, const RemoteReturn& ret);
+
+  /// Packets sent over the cross-rack fabric by this chain.
+  [[nodiscard]] std::uint64_t cross_rack_hops() const noexcept {
+    return cross_rack_hops_;
+  }
+
  private:
   /// Which rack slot a node (or virtual endpoint) executes on.
   struct NodeBinding {
@@ -191,6 +246,7 @@ class ChainSimulator {
   void inject_frame(std::span<const std::uint8_t> frame);
   void account_injection(Packet* p);
   void advance(Packet* p, std::size_t idx, Hop from);
+  void send_to_fabric(Packet* p, std::size_t idx);
   void process_node(Packet* p, std::size_t idx);
   void cross_pcie(Packet* p, const NodeBinding& binding,
                   std::function<void()> continuation);
@@ -219,6 +275,8 @@ class ChainSimulator {
 
   std::vector<std::unique_ptr<NetworkFunction>> nfs_;
   std::vector<bool> paused_;
+  std::vector<bool> remote_;  ///< node leased to another rack (datacenter mode)
+  std::function<void(const Packet&, std::size_t)> fabric_egress_;
   std::vector<std::vector<Parked>> buffers_;
 
   struct NodeStats {
@@ -243,6 +301,7 @@ class ChainSimulator {
   std::uint64_t total_buffered_ = 0;
   std::uint64_t crossings_total_ = 0;
   std::uint64_t server_hops_total_ = 0;
+  std::uint64_t cross_rack_hops_ = 0;
 
   // measurement window
   LatencyRecorder latency_;

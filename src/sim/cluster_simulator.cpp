@@ -77,12 +77,19 @@ void ClusterSimulator::set_slot_speed(std::size_t s, double speed) {
   devices_.at(s)->cpu.set_speed(speed);
 }
 
-ClusterReport ClusterSimulator::run(SimTime duration, SimTime warmup) {
+void ClusterSimulator::begin() {
   for (auto& chain : chains_) {
     chain->start();
   }
-  kernel_.run(duration, warmup);
+}
 
+ClusterReport ClusterSimulator::run(SimTime duration, SimTime warmup) {
+  begin();
+  kernel_.run(duration, warmup);
+  return collect(duration);
+}
+
+ClusterReport ClusterSimulator::collect(SimTime duration) {
   ClusterReport report;
   report.servers = servers_.size();
   report.duration = duration;
@@ -112,12 +119,16 @@ ClusterReport ClusterSimulator::run(SimTime duration, SimTime warmup) {
     report.in_flight_at_end += chain_report.in_flight_at_end;
     report.pcie_crossings += chain_report.pcie_crossings;
     report.inter_server_hops += chain_report.inter_server_hops;
+    report.cross_rack_hops += chains_[c]->cross_rack_hops();
     report.latency.merge(chain_report.latency);
     goodput += chain_report.egress_goodput.value();
     offered += chain_report.offered_rate.value();
 
     const ServiceChain& chain = chains_[c]->chain();
     for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chains_[c]->node_remote(i)) {
+        continue;  // leased to another rack; credited to its host slot there
+      }
       ++report.per_server[chains_[c]->node_server(i)].nodes_hosted;
     }
     report.per_chain.push_back(std::move(chain_report));

@@ -65,6 +65,9 @@ struct ClusterReport {
   std::uint64_t in_flight_at_end = 0;
   std::uint64_t pcie_crossings = 0;
   std::uint64_t inter_server_hops = 0;
+  /// Packets serialized over the cross-rack fabric (datacenter mode; 0 for
+  /// a single-rack run).
+  std::uint64_t cross_rack_hops = 0;
 
   // --- fleet measurement window --------------------------------------------
   LatencyRecorder latency;  ///< merged across all chains
@@ -139,6 +142,17 @@ class ClusterSimulator {
   /// Runs every chain to the horizon, drains, and aggregates.  Single-shot.
   [[nodiscard]] ClusterReport run(SimTime duration,
                                   SimTime warmup = SimTime::milliseconds(10));
+
+  // --- epoch-stepped driving (sharded datacenter mode) ----------------------
+
+  /// Schedules every chain's first arrival without running the kernel; the
+  /// DatacenterSimulator then advances this rack's kernel epoch by epoch.
+  /// run() == begin() + kernel().run() + collect().
+  void begin();
+
+  /// Aggregates the rack's ClusterReport from the current counters; valid
+  /// once the kernel has fully drained.
+  [[nodiscard]] ClusterReport collect(SimTime duration);
 
  private:
   Calibration calibration_;

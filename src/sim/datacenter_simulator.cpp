@@ -1,0 +1,404 @@
+#include "sim/datacenter_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/epoch_executor.hpp"
+
+namespace pam {
+
+namespace {
+// Seed lineage base for lease-local pass_ratio streams: every lease derives
+// its Rng from this constant and its (chain, node) identity, so which rack
+// hosts the lease — and how many threads advance it — never shifts a
+// random stream.
+constexpr std::uint64_t kLeaseSeedBase = 0x9d47ac3a5e1ea5e5ull;
+}  // namespace
+
+DatacenterSimulator::DatacenterSimulator(const Options& options)
+    : options_(options),
+      per_rack_(options.servers_total / options.shards),
+      fabric_(options.shards) {
+  assert(options.shards >= 1);
+  assert(options.servers_total % options.shards == 0 &&
+         "servers_total must divide evenly into racks");
+  assert(options.cross_rack_latency.ns() > 0 &&
+         "the epoch quantum (cross-rack latency) must be positive");
+  racks_.reserve(options.shards);
+  for (std::size_t r = 0; r < options.shards; ++r) {
+    racks_.push_back(std::make_unique<ClusterSimulator>(
+        per_rack_, options.calibration, options.intra_rack_latency));
+  }
+}
+
+std::size_t DatacenterSimulator::add_chain(ServiceChain chain,
+                                          TrafficSourceConfig traffic,
+                                          std::size_t home) {
+  const std::size_t r = rack_of(home);
+  const std::size_t slot = slot_of(home);
+  const std::size_t local =
+      racks_.at(r)->add_chain(std::move(chain), std::move(traffic), slot);
+  const std::size_t global_c = chain_map_.size();
+  chain_map_.push_back(ChainRef{r, local});
+  chain_home_.push_back(home);
+  racks_[r]->chain_sim(local).set_fabric_egress(
+      [this, global_c, r](const Packet& p, std::size_t node) {
+        send_visit(r, global_c, node, p);
+      });
+  return global_c;
+}
+
+void DatacenterSimulator::schedule_on_rack(std::size_t r, SimTime at,
+                                           std::function<void()> fn) {
+  racks_.at(r)->kernel().schedule_at(at, std::move(fn));
+}
+
+void DatacenterSimulator::schedule_fabric_latency(SimTime at, SimTime latency) {
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    ClusterSimulator* rack = racks_[r].get();
+    rack->kernel().schedule_at(
+        at, [rack, latency] { rack->set_fabric_latency(latency); });
+  }
+}
+
+DatacenterSimulator::Lease* DatacenterSimulator::find_lease(std::size_t c,
+                                                            std::size_t node) {
+  for (const auto& lease : leases_) {
+    if (lease->chain == c && lease->node == node) {
+      return lease.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t DatacenterSimulator::lease_host(std::size_t c, std::size_t node) const {
+  for (const auto& lease : leases_) {
+    if (lease->chain == c && lease->node == node) {
+      return global_server(lease->host_rack, lease->host_slot);
+    }
+  }
+  assert(false && "lease_host queried for a node that is not leased");
+  return 0;
+}
+
+bool DatacenterSimulator::commit_lease(std::size_t c, std::size_t node,
+                                       std::size_t target) {
+  const std::size_t host_rack = rack_of(target);
+  const std::size_t host_slot = slot_of(target);
+  assert(host_rack != home_rack_of(c) &&
+         "a lease crosses racks; use move_node for intra-rack placement");
+  if (!racks_[host_rack]->server_alive(host_slot)) {
+    return false;
+  }
+  ChainSimulator& sim = chain_sim(c);
+  assert(!sim.node_remote(node));
+  auto lease = std::make_unique<Lease>();
+  lease->chain = c;
+  lease->node = node;
+  lease->host_rack = host_rack;
+  lease->host_slot = host_slot;
+  lease->spec = sim.chain().node(node).spec;
+  lease->nf = sim.take_nf(node);
+  lease->rng = Rng{Rng::derive(kLeaseSeedBase, (c << 16) | node)};
+  assert(lease->nf != nullptr);
+  leases_.push_back(std::move(lease));
+  sim.set_node_remote(node, true);
+  return true;
+}
+
+void DatacenterSimulator::send_visit(std::size_t src_rack, std::size_t c,
+                                     std::size_t node, const Packet& p) {
+  Lease* lease = find_lease(c, node);
+  assert(lease != nullptr && "remote node without a lease");
+  FabricFrame frame = fabric_.acquire(src_rack);
+  frame.kind = FabricFrame::Kind::kVisit;
+  frame.outcome = FabricFrame::Outcome::kPassed;
+  frame.chain = c;
+  frame.node = node;
+  frame.sent_at = racks_[src_rack]->kernel().now();
+  frame.bytes.assign(p.data().begin(), p.data().end());
+  frame.packet_id = p.id();
+  frame.ingress_time = p.ingress_time();
+  frame.pcie_crossings = p.pcie_crossings();
+  frame.hops = p.hops();
+  fabric_.send(src_rack, lease->host_rack, std::move(frame));
+}
+
+void DatacenterSimulator::deliver_frame(std::size_t dst, FabricFrame&& frame) {
+  // Lookahead: sent_at lies inside the epoch that just ended, so the
+  // arrival is always at or after the barrier the destination sits at.
+  const SimTime at = frame.sent_at + options_.cross_rack_latency;
+  const bool visit = frame.kind == FabricFrame::Kind::kVisit;
+  SimulationKernel& kernel = racks_[dst]->kernel();
+  if (visit) {
+    kernel.schedule_at(at, [this, dst, f = std::move(frame)]() mutable {
+      host_visit(dst, std::move(f));
+    });
+  } else {
+    kernel.schedule_at(at, [this, dst, f = std::move(frame)]() mutable {
+      home_return(dst, std::move(f));
+    });
+  }
+}
+
+void DatacenterSimulator::send_return(std::size_t host, std::size_t c,
+                                      std::size_t node,
+                                      FabricFrame::Outcome outcome,
+                                      const Packet& p) {
+  FabricFrame frame = fabric_.acquire(host);
+  frame.kind = FabricFrame::Kind::kReturn;
+  frame.outcome = outcome;
+  frame.chain = c;
+  frame.node = node;
+  frame.sent_at = racks_[host]->kernel().now();
+  frame.packet_id = p.id();
+  frame.ingress_time = p.ingress_time();
+  frame.pcie_crossings = p.pcie_crossings();
+  frame.hops = p.hops();
+  frame.bytes.clear();
+  if (outcome == FabricFrame::Outcome::kPassed) {
+    frame.bytes.assign(p.data().begin(), p.data().end());
+  }
+  fabric_.send(host, home_rack_of(c), std::move(frame));
+}
+
+void DatacenterSimulator::host_visit(std::size_t host, FabricFrame frame) {
+  // Runs on the host shard's thread, mid-epoch.  Everything it touches —
+  // the host rack's pool/devices/kernel, the lease, the host's own mailbox
+  // row — is owned by this shard for the epoch.
+  Lease* lease = find_lease(frame.chain, frame.node);
+  assert(lease != nullptr && lease->host_rack == host);
+  ClusterSimulator& rack = *racks_[host];
+  SimulationKernel& kernel = rack.kernel();
+
+  auto handle = kernel.pool().acquire(frame.bytes.size());
+  if (!handle) {
+    // Host pool exhausted: the visit is refused at the host NIC.
+    frame.kind = FabricFrame::Kind::kReturn;
+    frame.outcome = FabricFrame::Outcome::kDroppedNic;
+    frame.sent_at = kernel.now();
+    frame.bytes.clear();
+    fabric_.send(host, home_rack_of(frame.chain), std::move(frame));
+    return;
+  }
+  Packet* p = handle.release();
+  std::copy(frame.bytes.begin(), frame.bytes.end(), p->data().begin());
+  p->set_id(frame.packet_id);
+  p->set_ingress_time(frame.ingress_time);
+  p->restore_path_counters(frame.pcie_crossings, frame.hops);
+  const std::size_t c = frame.chain;
+  const std::size_t node = frame.node;
+  fabric_.release(host, std::move(frame));  // inbound storage recycled
+
+  // Leased NFs always execute on the host SmartNIC: same occupancy rule as
+  // ChainSimulator::process_node, against the host slot's shared NIC.
+  FcfsServer& nic = rack.devices(lease->host_slot).nic;
+  const SimTime service =
+      serialization_delay(p->wire_bytes(),
+                          lease->spec.capacity.on(Location::kSmartNic)) *
+      lease->spec.load_factor;
+  const SimTime submitted_at = kernel.now();
+  const bool accepted = nic.submit(service, [this, host, c, node, p,
+                                             submitted_at] {
+    Lease* lease = find_lease(c, node);
+    SimulationKernel& kernel = racks_[host]->kernel();
+    if (kernel.metering()) {
+      ++lease->packets;
+      lease->residence.record(kernel.now() - submitted_at);
+    }
+    p->note_hop();
+    const Verdict verdict = lease->nf->handle(*p, kernel.now());
+    bool nf_drop = verdict == Verdict::kDrop;
+    if (!nf_drop && lease->spec.pass_ratio < 1.0 &&
+        lease->rng.chance(1.0 - lease->spec.pass_ratio)) {
+      nf_drop = true;
+    }
+    if (nf_drop) {
+      send_return(host, c, node, FabricFrame::Outcome::kDroppedNf, *p);
+      kernel.pool().release(p);
+      return;
+    }
+    // NF software overhead, then back over the fabric (parity with the
+    // nf_overhead pipeline delay a local visit pays).
+    kernel.schedule_after(
+        racks_[host]->calibration().nf_overhead(Location::kSmartNic),
+        [this, host, c, node, p] {
+          send_return(host, c, node, FabricFrame::Outcome::kPassed, *p);
+          racks_[host]->kernel().pool().release(p);
+        });
+  });
+  if (!accepted) {
+    send_return(host, c, node, FabricFrame::Outcome::kDroppedNic, *p);
+    kernel.pool().release(p);
+  }
+}
+
+void DatacenterSimulator::home_return(std::size_t home, FabricFrame frame) {
+  const ChainRef& ref = chain_map_.at(frame.chain);
+  assert(ref.rack == home);
+  ChainSimulator& sim = racks_[home]->chain_sim(ref.local);
+  ChainSimulator::RemoteReturn ret;
+  ret.passed = frame.outcome == FabricFrame::Outcome::kPassed;
+  ret.drop = frame.outcome == FabricFrame::Outcome::kDroppedNic ? 1 : 2;
+  ret.bytes = frame.bytes;
+  ret.packet_id = frame.packet_id;
+  ret.ingress_time = frame.ingress_time;
+  ret.pcie_crossings = frame.pcie_crossings;
+  ret.hops = frame.hops;
+  sim.resume_from_remote(frame.node, ret);
+  fabric_.release(home, std::move(frame));
+}
+
+void DatacenterSimulator::exchange() {
+  fabric_.exchange([this](std::size_t src, std::size_t dst, FabricFrame&& frame) {
+    (void)src;  // mailbox order already encodes (dst, src, seq)
+    deliver_frame(dst, std::move(frame));
+  });
+}
+
+DatacenterReport DatacenterSimulator::run(SimTime duration, SimTime warmup,
+                                          std::size_t threads) {
+  assert(!ran_ && "DatacenterSimulator::run is single-shot");
+  ran_ = true;
+  for (auto& rack : racks_) {
+    rack->kernel().arm(duration, warmup);
+    rack->begin();
+  }
+
+  EpochExecutor executor(std::max<std::size_t>(threads, 1), racks_.size());
+  const auto advance_all = [&](SimTime until) {
+    executor.run_epoch(
+        [&](std::size_t s) { racks_[s]->kernel().advance_until(until); });
+    ++epochs_;
+  };
+
+  const SimTime q = options_.cross_rack_latency;
+  SimTime t = SimTime::zero();
+
+  // Main phase: fixed-quantum epochs to the horizon.
+  while (t < duration) {
+    t = std::min(duration, t + q);
+    advance_all(t);
+    exchange();
+    if (barrier_hook_) {
+      barrier_hook_(t, /*draining=*/false);
+    }
+  }
+
+  // Drain phase: sources stop, queued work completes unmetered.  Epochs
+  // keep cycling — fast-forwarding over dead time to the earliest pending
+  // event — until every queue and mailbox is dry and no barrier-time
+  // action (e.g. a pending cross-rack commit) is outstanding.
+  for (auto& rack : racks_) {
+    rack->kernel().begin_drain();
+  }
+  for (;;) {
+    bool queues_pending = false;
+    SimTime earliest = t;
+    bool have_earliest = false;
+    for (const auto& rack : racks_) {
+      const EventQueue& queue = rack->kernel().queue();
+      if (queue.empty()) {
+        continue;
+      }
+      queues_pending = true;
+      if (!have_earliest || queue.next_at() < earliest) {
+        earliest = queue.next_at();
+        have_earliest = true;
+      }
+    }
+    if (!queues_pending && !(drain_gate_ && drain_gate_())) {
+      break;
+    }
+    t = std::max(t + q, earliest);
+    advance_all(t);
+    exchange();
+    if (barrier_hook_) {
+      barrier_hook_(t, /*draining=*/true);
+    }
+  }
+
+  return assemble(duration);
+}
+
+DatacenterReport DatacenterSimulator::assemble(SimTime duration) {
+  DatacenterReport out;
+  out.epochs = epochs_;
+  out.cross_rack_frames = fabric_.frames_exchanged();
+
+  std::vector<ClusterReport> rack_reports;
+  rack_reports.reserve(racks_.size());
+  for (auto& rack : racks_) {
+    rack_reports.push_back(rack->collect(duration));
+  }
+
+  ClusterReport& fleet = out.cluster;
+  fleet.servers = num_servers();
+  fleet.duration = duration;
+  fleet.per_server.resize(num_servers());
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    for (std::size_t s = 0; s < per_rack_; ++s) {
+      ServerSummary& sum = fleet.per_server[global_server(r, s)];
+      sum = rack_reports[r].per_server[s];
+      sum.server_id = global_server(r, s);
+    }
+    fleet.cross_rack_hops += rack_reports[r].cross_rack_hops;
+  }
+
+  // Per-chain reports in global id order; fleet totals and the merged
+  // latency distribution accumulate in that same order, so the merge is
+  // independent of rack partitioning details like thread assignment.
+  double goodput = 0.0;
+  double offered = 0.0;
+  fleet.per_chain.reserve(chain_map_.size());
+  for (std::size_t c = 0; c < chain_map_.size(); ++c) {
+    const ChainRef& ref = chain_map_[c];
+    SimReport report = std::move(rack_reports[ref.rack].per_chain[ref.local]);
+    fleet.injected += report.injected;
+    fleet.delivered += report.delivered;
+    fleet.dropped_total += report.dropped_total();
+    fleet.in_flight_at_end += report.in_flight_at_end;
+    fleet.pcie_crossings += report.pcie_crossings;
+    fleet.inter_server_hops += report.inter_server_hops;
+    fleet.latency.merge(report.latency);
+    goodput += report.egress_goodput.value();
+    offered += report.offered_rate.value();
+    fleet.per_chain.push_back(std::move(report));
+  }
+  fleet.egress_goodput = Gbps{goodput};
+  fleet.offered_rate = Gbps{offered};
+
+  // Leased nodes: their visit stats live host-side; patch them into the
+  // home chain's per-node view and credit the host slot with the node.
+  for (const auto& lease : leases_) {
+    SimReport& report = fleet.per_chain[lease->chain];
+    NodeSummary& node = report.per_node.at(lease->node);
+    node.location = Location::kSmartNic;
+    node.packets = lease->packets;
+    if (lease->packets > 0) {
+      node.mean_residence = lease->residence.mean();
+      node.p99_residence = lease->residence.quantile(0.99);
+    }
+    ++fleet.per_server[global_server(lease->host_rack, lease->host_slot)]
+          .nodes_hosted;
+  }
+
+  out.shards.reserve(racks_.size());
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    ShardSummary ss;
+    ss.shard = r;
+    ss.first_server = global_server(r, 0);
+    ss.servers = per_rack_;
+    ss.events_executed = racks_[r]->kernel().queue().executed();
+    ss.injected = rack_reports[r].injected;
+    ss.delivered = rack_reports[r].delivered;
+    ss.dropped = rack_reports[r].dropped_total;
+    ss.in_flight_at_end = rack_reports[r].in_flight_at_end;
+    ss.frames_out = fabric_.frames_from(r);
+    out.shards.push_back(ss);
+  }
+  return out;
+}
+
+}  // namespace pam

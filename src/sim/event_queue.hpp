@@ -24,6 +24,11 @@ class EventQueue {
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Timestamp of the earliest pending event.  Only meaningful when
+  /// !empty(); the epoch loop uses it to fast-forward idle shards past
+  /// empty barrier quanta without walking them one epoch at a time.
+  [[nodiscard]] SimTime next_at() const noexcept { return heap_.top().at; }
+
   /// Schedules `action` at absolute time `at` (>= now, clamped otherwise).
   void schedule_at(SimTime at, Action action);
 

@@ -37,18 +37,22 @@ void SimulationKernel::schedule_periodic(SimTime start, SimTime period,
   periodic_tasks_.push_back(std::move(holder));
 }
 
-void SimulationKernel::run(SimTime duration, SimTime warmup) {
-  assert(!ran_ && "SimulationKernel::run is single-shot");
+void SimulationKernel::arm(SimTime duration, SimTime warmup) {
+  assert(!ran_ && "SimulationKernel::arm/run is single-shot");
   assert(warmup < duration);
   ran_ = true;
   warmup_ = warmup;
   horizon_ = duration;
+}
+
+void SimulationKernel::run(SimTime duration, SimTime warmup) {
+  arm(duration, warmup);
 
   queue_.run_until(duration);
 
   // Drain: sources observe stopped(), queued work completes unmetered, so
   // whatever was in flight at the horizon is delivered, dropped, or parked.
-  stopped_ = true;
+  begin_drain();
   while (queue_.run_one()) {
   }
 }

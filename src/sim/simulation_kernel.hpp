@@ -74,6 +74,27 @@ class SimulationKernel {
   /// completes and packet conservation is exact.
   void run(SimTime duration, SimTime warmup);
 
+  // --- epoch-stepped execution (sharded datacenter mode) --------------------
+  //
+  // `run()` decomposes into three primitives so a DatacenterSimulator can
+  // advance many kernels in lock-step epochs: `arm` opens the measurement
+  // window without executing anything, `advance_until` runs events up to an
+  // epoch barrier (the clock lands exactly on the barrier), and
+  // `begin_drain` flips `stopped()` so traffic sources quit while queued
+  // work keeps completing in later (unmetered) epochs.  `run(d, w)` is
+  // exactly arm + advance_until(d) + begin_drain + run the queue dry.
+
+  /// Arms the measurement window for epoch-stepped execution.  Single-shot,
+  /// like run().
+  void arm(SimTime duration, SimTime warmup);
+
+  /// Runs events until the clock reaches epoch barrier `t`.
+  void advance_until(SimTime t) { queue_.run_until(t); }
+
+  /// Starts the drain phase: sources observe stopped() and quit; remaining
+  /// events run unmetered via further advance_until calls.
+  void begin_drain() noexcept { stopped_ = true; }
+
  private:
   EventQueue queue_;
   PacketPool pool_;

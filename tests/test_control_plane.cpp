@@ -442,11 +442,15 @@ TEST(ControlEventKinds, NamesRoundTrip) {
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(control_event_kind_from_string("frobnicated").has_value());
-  EXPECT_EQ(all_control_event_kinds().size(), 8u);
+  EXPECT_EQ(all_control_event_kinds().size(), 9u);
   // The failure-scenario completion kind is part of the public vocabulary.
   ASSERT_TRUE(control_event_kind_from_string("evacuated").has_value());
   EXPECT_EQ(*control_event_kind_from_string("evacuated"),
             ControlEvent::Kind::kEvacuated);
+  // So is the datacenter orchestrator's cross-rack lease completion.
+  ASSERT_TRUE(control_event_kind_from_string("cross_rack_move").has_value());
+  EXPECT_EQ(*control_event_kind_from_string("cross_rack_move"),
+            ControlEvent::Kind::kCrossRackMove);
 }
 
 }  // namespace

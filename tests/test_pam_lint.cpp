@@ -21,13 +21,14 @@ namespace {
 
 TEST(PamLintRules, CatalogueListsAllRulesInOrder) {
   const auto& catalogue = rules();
-  ASSERT_EQ(catalogue.size(), 6u);
+  ASSERT_EQ(catalogue.size(), 7u);
   EXPECT_EQ(catalogue[0].id, "D001");
   EXPECT_EQ(catalogue[1].id, "D002");
   EXPECT_EQ(catalogue[2].id, "D003");
   EXPECT_EQ(catalogue[3].id, "D004");
   EXPECT_EQ(catalogue[4].id, "D005");
-  EXPECT_EQ(catalogue[5].id, "X001");
+  EXPECT_EQ(catalogue[5].id, "D006");
+  EXPECT_EQ(catalogue[6].id, "X001");
   for (const auto& rule : catalogue) {
     EXPECT_FALSE(rule.name.empty()) << rule.id;
     EXPECT_FALSE(rule.description.empty()) << rule.id;
@@ -246,6 +247,72 @@ TEST(PamLintD005, DeletedFunctionsNotFlagged) {
   const LintReport report = lint_source("src/sim/fixture_deleted.cpp", src);
   EXPECT_TRUE(report.violations.empty());
   EXPECT_TRUE(report.clean());
+}
+
+// --- D006: ad-hoc threading outside the shard-execution unit -----------------
+
+TEST(PamLintD006, StdThreadOutsideExecutorFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <thread>\n"
+      "void spin() {\n"
+      "  std::thread worker{[] {}};\n"
+      "  worker.join();\n"
+      "}\n";
+  const LintReport report = lint_source("src/control/fixture_d006.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D006");
+  EXPECT_EQ(report.violations[0].line, 3u);
+}
+
+TEST(PamLintD006, MutexAndAtomicFlagged) {
+  const std::string src =
+      "#include <atomic>\n"
+      "#include <mutex>\n"
+      "std::mutex m;\n"
+      "std::atomic<int> n{0};\n";
+  const LintReport report = lint_source("src/experiment/fixture_sync.cpp", src);
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].rule, "D006");
+  EXPECT_EQ(report.violations[1].rule, "D006");
+}
+
+TEST(PamLintD006, EpochExecutorIsExempt) {
+  const std::string src =
+      "#include <mutex>\n"
+      "#include <thread>\n"
+      "std::mutex m;\n"
+      "std::thread t;\n"
+      "std::condition_variable cv;\n";
+  const LintReport hpp = lint_source("src/sim/epoch_executor.hpp", src);
+  EXPECT_TRUE(hpp.violations.empty());
+  const LintReport cpp = lint_source("src/sim/epoch_executor.cpp", src);
+  EXPECT_TRUE(cpp.violations.empty());
+}
+
+TEST(PamLintD006, UnqualifiedIdentifiersAreClean) {
+  // Plain identifiers that merely spell the same words must not trip the
+  // rule — only the std::-qualified primitives do.
+  const std::string src =
+      "struct Hook { int barrier; int latch; };\n"
+      "void run(int threads, Hook thread) {\n"
+      "  (void)threads;\n"
+      "  (void)thread.barrier;\n"
+      "}\n";
+  const LintReport report = lint_source("src/sim/fixture_words.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(PamLintD006, PthreadCreateFlagged) {
+  const std::string src =
+      "#include <pthread.h>\n"
+      "void spawn(void* (*fn)(void*)) {\n"
+      "  pthread_create(nullptr, nullptr, fn, nullptr);\n"
+      "}\n";
+  const LintReport report = lint_source("src/device/fixture_pthread.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "D006");
+  EXPECT_EQ(report.violations[0].line, 3u);
 }
 
 // --- allow() suppression hygiene ---------------------------------------------

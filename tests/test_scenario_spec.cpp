@@ -532,6 +532,56 @@ servers = 2
   EXPECT_NE(result.error().what().find("out of range"), std::string::npos);
 }
 
+TEST(ScenarioSpec, ParsesShardedClusterKeys) {
+  std::string text{kClusterText};
+  text += "shards = 2\nthreads = 4\ncross_rack_us = 80\norchestrate = off\n";
+  const auto result = ScenarioSpec::parse(text);
+  ASSERT_TRUE(result.has_value()) << result.error().what();
+  const ScenarioSpec& spec = result.value();
+  EXPECT_EQ(spec.cluster.shards, 2u);
+  EXPECT_EQ(spec.cluster.threads, 4u);
+  EXPECT_DOUBLE_EQ(spec.cluster.cross_rack_us, 80.0);
+  EXPECT_FALSE(spec.cluster.orchestrate);
+}
+
+TEST(ScenarioSpecRoundTrip, ShardedClusterRoundTrips) {
+  std::string text{kClusterText};
+  text += "shards = 4\nthreads = 2\ncross_rack_us = 120\n";
+  const auto first = ScenarioSpec::parse(text);
+  ASSERT_TRUE(first.has_value()) << first.error().what();
+  const auto second = ScenarioSpec::parse(first.value().to_text());
+  ASSERT_TRUE(second.has_value()) << second.error().what();
+  EXPECT_TRUE(first.value() == second.value()) << first.value().to_text();
+}
+
+TEST(ScenarioSpec, UnshardedClusterTextOmitsShardKeys) {
+  // shards == 1 specs must echo byte-compatibly with the pre-sharding
+  // schema: no sharded keys in the canonical text.
+  const auto spec = ScenarioSpec::parse(kClusterText);
+  ASSERT_TRUE(spec.has_value()) << spec.error().what();
+  const std::string canonical = spec.value().to_text();
+  EXPECT_EQ(canonical.find("shards"), std::string::npos);
+  EXPECT_EQ(canonical.find("threads"), std::string::npos);
+  EXPECT_EQ(canonical.find("cross_rack_us"), std::string::npos);
+  EXPECT_EQ(canonical.find("orchestrate"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ShardKeysRequireShardedCluster) {
+  std::string text{kClusterText};
+  text += "threads = 4\n";
+  const auto result = ScenarioSpec::parse(text);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("shards > 1"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ShardsMustDivideServers) {
+  std::string text{kClusterText};
+  text += "shards = 3\n";  // servers = 4
+  const auto result = ScenarioSpec::parse(text);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().what().find("divide evenly"), std::string::npos);
+}
+
 TEST(ScenarioSpec, ChainServerKeyRejectedOutsideCluster) {
   const auto result = ScenarioSpec::parse(R"(
 [scenario]
