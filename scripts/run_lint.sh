@@ -1,32 +1,49 @@
 #!/usr/bin/env bash
-# Runs the static-analysis gate: pam_lint (determinism rules D001..D005,
+# Runs the static-analysis gate: pam_lint (architecture, determinism and
+# hot-path performance rules A001..A003/D001..D006/P001..P003,
 # docs/STATIC_ANALYSIS.md) followed by clang-tidy over the curated check
 # set in .clang-tidy.  This is exactly what the `lint` CI job runs.
 #
-#   scripts/run_lint.sh [--build-dir DIR] [--json FILE] [--skip-tidy]
+#   scripts/run_lint.sh [--build-dir DIR] [--json FILE] [--metrics FILE]
+#                       [--dot FILE] [--changed] [--skip-tidy]
 #
 #   --build-dir DIR  build tree with pam_lint and compile_commands.json
 #                    (default: build)
 #   --json FILE      also write the pam-lint/v1 JSON report to FILE
+#   --metrics FILE   also write the advisory pam-lint-metrics/v1 JSON
+#   --dot FILE       also write the layer graph (`pam_lint graph --dot`)
+#   --changed        fast path: lint only files changed vs origin/main
+#                    (full compile_commands set stays the CI default)
 #   --skip-tidy      run only pam_lint (e.g. when clang-tidy is absent)
 #
 # pam_lint scans the compile_commands.json file set (plus companion
-# headers) when the database exists, falling back to everything under
-# src/.  clang-tidy is skipped with a warning when no binary is found —
-# CI installs one, so the gate is only ever soft locally.
+# headers, closed over project includes) when the database exists, falling
+# back to everything under src/.  clang-tidy is skipped with a warning
+# when no binary is found — CI installs one, so the gate is only ever
+# soft locally.
+#
+# Both stages always run: a pam_lint failure no longer short-circuits
+# clang-tidy, so CI logs and artifacts carry the full picture even when
+# only one stage fails.
 set -euo pipefail
 
 ROOT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR=build
 JSON_OUT=""
+METRICS_OUT=""
+DOT_OUT=""
+CHANGED=0
 SKIP_TIDY=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --json) JSON_OUT="$2"; shift 2 ;;
+    --metrics) METRICS_OUT="$2"; shift 2 ;;
+    --dot) DOT_OUT="$2"; shift 2 ;;
+    --changed) CHANGED=1; shift ;;
     --skip-tidy) SKIP_TIDY=1; shift ;;
-    -h|--help) sed -n '2,16p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    -h|--help) sed -n '2,27p' "${BASH_SOURCE[0]}"; exit 0 ;;
     *) echo "run_lint: unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -40,52 +57,75 @@ fi
 
 DB="$BUILD_DIR/compile_commands.json"
 LINT_ARGS=(--root "$ROOT_DIR")
-if [[ -f "$DB" ]]; then
+CHANGED_FILES=()
+if [[ "$CHANGED" == 1 ]]; then
+  BASE=origin/main
+  if ! git -C "$ROOT_DIR" rev-parse --verify --quiet "$BASE" > /dev/null; then
+    BASE=main
+  fi
+  while IFS= read -r f; do
+    case "$f" in
+      src/*.cpp|src/*.hpp|src/*.h|src/*.cc) ;;
+      *) continue ;;
+    esac
+    [[ -f "$ROOT_DIR/$f" ]] && CHANGED_FILES+=("$f")
+  done < <(git -C "$ROOT_DIR" diff --name-only "$BASE" -- src/)
+  if [[ "${#CHANGED_FILES[@]}" -eq 0 ]]; then
+    echo "run_lint: --changed: no source changes vs $BASE; nothing to lint"
+    exit 0
+  fi
+  echo "run_lint: --changed: ${#CHANGED_FILES[@]} file(s) vs $BASE"
+  LINT_ARGS+=("${CHANGED_FILES[@]}")
+elif [[ -f "$DB" ]]; then
   LINT_ARGS+=(--compile-commands "$DB")
 else
   echo "run_lint: no $DB; scanning all of src/ instead"
 fi
-# Both passes always run even on violations (set -e is sidestepped with an
-# explicit status), so CI logs get the human-readable report and the 'wrote'
-# message alongside the JSON artifact instead of aborting after the first.
+
+# Every requested artifact and the human report are emitted before any
+# verdict is acted on (set -e is sidestepped with explicit statuses), so
+# CI always gets the JSON report, the layer graph and the metrics file —
+# whichever stage ends up failing.
 LINT_STATUS=0
 if [[ -n "$JSON_OUT" ]]; then
   "$PAM_LINT" "${LINT_ARGS[@]}" --json="$JSON_OUT" || LINT_STATUS=$?
   echo "run_lint: wrote $JSON_OUT"
 fi
+if [[ -n "$DOT_OUT" ]]; then
+  "$PAM_LINT" graph "${LINT_ARGS[@]}" --dot="$DOT_OUT" || true
+  echo "run_lint: wrote $DOT_OUT"
+fi
+if [[ -n "$METRICS_OUT" ]]; then
+  "$PAM_LINT" metrics "${LINT_ARGS[@]}" --json="$METRICS_OUT" || true
+  echo "run_lint: wrote $METRICS_OUT"
+fi
 "$PAM_LINT" "${LINT_ARGS[@]}" || LINT_STATUS=$?
 if [[ "$LINT_STATUS" -ne 0 ]]; then
   echo "run_lint: pam_lint FAILED" >&2
-  exit "$LINT_STATUS"
 fi
 
+TIDY_STATUS=0
 if [[ "$SKIP_TIDY" == 1 ]]; then
   echo "run_lint: clang-tidy skipped (--skip-tidy)"
-  exit 0
-fi
-
-TIDY=""
-for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
-  if command -v "$cand" > /dev/null 2>&1; then
-    TIDY="$cand"
-    break
-  fi
-done
-if [[ -z "$TIDY" ]]; then
-  echo "run_lint: WARNING: no clang-tidy binary found; tidy stage skipped" >&2
-  echo "run_lint: pam_lint gate PASSED (tidy not run)"
-  exit 0
-fi
-if [[ ! -f "$DB" ]]; then
-  echo "run_lint: WARNING: clang-tidy needs $DB; configure with CMake first" >&2
-  exit 2
-fi
-
-"$TIDY" --version
-# The curated check set (.clang-tidy) runs warnings-as-errors; only
-# project translation units are tidied — third_party and generated code
-# never appear in src/.
-mapfile -t TU < <(python3 - "$DB" "$ROOT_DIR" <<'EOF'
+else
+  TIDY=""
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+  if [[ -z "$TIDY" ]]; then
+    echo "run_lint: WARNING: no clang-tidy binary found; tidy stage skipped" >&2
+  elif [[ ! -f "$DB" ]]; then
+    echo "run_lint: WARNING: clang-tidy needs $DB; configure with CMake first" >&2
+    TIDY_STATUS=2
+  else
+    "$TIDY" --version
+    # The curated check set (.clang-tidy) runs warnings-as-errors; only
+    # project translation units are tidied — third_party and generated
+    # code never appear in src/.
+    mapfile -t TU < <(python3 - "$DB" "$ROOT_DIR" <<'EOF'
 import json, os, sys
 db, root = sys.argv[1], sys.argv[2]
 seen = set()
@@ -97,17 +137,36 @@ for entry in json.load(open(db)):
         print(rel)
 EOF
 )
-if [[ "${#TU[@]}" -eq 0 ]]; then
-  echo "run_lint: no src/ translation units in $DB" >&2
-  exit 2
+    if [[ "$CHANGED" == 1 ]]; then
+      FILTERED=()
+      for f in "${TU[@]}"; do
+        for c in "${CHANGED_FILES[@]}"; do
+          if [[ "$f" == "$c" ]]; then
+            FILTERED+=("$f")
+            break
+          fi
+        done
+      done
+      TU=("${FILTERED[@]+"${FILTERED[@]}"}")
+    fi
+    if [[ "${#TU[@]}" -eq 0 ]]; then
+      echo "run_lint: no matching src/ translation units to tidy"
+    else
+      echo "run_lint: clang-tidy over ${#TU[@]} translation units"
+      for f in "${TU[@]}"; do
+        "$TIDY" -p "$BUILD_DIR" --quiet "$ROOT_DIR/$f" || TIDY_STATUS=1
+      done
+      if [[ "$TIDY_STATUS" -ne 0 ]]; then
+        echo "run_lint: clang-tidy FAILED" >&2
+      fi
+    fi
+  fi
 fi
-echo "run_lint: clang-tidy over ${#TU[@]} translation units"
-STATUS=0
-for f in "${TU[@]}"; do
-  "$TIDY" -p "$BUILD_DIR" --quiet "$ROOT_DIR/$f" || STATUS=1
-done
-if [[ "$STATUS" -ne 0 ]]; then
-  echo "run_lint: clang-tidy FAILED" >&2
-  exit 1
+
+if [[ "$LINT_STATUS" -ne 0 ]]; then
+  exit "$LINT_STATUS"
+fi
+if [[ "$TIDY_STATUS" -ne 0 ]]; then
+  exit "$TIDY_STATUS"
 fi
 echo "run_lint: gate PASSED (pam_lint + clang-tidy)"

@@ -1,0 +1,358 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "lint/source_view.hpp"
+
+namespace pam::lint {
+
+std::vector<IncludeDirective> extract_includes(const std::string& content) {
+  std::vector<IncludeDirective> out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::string line =
+        content.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    ++line_no;
+
+    std::size_t i = next_nonspace(line, 0);
+    if (i != std::string::npos && line[i] == '#') {
+      i = next_nonspace(line, i + 1);
+      if (i != std::string::npos && line.compare(i, 7, "include") == 0) {
+        i = next_nonspace(line, i + 7);
+        if (i != std::string::npos && (line[i] == '"' || line[i] == '<')) {
+          const char close = line[i] == '"' ? '"' : '>';
+          const std::size_t end = line.find(close, i + 1);
+          if (end != std::string::npos) {
+            IncludeDirective d;
+            d.target = line.substr(i + 1, end - i - 1);
+            d.line = line_no;
+            d.quoted = line[i] == '"';
+            out.push_back(std::move(d));
+          }
+        }
+      }
+    }
+
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+const std::vector<LayerInfo>& layer_dag() {
+  static const std::vector<LayerInfo> kDag = {
+      {"common", 0, {}},
+      {"packet", 1, {"common"}},
+      {"nf", 2, {"packet"}},
+      {"device", 2, {"nf"}},
+      {"trafficgen", 2, {"packet"}},
+      {"chain", 3, {"device", "nf"}},
+      {"sim", 3, {"chain", "trafficgen"}},
+      {"core", 4, {"chain"}},
+      {"migration", 4, {"core", "sim"}},
+      {"control", 5, {"core", "migration", "sim"}},
+      {"experiment", 6, {"control", "sim"}},
+      // Out-of-DAG tooling: measurement and analysis surfaces that sit
+      // beside the stack on pam_common alone.  Simulator libraries must
+      // not include them (CLI entry points may).
+      {"benchreport", -1, {"common"}},
+      {"lint", -1, {"common"}},
+  };
+  return kDag;
+}
+
+namespace {
+
+const LayerInfo* find_layer(const std::string& lib) {
+  for (const auto& l : layer_dag()) {
+    if (l.lib == lib) return &l;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string library_of(const std::string& rel_path) {
+  if (!starts_with(rel_path, "src/")) {
+    return {};
+  }
+  const std::size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) {
+    return {};
+  }
+  return rel_path.substr(4, slash - 4);
+}
+
+bool is_tooling_library(const std::string& lib) {
+  const LayerInfo* info = find_layer(lib);
+  return info != nullptr && info->layer < 0;
+}
+
+bool layer_edge_allowed(const std::string& from, const std::string& to) {
+  if (from == to) {
+    return true;
+  }
+  const LayerInfo* origin = find_layer(from);
+  if (origin == nullptr || find_layer(to) == nullptr) {
+    return false;  // unknown library: extend the DAG first
+  }
+  // BFS over declared deps (the graph is tiny; no memo needed).
+  std::vector<std::string> frontier = origin->deps;
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    const std::string lib = frontier.back();
+    frontier.pop_back();
+    if (lib == to) {
+      return true;
+    }
+    if (!seen.insert(lib).second) {
+      continue;
+    }
+    if (const LayerInfo* info = find_layer(lib)) {
+      frontier.insert(frontier.end(), info->deps.begin(), info->deps.end());
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> find_cycle(
+    const std::map<std::string, std::vector<std::string>>& adj) {
+  // Iterative DFS with colouring; sorted maps/edge copies keep the result
+  // deterministic across runs and platforms.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::map<std::string, Colour> colour;
+  for (const auto& [node, edges] : adj) {
+    colour[node] = Colour::kWhite;
+    for (const auto& to : edges) {
+      colour.emplace(to, Colour::kWhite);
+    }
+  }
+
+  std::vector<std::string> path;  // current DFS stack (grey nodes in order)
+
+  struct Frame {
+    std::string node;
+    std::vector<std::string> edges;
+    std::size_t next = 0;
+  };
+
+  for (const auto& [start, colour_unused] : colour) {
+    if (colour[start] != Colour::kWhite) {
+      continue;
+    }
+    std::vector<Frame> stack;
+    const auto push = [&](const std::string& node) {
+      colour[node] = Colour::kGrey;
+      path.push_back(node);
+      Frame f;
+      f.node = node;
+      if (const auto it = adj.find(node); it != adj.end()) {
+        f.edges = it->second;
+        std::sort(f.edges.begin(), f.edges.end());
+      }
+      stack.push_back(std::move(f));
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next < top.edges.size()) {
+        const std::string to = top.edges[top.next++];
+        if (colour[to] == Colour::kGrey) {
+          // Found a back edge: the cycle is the grey path from `to` on,
+          // closed with `to` again; rotate to the smallest node.
+          const auto begin =
+              std::find(path.begin(), path.end(), to);
+          std::vector<std::string> cycle(begin, path.end());
+          const auto min_it =
+              std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_it, cycle.end());
+          cycle.push_back(cycle.front());
+          return cycle;
+        }
+        if (colour[to] == Colour::kWhite) {
+          push(to);
+        }
+      } else {
+        colour[top.node] = Colour::kBlack;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+IncludeGraph build_include_graph(
+    const std::map<std::string, std::vector<IncludeDirective>>& per_file) {
+  IncludeGraph g;
+  for (const auto& [file, directives] : per_file) {
+    auto& edges = g.edges[file];
+    for (const auto& d : directives) {
+      if (!d.quoted) {
+        continue;  // system include
+      }
+      IncludeDirective resolved = d;
+      resolved.target = "src/" + d.target;
+      if (library_of(resolved.target).empty()) {
+        continue;  // not of the project src/<lib>/... convention
+      }
+      edges.push_back(std::move(resolved));
+    }
+  }
+  return g;
+}
+
+std::map<std::pair<std::string, std::string>, std::size_t>
+IncludeGraph::library_edges() const {
+  std::map<std::pair<std::string, std::string>, std::size_t> out;
+  for (const auto& [file, directives] : edges) {
+    const std::string from = library_of(file);
+    if (from.empty()) {
+      continue;
+    }
+    for (const auto& d : directives) {
+      const std::string to = library_of(d.target);
+      if (!to.empty() && to != from) {
+        ++out[{from, to}];
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t IncludeGraph::fan_in(const std::string& file) const {
+  std::size_t n = 0;
+  for (const auto& [from, directives] : edges) {
+    if (from == file) {
+      continue;
+    }
+    for (const auto& d : directives) {
+      if (d.target == file) {
+        ++n;
+        break;  // count includers, not directives
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t IncludeGraph::fan_out(const std::string& file) const {
+  const auto it = edges.find(file);
+  return it == edges.end() ? 0 : it->second.size();
+}
+
+std::map<std::string, std::vector<std::string>> header_adjacency(
+    const IncludeGraph& graph) {
+  const auto is_header = [](const std::string& p) {
+    return p.size() >= 4 && (p.compare(p.size() - 4, 4, ".hpp") == 0 ||
+                             p.compare(p.size() - 2, 2, ".h") == 0);
+  };
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [file, directives] : graph.edges) {
+    if (!is_header(file)) {
+      continue;
+    }
+    auto& out = adj[file];
+    for (const auto& d : directives) {
+      if (is_header(d.target)) {
+        out.push_back(d.target);
+      }
+    }
+  }
+  return adj;
+}
+
+void write_layer_dot(std::ostream& out, const IncludeGraph* graph) {
+  std::map<std::pair<std::string, std::string>, std::size_t> observed;
+  if (graph != nullptr) {
+    observed = graph->library_edges();
+  }
+
+  out << "// Generated by `pam_lint graph --dot` — do not edit by hand.\n";
+  out << "// The layer DAG is defined in src/lint/include_graph.cpp and\n";
+  out << "// documented in docs/STATIC_ANALYSIS.md (rule A001).\n";
+  out << "digraph pam_layers {\n";
+  out << "  rankdir=BT;  // dependencies point downward on the page\n";
+  out << "  node [shape=box, fontname=\"monospace\"];\n";
+
+  // Group DAG members by layer rank; tooling floats beside the stack.
+  std::map<int, std::vector<std::string>> by_layer;
+  for (const auto& l : layer_dag()) {
+    by_layer[l.layer].push_back(l.lib);
+  }
+  for (const auto& [layer, libs] : by_layer) {
+    if (layer < 0) {
+      for (const auto& lib : libs) {
+        out << "  \"" << lib << "\" [style=dashed, label=\"" << lib
+            << "\\n(tooling)\"];\n";
+      }
+      continue;
+    }
+    out << "  { rank=same;";
+    for (const auto& lib : libs) {
+      out << " \"" << lib << "\";";
+    }
+    out << " }  // layer " << layer << "\n";
+  }
+
+  // Declared edges, annotated with observed include counts when known.
+  std::set<std::pair<std::string, std::string>> declared;
+  for (const auto& l : layer_dag()) {
+    for (const auto& dep : l.deps) {
+      declared.insert({l.lib, dep});
+      out << "  \"" << l.lib << "\" -> \"" << dep << "\"";
+      const auto it = observed.find({l.lib, dep});
+      if (graph != nullptr && it != observed.end()) {
+        out << " [label=\"" << it->second << "\"]";
+      }
+      out << ";\n";
+    }
+  }
+
+  // Observed edges that are not declared direct deps: legal when they
+  // follow the transitive closure (drawn dotted grey), violations when
+  // they do not (dashed red — rule A001 will have flagged them).
+  for (const auto& [edge, count] : observed) {
+    if (declared.count(edge) > 0) {
+      continue;
+    }
+    const bool ok = layer_edge_allowed(edge.first, edge.second) ||
+                    is_tooling_library(edge.second);
+    out << "  \"" << edge.first << "\" -> \"" << edge.second
+        << "\" [label=\"" << count << "\", style="
+        << (ok ? "dotted, color=grey" : "dashed, color=red") << "];\n";
+  }
+  out << "}\n";
+}
+
+void write_graph_human(std::ostream& out, const IncludeGraph& graph) {
+  out << "layer DAG (A001; lower layers first):\n";
+  for (const auto& l : layer_dag()) {
+    if (l.layer < 0) {
+      out << "  [tooling] " << l.lib << " ->";
+    } else {
+      out << "  [" << l.layer << "] " << l.lib << " ->";
+    }
+    if (l.deps.empty()) {
+      out << " (none)";
+    }
+    for (const auto& d : l.deps) {
+      out << " " << d;
+    }
+    out << "\n";
+  }
+  out << "observed cross-library include edges:\n";
+  for (const auto& [edge, count] : graph.library_edges()) {
+    const bool ok = layer_edge_allowed(edge.first, edge.second) ||
+                    is_tooling_library(edge.second);
+    out << "  " << edge.first << " -> " << edge.second << " (" << count
+        << (ok ? ")\n" : ")  ** A001 VIOLATION **\n");
+  }
+  std::size_t files = graph.edges.size();
+  out << "include graph: " << files << " file(s)\n";
+}
+
+}  // namespace pam::lint

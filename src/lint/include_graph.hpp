@@ -1,0 +1,104 @@
+// The cross-TU half of pam_lint: the project include graph and the layer
+// DAG it is checked against (rules A001 layer-dependency, A002
+// include-cycle; fan-in/fan-out for `pam_lint metrics`; DOT emission for
+// `pam_lint graph`, which regenerates docs/ARCHITECTURE.md's diagram).
+//
+// The DAG below is the machine-readable single source of truth for the
+// documented layering (docs/STATIC_ANALYSIS.md renders it as a table):
+//
+//   common → packet → {nf, device, trafficgen} → {chain, sim}
+//          → {core, migration} → control → experiment
+//
+// with `benchreport` and `lint` as out-of-DAG tooling: they may depend
+// only on `common`, and simulator libraries may not include them — only
+// CLI entry points (`*_main.cpp`) may.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pam::lint {
+
+/// One `#include` directive of a file, as written.
+struct IncludeDirective {
+  std::string target;     ///< path between the delimiters
+  std::size_t line = 0;   ///< 1-based
+  bool quoted = false;    ///< "..." (project form) vs <...> (system form)
+};
+
+/// Parses every include directive of a raw (un-blanked) source buffer.
+[[nodiscard]] std::vector<IncludeDirective> extract_includes(
+    const std::string& content);
+
+/// One library of the layer DAG.
+struct LayerInfo {
+  std::string lib;                ///< directory name under src/
+  int layer;                      ///< rank for display; -1 = tooling
+  std::vector<std::string> deps;  ///< direct allowed dependencies
+};
+
+/// The DAG, lowest layer first, tooling last.
+[[nodiscard]] const std::vector<LayerInfo>& layer_dag();
+
+/// "src/sim/foo.cpp" → "sim"; empty when not of the form src/<lib>/...
+[[nodiscard]] std::string library_of(const std::string& rel_path);
+
+[[nodiscard]] bool is_tooling_library(const std::string& lib);
+
+/// True iff library `to` is `from` itself or reachable from `from`
+/// through declared deps (the DAG's transitive closure).  Unknown
+/// libraries are never allowed — a new src/ directory must be added to
+/// the DAG first.
+[[nodiscard]] bool layer_edge_allowed(const std::string& from,
+                                      const std::string& to);
+
+/// Generic cycle finder (exposed for the synthetic-graph unit tests and
+/// used by rule A002): returns one cycle as a node path
+/// [n0, n1, ..., n0], canonicalised to start at its lexicographically
+/// smallest node, or empty when the graph is acyclic.  Deterministic:
+/// nodes and edges are visited in sorted order.
+[[nodiscard]] std::vector<std::string> find_cycle(
+    const std::map<std::string, std::vector<std::string>>& adj);
+
+/// The resolved project include graph over a scanned file set.
+struct IncludeGraph {
+  /// file → its project includes resolved to root-relative paths
+  /// ("src/chain/service_chain.hpp"), include-directive line preserved.
+  std::map<std::string, std::vector<IncludeDirective>> edges;
+
+  /// Library-level edge counts, (from, to), cross-library only.
+  [[nodiscard]] std::map<std::pair<std::string, std::string>, std::size_t>
+  library_edges() const;
+
+  /// Direct project includers of `file` within the scanned set.
+  [[nodiscard]] std::size_t fan_in(const std::string& file) const;
+  /// Direct project includes of `file`.
+  [[nodiscard]] std::size_t fan_out(const std::string& file) const;
+};
+
+/// Builds the graph from per-file directives: a quoted target `X` is
+/// resolved to `src/X` (the project include convention).  Directives
+/// whose resolution is not under src/ are dropped.
+[[nodiscard]] IncludeGraph build_include_graph(
+    const std::map<std::string, std::vector<IncludeDirective>>& per_file);
+
+/// Header-only adjacency (hpp → hpp edges) for cycle detection.
+[[nodiscard]] std::map<std::string, std::vector<std::string>>
+header_adjacency(const IncludeGraph& graph);
+
+/// Emits the layer DAG as DOT, one node per library ranked by layer,
+/// declared dependency edges solid; when `graph` is non-null each edge is
+/// annotated with the observed cross-library include count and observed
+/// edges missing from the DAG (violations) are drawn dashed+red.
+/// `docs/ARCHITECTURE.md`'s diagram is regenerated from this output
+/// (`pam_lint graph --dot`).
+void write_layer_dot(std::ostream& out, const IncludeGraph* graph);
+
+/// Human-readable summary: layers, declared deps, observed edge counts.
+void write_graph_human(std::ostream& out, const IncludeGraph& graph);
+
+}  // namespace pam::lint

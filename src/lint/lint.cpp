@@ -7,8 +7,12 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "common/json_writer.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/source_view.hpp"
+#include "lint/type_registry.hpp"
 
 namespace pam::lint {
 namespace {
@@ -16,6 +20,21 @@ namespace {
 // --- rule catalogue ----------------------------------------------------------
 
 const std::vector<RuleInfo> kRules = {
+    {"A001", "layer-dependency",
+     "an #include may only point down the layer DAG (common → packet → "
+     "{nf, device, trafficgen} → {chain, sim} → {core, migration} → "
+     "control → experiment; src/lint/include_graph.cpp is the machine-"
+     "readable source of truth); benchreport/ and lint/ are out-of-DAG "
+     "tooling, includable only from *_main.cpp CLI entry points"},
+    {"A002", "include-cycle",
+     "project headers must not form include cycles; a cycle couples "
+     "layers bidirectionally and breaks incremental builds — "
+     "forward-declare or split the header"},
+    {"A003", "unused-include",
+     "a direct project include none of whose exported symbols are "
+     "referenced by the includer is dead coupling: it widens rebuild "
+     "fan-out and hides the real dependency; drop it or include what "
+     "you use"},
     {"D001", "no-ambient-randomness",
      "std::random_device / rand() / srand() break replayability; all "
      "randomness must flow from the scenario seed through pam::Rng"},
@@ -37,6 +56,20 @@ const std::vector<RuleInfo> kRules = {
      "std::thread/mutex/atomic/... outside the kernel's shard-execution "
      "unit (src/sim/epoch_executor.*) forks concurrency that the epoch "
      "barrier cannot order; parallel work must flow through EpochExecutor"},
+    {"P001", "pass-heavy-by-value",
+     "a hot-path function (src/packet, src/sim, src/nf, src/device) "
+     "taking a heavy type by value copies it per call; take const& — or "
+     "keep by-value and std::move it into the sink (moved parameters are "
+     "exempt, matching clang-tidy performance-unnecessary-value-param)"},
+    {"P002", "copy-in-range-for",
+     "a range-for over heavy elements declared by value copies every "
+     "element per iteration on a hot path; bind const auto& instead"},
+    {"P003", "std-function-on-packet-path",
+     "std::function in the per-packet processing layers (src/packet, "
+     "src/nf, src/device) type-erases through an indirect call and may "
+     "heap-allocate per capture; use a template parameter or a plain "
+     "function pointer (the kernel's EventQueue::Action in src/sim is the "
+     "one sanctioned type-erasure boundary)"},
     {"X001", "allow-hygiene",
      "pam-lint: allow(...) escape hatches need a known rule id and a "
      "reason, and must match a finding (stale allows are reported)"},
@@ -47,297 +80,7 @@ bool known_rule(const std::string& id) {
                      [&](const RuleInfo& r) { return r.id == id; });
 }
 
-// --- preprocessed source view ------------------------------------------------
-
-/// One physical line: `code` is the original text with comments and
-/// string/char literal contents blanked to spaces (columns preserved);
-/// `comment` is the concatenated comment text of the line.
-struct SourceLine {
-  std::string code;
-  std::string comment;
-};
-
-/// Strips comments and literals with a small state machine (handles line/
-/// block comments, string/char literals with escapes, and raw strings).
-std::vector<SourceLine> preprocess(const std::string& content) {
-  std::vector<SourceLine> lines;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // for raw strings: the )delim" terminator
-  SourceLine cur;
-
-  const auto flush_line = [&] {
-    lines.push_back(cur);
-    cur = SourceLine{};
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) {
-        state = State::kCode;
-      }
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          cur.code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          cur.code += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string?  R"delim( ... )delim" — scan the delimiter.
-          if (i >= 1 && content[i - 1] == 'R' &&
-              (i < 2 || !(std::isalnum(static_cast<unsigned char>(content[i - 2])) ||
-                          content[i - 2] == '_'))) {
-            std::string delim;
-            std::size_t j = i + 1;
-            while (j < content.size() && content[j] != '(' && delim.size() < 16) {
-              delim += content[j++];
-            }
-            raw_delim = ")" + delim + "\"";
-            state = State::kRaw;
-          } else {
-            state = State::kString;
-          }
-          cur.code += ' ';
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not char literals.
-          const bool sep =
-              i >= 1 &&
-              std::isalnum(static_cast<unsigned char>(content[i - 1])) &&
-              std::isalnum(static_cast<unsigned char>(next));
-          if (sep) {
-            cur.code += c;
-          } else {
-            state = State::kChar;
-            cur.code += ' ';
-          }
-        } else {
-          cur.code += c;
-        }
-        break;
-      case State::kLineComment:
-        cur.comment += c;
-        cur.code += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          cur.code += "  ";
-          ++i;
-        } else {
-          cur.comment += c;
-          cur.code += ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\n' && next != '\0') {
-          // Skip the escaped character — but never a newline: a
-          // backslash-newline splice must still reach the top-level '\n'
-          // handling so physical line numbers stay aligned.
-          cur.code += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          cur.code += ' ';
-        } else {
-          cur.code += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\n' && next != '\0') {
-          cur.code += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          cur.code += ' ';
-        } else {
-          cur.code += ' ';
-        }
-        break;
-      case State::kRaw:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          // Blank the terminator (it contains no newline).
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
-            cur.code += ' ';
-          }
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          cur.code += ' ';
-        }
-        break;
-    }
-  }
-  flush_line();  // last (possibly newline-less) line
-  return lines;
-}
-
-// --- token helpers -----------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Word-bounded occurrences of `word` in `line` (0-based columns).
-std::vector<std::size_t> find_word(const std::string& line,
-                                   const std::string& word) {
-  std::vector<std::size_t> cols;
-  std::size_t pos = 0;
-  while ((pos = line.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) {
-      cols.push_back(pos);
-    }
-    pos = end;
-  }
-  return cols;
-}
-
-/// First non-space char strictly before `col`, or '\0'.
-char prev_nonspace(const std::string& line, std::size_t col) {
-  while (col > 0) {
-    --col;
-    if (line[col] != ' ' && line[col] != '\t') {
-      return line[col];
-    }
-  }
-  return '\0';
-}
-
-/// Index of the first non-space char at/after `col`, or npos.
-std::size_t next_nonspace(const std::string& line, std::size_t col) {
-  while (col < line.size()) {
-    if (line[col] != ' ' && line[col] != '\t') {
-      return col;
-    }
-    ++col;
-  }
-  return std::string::npos;
-}
-
-/// Occurrences of `name` used as a call: `name (`-with-optional-space.
-/// `member-access` (`.name(`, `->name(`) is excluded so e.g. `.free(` or a
-/// `stats.time(...)` member never matches the C library functions.
-std::vector<std::size_t> find_call(const std::string& line,
-                                   const std::string& name) {
-  std::vector<std::size_t> cols;
-  for (const std::size_t col : find_word(line, name)) {
-    const std::size_t after = next_nonspace(line, col + name.size());
-    if (after == std::string::npos || line[after] != '(') {
-      continue;
-    }
-    const char before = prev_nonspace(line, col);
-    if (before == '.') {
-      continue;
-    }
-    if (before == '>' && col >= 2) {
-      // `->name(` — scan back past spaces for the '-'.
-      std::size_t b = col;
-      while (b > 0 && (line[b - 1] == ' ' || line[b - 1] == '\t')) --b;
-      if (b >= 2 && line[b - 1] == '>' && line[b - 2] == '-') {
-        continue;
-      }
-    }
-    cols.push_back(col);
-  }
-  return cols;
-}
-
-/// True when the expression chain ending just before `col` (identifiers,
-/// member access, indexing — e.g. `nodes_[0].`) is the target of a
-/// range-for, i.e. walks back to a single ':' (not `::`).
-bool chain_starts_at_colon(const std::string& code, std::size_t col) {
-  std::size_t i = col;
-  while (i > 0) {
-    const char c = code[i - 1];
-    if (ident_char(c) || c == '.' || c == '[' || c == ']' || c == ' ' ||
-        c == '\t' || c == '-' || c == '>' || c == '(' || c == ')') {
-      // `(`/`)` admit `(*obj).member`; `-`/`>` admit `->`.  A '(' directly
-      // starting the chain (call argument) is rejected below via ':' check.
-      if (c == '(') {
-        // Only allow '(' as part of a parenthesised object expression,
-        // i.e. when something of the chain was already consumed AND the
-        // paren is closed within the chain — approximation: reject '(' to
-        // avoid flagging `sorted(flows_)` argument positions.
-        return false;
-      }
-      --i;
-      continue;
-    }
-    if (c == ':') {
-      return !(i >= 2 && code[i - 2] == ':');
-    }
-    return false;
-  }
-  return false;
-}
-
-/// True when a `for` keyword appears on line `n` or the two lines above.
-bool in_for_context(const std::vector<SourceLine>& lines, std::size_t n) {
-  for (std::size_t back = 0; back <= 2 && back <= n; ++back) {
-    if (!find_word(lines[n - back].code, "for").empty()) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::string trimmed(const std::string& s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
-  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
-  return s.substr(b, e - b);
-}
-
-/// True when the identifier at `col` is written with an explicit `std::`
-/// qualifier (the codebase never spells it with interior spaces).
-bool std_qualified(const std::string& code, std::size_t col) {
-  if (col < 5 || code.compare(col - 2, 2, "::") != 0) {
-    return false;
-  }
-  const std::size_t end = col - 2;
-  return code.compare(end - 3, 3, "std") == 0 &&
-         (end == 3 || !ident_char(code[end - 4]));
-}
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
 // --- unordered-container registry (rule D003) --------------------------------
-
-/// Joins the code view into one string with line-start offsets so template
-/// argument lists spanning lines can be bracket-matched.
-struct JoinedCode {
-  std::string text;
-  std::vector<std::size_t> line_start;  ///< offset of each line in text
-
-  std::size_t line_of(std::size_t offset) const {
-    const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
-    return static_cast<std::size_t>(it - line_start.begin());  // 1-based
-  }
-};
-
-JoinedCode join_code(const std::vector<SourceLine>& lines) {
-  JoinedCode j;
-  for (const auto& line : lines) {
-    j.line_start.push_back(j.text.size());
-    j.text += line.code;
-    j.text += '\n';
-  }
-  return j;
-}
 
 /// Declared names of unordered containers in one translation unit (self +
 /// companion).  `callables` are getters returning one by reference.
@@ -345,30 +88,6 @@ struct ContainerRegistry {
   std::set<std::string> variables;
   std::set<std::string> callables;
 };
-
-/// Matches `<...>` starting at the '<' at `open`, returns the offset one
-/// past the closing '>', or npos.  Tracks nesting and parentheses; gives up
-/// after 2000 chars (not a declaration we can make sense of).
-std::size_t match_angle(const std::string& text, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
-    const char c = text[i];
-    if (c == '<') {
-      ++depth;
-    } else if (c == '>') {
-      // `->` and `>>` handled: '>' only closes when depth > 0.
-      if (depth > 0 && (i == 0 || text[i - 1] != '-')) {
-        --depth;
-        if (depth == 0) {
-          return i + 1;
-        }
-      }
-    } else if (c == ';') {
-      return std::string::npos;  // statement ended before close
-    }
-  }
-  return std::string::npos;
-}
 
 void collect_containers(const JoinedCode& j, ContainerRegistry& reg) {
   for (const char* kind : {"unordered_map", "unordered_set"}) {
@@ -406,29 +125,6 @@ void collect_containers(const JoinedCode& j, ContainerRegistry& reg) {
   }
 }
 
-/// First template argument of the `<...>` list opening at `open`
-/// (bracket-aware, up to the top-level ',' or the closing '>').
-std::string first_template_arg(const std::string& text, std::size_t open) {
-  int depth = 0;
-  std::string arg;
-  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
-    const char c = text[i];
-    if (c == '<') {
-      ++depth;
-      if (depth == 1) continue;
-    } else if (c == '>') {
-      if (depth > 0 && text[i - 1] != '-') {
-        --depth;
-        if (depth == 0) break;
-      }
-    } else if (c == ',' && depth == 1) {
-      break;
-    }
-    if (depth >= 1) arg += c;
-  }
-  return arg;
-}
-
 // --- suppressions ------------------------------------------------------------
 
 struct PendingSuppression {
@@ -442,6 +138,12 @@ struct PendingSuppression {
 
 /// Parses every `pam-lint: allow(RULE) reason` of a file's comments.
 /// Malformed ones (unknown rule, missing reason) become X001 violations.
+///
+/// Recognition (rule X001): on a comment-only line the directive must
+/// START the comment, so prose documenting the syntax (this file, docs)
+/// is never parsed as one; on a line carrying code, the marker may sit
+/// anywhere in the trailing comment — `stat;  // freed below; pam-lint:
+/// allow(D005) arena-owned` is a directive.
 void collect_suppressions(const std::vector<SourceLine>& lines,
                           const std::string& file,
                           std::vector<PendingSuppression>& out,
@@ -449,9 +151,11 @@ void collect_suppressions(const std::vector<SourceLine>& lines,
   const std::string marker = "pam-lint:";
   for (std::size_t n = 0; n < lines.size(); ++n) {
     const std::string& comment = lines[n].comment;
-    // Directives must START the comment (`// pam-lint: allow(D003) why`);
-    // prose merely mentioning the syntax (docs, this file) is not one.
-    if (!starts_with(trimmed(comment), marker)) {
+    const bool code_on_line = !trimmed(lines[n].code).empty();
+    const bool anchored = starts_with(trimmed(comment), marker);
+    const bool trailing =
+        code_on_line && comment.find(marker) != std::string::npos;
+    if (!anchored && !trailing) {
       continue;
     }
     std::size_t pos = 0;
@@ -486,7 +190,7 @@ void collect_suppressions(const std::vector<SourceLine>& lines,
       s.rule = rule;
       s.line = n + 1;
       s.reason = reason;
-      s.code_on_line = !trimmed(lines[n].code).empty();
+      s.code_on_line = code_on_line;
       out.push_back(s);
     }
   }
@@ -501,17 +205,286 @@ void add_violation(std::vector<Violation>& out, const std::string& rule,
   out.push_back({rule, file, line_1based, col_0based + 1, trimmed(snippet), message});
 }
 
-/// All D00x findings of one file (before suppression filtering).
-std::vector<Violation> scan_file(const std::string& file,
-                                 const std::vector<SourceLine>& lines,
-                                 const ContainerRegistry& reg) {
+/// One preprocessed file plus its joined-code view (built once, shared by
+/// every pass).
+struct FileCtx {
+  std::vector<SourceLine> lines;
+  JoinedCode joined;
+};
+
+const std::string& snippet_line(const FileCtx& f, std::size_t line_1based) {
+  static const std::string kEmpty;
+  return line_1based >= 1 && line_1based <= f.lines.size()
+             ? f.lines[line_1based - 1].code
+             : kEmpty;
+}
+
+/// True when `std::move(name)` appears anywhere in `text` — the P001
+/// moved-parameter exemption (the by-value copy is the intended transfer).
+bool name_is_moved(const std::string& text, const std::string& name) {
+  for (const std::size_t col : find_word(text, "move")) {
+    if (!std_qualified(text, col)) {
+      continue;
+    }
+    const std::size_t open = next_nonspace(text, col + 4);
+    if (open == std::string::npos || text[open] != '(') {
+      continue;
+    }
+    const std::size_t b = next_nonspace(text, open + 1);
+    if (b == std::string::npos || !ident_char(text[b])) {
+      continue;
+    }
+    std::size_t e = b;
+    while (e < text.size() && ident_char(text[e])) ++e;
+    if (text.compare(b, e - b, name) != 0) {
+      continue;
+    }
+    const std::size_t after = next_nonspace(text, e);
+    if (after != std::string::npos && text[after] == ')') {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_control_keyword(const std::string& word) {
+  static const std::set<std::string> kControl = {
+      "if",     "for",     "while",    "switch",        "catch",
+      "return", "sizeof",  "alignof",  "static_assert", "decltype",
+      "new",    "delete",  "throw",    "noexcept",      "defined",
+      "assert", "typeid",  "requires", "alignas",
+  };
+  return kControl.count(word) > 0;
+}
+
+/// Matching ')' for the '(' at `open`, or npos.
+std::size_t match_paren(const std::string& text, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Splits a parameter list body into top-level comma-separated pieces,
+/// each as (absolute start offset, text).  Angle brackets are tracked in
+/// type context so `map<K, V>` never splits.
+std::vector<std::pair<std::size_t, std::string>> split_params(
+    const std::string& text, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  int round = 0, curly = 0, square = 0, angle = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = text[i];
+    switch (c) {
+      case '(': ++round; break;
+      case ')': if (round > 0) --round; break;
+      case '{': ++curly; break;
+      case '}': if (curly > 0) --curly; break;
+      case '[': ++square; break;
+      case ']': if (square > 0) --square; break;
+      case '<':
+        if (i > 0 && (ident_char(text[i - 1]) || text[i - 1] == ':')) ++angle;
+        break;
+      case '>':
+        if (angle > 0 && text[i - 1] != '-') --angle;
+        break;
+      case ',':
+        if (round == 0 && curly == 0 && square == 0 && angle == 0) {
+          out.emplace_back(start, text.substr(start, i - start));
+          start = i + 1;
+        }
+        break;
+      default: break;
+    }
+  }
+  if (close > start) {
+    out.emplace_back(start, text.substr(start, close - start));
+  } else if (close == start) {
+    // empty parameter list: nothing to add
+  }
+  return out;
+}
+
+/// P001 over one file: by-value heavy-type parameters of functions whose
+/// name precedes the '(' (control keywords, lambdas and operators are
+/// skipped — conservative).
+void scan_p001(const std::string& file, const FileCtx& f,
+               const JoinedCode* companion, std::vector<Violation>& v) {
+  const std::string& text = f.joined.text;
+  std::size_t i = 0;
+  while ((i = text.find('(', i)) != std::string::npos) {
+    const std::size_t open = i;
+    ++i;
+    const std::string fname = word_ending_at(text, open);
+    if (fname.empty() || is_control_keyword(fname)) {
+      continue;
+    }
+    const std::size_t close = match_paren(text, open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    for (const auto& [param_start, param] : split_params(text, open, close)) {
+      // Reference/pointer parameters are cheap — skip when '&'/'*' occurs
+      // outside template arguments (vector<Packet*> stays a heavy value).
+      bool by_value = true;
+      int angle = 0;
+      for (std::size_t k = 0; k < param.size(); ++k) {
+        const char c = param[k];
+        if (c == '<' && k > 0 && (ident_char(param[k - 1]) || param[k - 1] == ':')) ++angle;
+        if (c == '>' && angle > 0 && param[k - 1] != '-') --angle;
+        if ((c == '&' || c == '*') && angle == 0) {
+          by_value = false;
+          break;
+        }
+      }
+      if (!by_value) {
+        continue;
+      }
+      // The declared name: trailing identifier before any default value.
+      std::string head = param;
+      const std::size_t eq = head.find('=');
+      if (eq != std::string::npos) head = head.substr(0, eq);
+      std::size_t name_end = head.size();
+      while (name_end > 0 &&
+             (head[name_end - 1] == ' ' || head[name_end - 1] == '\t' ||
+              head[name_end - 1] == '\n'))
+        --name_end;
+      const std::string name = word_ending_at(head, name_end);
+      if (name.empty()) {
+        continue;  // unnamed prototype param; the definition will be named
+      }
+      const std::size_t name_col = name_end - name.size();
+      // A heavy type mentioned strictly before the name.
+      for (const auto& t : heavy_types()) {
+        bool hit = false;
+        for (const std::size_t col : find_word(head, t.name)) {
+          if (col + t.name.size() > name_col) {
+            break;  // that occurrence *is* the name (or past it)
+          }
+          if (t.needs_std && !std_qualified(head, col)) {
+            continue;
+          }
+          if (head.compare(col + t.name.size(), 2, "::") == 0) {
+            continue;  // qualified name (Packet::Kind k), not the type
+          }
+          if (name_is_moved(text, name) ||
+              (companion != nullptr &&
+               name_is_moved(companion->text, name))) {
+            continue;  // sink parameter, transferred with std::move
+          }
+          const std::size_t abs = param_start + col;
+          const std::size_t ln = f.joined.line_of(abs);
+          add_violation(
+              v, "P001", file, ln, abs - f.joined.line_start[ln - 1],
+              snippet_line(f, ln),
+              "parameter '" + name + "' takes " +
+                  (t.needs_std ? "std::" + t.name : t.name) +
+                  " by value (" + t.why + "); take const& or move it "
+                  "into the sink");
+          hit = true;
+          break;
+        }
+        if (hit) break;
+      }
+    }
+  }
+}
+
+/// P002 over one file: range-for loop variables of heavy type declared by
+/// value.
+void scan_p002(const std::string& file, const FileCtx& f,
+               std::vector<Violation>& v) {
+  const std::string& text = f.joined.text;
+  for (const std::size_t col : find_word(text, "for")) {
+    const std::size_t open = next_nonspace(text, col + 3);
+    if (open == std::string::npos || text[open] != '(') {
+      continue;
+    }
+    // Top-level ':' (not '::') inside the parens → range-for declaration.
+    std::size_t depth = 0;
+    std::size_t colon = std::string::npos;
+    const std::size_t close = match_paren(text, open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    for (std::size_t k = open; k < close; ++k) {
+      const char c = text[k];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ':' && depth == 1 &&
+          (k + 1 >= text.size() || text[k + 1] != ':') &&
+          (k == 0 || text[k - 1] != ':')) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string decl = text.substr(open + 1, colon - open - 1);
+    if (decl.find('&') != std::string::npos ||
+        decl.find('*') != std::string::npos) {
+      continue;  // by-reference (or pointer) binding
+    }
+    for (const auto& t : heavy_types()) {
+      bool hit = false;
+      for (const std::size_t c2 : find_word(decl, t.name)) {
+        if (t.needs_std && !std_qualified(decl, c2)) {
+          continue;
+        }
+        const std::size_t abs = open + 1 + c2;
+        const std::size_t ln = f.joined.line_of(abs);
+        add_violation(
+            v, "P002", file, ln, abs - f.joined.line_start[ln - 1],
+            snippet_line(f, ln),
+            "range-for copies a " +
+                (t.needs_std ? "std::" + t.name : t.name) +
+                " per iteration (" + t.why + "); bind const auto&");
+        hit = true;
+        break;
+      }
+      if (hit) break;
+    }
+  }
+}
+
+/// P003 over one file: any std::function on the scoped hot paths.
+void scan_p003(const std::string& file, const FileCtx& f,
+               std::vector<Violation>& v) {
+  const std::string& text = f.joined.text;
+  for (const std::size_t col : find_word(text, "function")) {
+    if (!std_qualified(text, col)) {
+      continue;
+    }
+    const std::size_t ln = f.joined.line_of(col);
+    add_violation(v, "P003", file, ln, col - f.joined.line_start[ln - 1],
+                  snippet_line(f, ln),
+                  "std::function type-erases through an indirect call and "
+                  "may heap-allocate per capture on a per-packet path; use "
+                  "a template parameter or a function pointer");
+  }
+}
+
+/// All per-file findings (D001..D006, P001..P003) before suppression
+/// filtering.
+std::vector<Violation> scan_file(const std::string& file, const FileCtx& f,
+                                 const ContainerRegistry& reg,
+                                 const JoinedCode* companion) {
   std::vector<Violation> v;
   const bool benchreport = starts_with(file, "src/benchreport/");
-  const bool hot_path =
+  const bool alloc_hot_path =
       starts_with(file, "src/packet/") || starts_with(file, "src/sim/");
+  const bool perf_hot_path =
+      alloc_hot_path || starts_with(file, "src/nf/") ||
+      starts_with(file, "src/device/");
   const bool shard_executor = starts_with(file, "src/sim/epoch_executor.");
 
-  const JoinedCode joined = join_code(lines);
+  const std::vector<SourceLine>& lines = f.lines;
+  const JoinedCode& joined = f.joined;
 
   // D003 pointer-keyed ordered containers: flag at the declaration.
   for (const char* kind : {"map", "set", "multimap", "multiset"}) {
@@ -528,7 +501,7 @@ std::vector<Violation> scan_file(const std::string& file,
       const std::string key = first_template_arg(joined.text, open);
       if (key.find('*') != std::string::npos) {
         const std::size_t ln = joined.line_of(col);
-        add_violation(v, "D003", file, ln, 0, lines[ln - 1].code,
+        add_violation(v, "D003", file, ln, 0, snippet_line(f, ln),
                       "std::" + std::string(kind) +
                           " keyed by a pointer orders by address — "
                           "nondeterministic across runs (ASLR/allocation "
@@ -625,7 +598,7 @@ std::vector<Violation> scan_file(const std::string& file,
     }
 
     // D005 — raw allocation on hot paths.
-    if (hot_path) {
+    if (alloc_hot_path) {
       for (const std::size_t col : find_word(code, "new")) {
         add_violation(v, "D005", file, ln, col, code,
                       "raw `new` on a packet/event hot path; allocate "
@@ -681,59 +654,150 @@ std::vector<Violation> scan_file(const std::string& file,
       }
     }
   }
+
+  // P001/P002 — heavy-copy rules over every hot-path library; P003 only
+  // in the per-packet processing layers: in src/sim the event queue's
+  // Action *is* a std::function — the kernel's sanctioned type-erasure
+  // boundary (mirrored by .clang-tidy's AllowedTypes).
+  if (perf_hot_path) {
+    scan_p001(file, f, companion, v);
+    scan_p002(file, f, v);
+    if (!starts_with(file, "src/sim/")) {
+      scan_p003(file, f, v);
+    }
+  }
   return v;
 }
 
-/// Applies suppressions: an allow on a code line covers that line; an
-/// allow on a comment-only line covers the next line.  Returns surviving
-/// violations; fills the used/stale inventories.
-std::vector<Violation> apply_suppressions(
-    std::vector<Violation> violations,
-    std::vector<PendingSuppression>& pending, const std::string& file,
-    LintReport& report) {
-  std::vector<Violation> out;
-  for (auto& viol : violations) {
-    bool suppressed = false;
-    if (viol.rule != "X001") {
-      for (auto& s : pending) {
-        const std::size_t target = s.code_on_line ? s.line : s.line + 1;
-        if (s.rule == viol.rule && target == viol.line) {
-          s.used = true;
-          suppressed = true;
-          break;
-        }
+// --- architecture rules (A001..A003) -----------------------------------------
+
+/// A001 over one file's resolved project includes.
+void check_layering(const std::string& file,
+                    const std::vector<IncludeDirective>& edges,
+                    const std::map<std::string, FileCtx>& ctx,
+                    std::vector<Violation>& v) {
+  const std::string from = library_of(file);
+  if (from.empty()) {
+    return;  // tests/, tools/: outside the DAG's jurisdiction
+  }
+  const bool is_cli_main =
+      file.size() >= 9 &&
+      file.compare(file.size() - 9, 9, "_main.cpp") == 0;
+  const auto it = ctx.find(file);
+  for (const auto& d : edges) {
+    const std::string to = library_of(d.target);
+    if (to.empty() || to == from) {
+      continue;
+    }
+    const std::string snippet =
+        it != ctx.end() ? snippet_line(it->second, d.line) : std::string{};
+    if (is_tooling_library(to) && !is_tooling_library(from)) {
+      if (is_cli_main) {
+        continue;  // CLI entry TUs may wire tooling in
+      }
+      add_violation(v, "A001", file, d.line, 0, snippet,
+                    "'" + to + "' is out-of-DAG tooling; only *_main.cpp "
+                    "CLI entry points may include it — simulator libraries "
+                    "must stay measurement-free");
+      continue;
+    }
+    if (layer_edge_allowed(from, to)) {
+      continue;
+    }
+    add_violation(v, "A001", file, d.line, 0, snippet,
+                  "library '" + from + "' may not depend on '" + to +
+                      "': not in its declared dependency closure (layer "
+                      "DAG in src/lint/include_graph.cpp; run `pam_lint "
+                      "graph` to see it)");
+  }
+}
+
+/// A002: one violation naming the first include cycle found (fix it and
+/// re-run; cycles are rare enough that one at a time is the clearer
+/// report).
+void check_cycles(const IncludeGraph& graph,
+                  const std::map<std::string, FileCtx>& ctx,
+                  std::vector<Violation>& v) {
+  const auto cycle = find_cycle(header_adjacency(graph));
+  if (cycle.empty()) {
+    return;
+  }
+  std::string path;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) path += " -> ";
+    path += cycle[i];
+  }
+  const std::string& head = cycle.front();
+  std::size_t line = 1;
+  const auto it = graph.edges.find(head);
+  if (it != graph.edges.end()) {
+    for (const auto& d : it->second) {
+      if (d.target == cycle[1]) {
+        line = d.line;
+        break;
       }
     }
-    if (!suppressed) {
-      out.push_back(std::move(viol));
-    }
   }
-  for (auto& s : pending) {
-    Suppression entry{s.rule, file, s.line, s.reason};
-    if (s.used) {
-      report.suppressions.push_back(std::move(entry));
-    } else {
-      report.stale.push_back(std::move(entry));
-    }
-  }
-  return out;
+  const auto fit = ctx.find(head);
+  add_violation(v, "A002", head, line, 0,
+                fit != ctx.end() ? snippet_line(fit->second, line)
+                                 : std::string{},
+                "include cycle among project headers: " + path +
+                    "; forward-declare or split the header to break it");
 }
 
-void lint_one(const std::string& file, const std::vector<SourceLine>& lines,
-              const ContainerRegistry& reg, LintReport& report) {
-  std::vector<Violation> violations;
-  std::vector<PendingSuppression> pending;
-  collect_suppressions(lines, file, pending, violations);
-  auto found = scan_file(file, lines, reg);
-  violations.insert(violations.end(), found.begin(), found.end());
-  auto surviving = apply_suppressions(std::move(violations), pending, file, report);
-  report.violations.insert(report.violations.end(), surviving.begin(),
-                           surviving.end());
-  ++report.files_scanned;
+/// A003 over one file: direct project includes none of whose exported
+/// symbols are referenced.  Conservative: companion includes are exempt,
+/// and headers whose export set comes back empty (macro tricks, pure
+/// forwarding) are skipped.
+void check_unused_includes(const std::string& file, const FileCtx& f,
+                           const std::vector<IncludeDirective>& edges,
+                           const std::map<std::string, FileCtx>& ctx,
+                           std::map<std::string, std::set<std::string>>& cache,
+                           std::vector<Violation>& v) {
+  const std::string companion = [&] {
+    const std::size_t dot = file.rfind('.');
+    if (dot == std::string::npos) return std::string{};
+    const std::string ext = file.substr(dot);
+    if (ext == ".cpp") return file.substr(0, dot) + ".hpp";
+    if (ext == ".hpp") return file.substr(0, dot) + ".cpp";
+    return std::string{};
+  }();
+  for (const auto& d : edges) {
+    if (d.target == companion) {
+      continue;  // a TU always includes its own header
+    }
+    const auto tit = ctx.find(d.target);
+    if (tit == ctx.end()) {
+      continue;  // target not in the scanned set: no export info
+    }
+    auto cit = cache.find(d.target);
+    if (cit == cache.end()) {
+      cit = cache.emplace(d.target, exported_symbols(tit->second.joined))
+                .first;
+    }
+    const std::set<std::string>& exports = cit->second;
+    if (exports.empty()) {
+      continue;
+    }
+    bool referenced = false;
+    for (const auto& sym : exports) {
+      if (references_symbol(f.joined, sym)) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      add_violation(v, "A003", file, d.line, 0, snippet_line(f, d.line),
+                    "nothing exported by '" + d.target +
+                        "' is referenced here; drop the include (or "
+                        "include the header you actually use)");
+    }
+  }
 }
 
-/// The companion of src/foo/bar.cpp is src/foo/bar.hpp and vice versa —
-/// member containers are declared in the header and iterated in the source.
+// --- the cross-TU pipeline ---------------------------------------------------
+
 std::string companion_of(const std::string& rel) {
   const std::size_t dot = rel.rfind('.');
   if (dot == std::string::npos) {
@@ -757,6 +821,109 @@ std::string read_file(const std::filesystem::path& p, bool& ok) {
   return ss.str();
 }
 
+/// The full pass over an in-memory file set.  `context_raw` holds
+/// companions of linted files that are not part of the set themselves:
+/// they feed the container registry and the P001 moved-parameter
+/// exemption but are not linted.  `pre` carries violations discovered
+/// before parsing (unreadable files).
+LintReport lint_set(const std::map<std::string, std::string>& raw,
+                    const std::map<std::string, std::string>& context_raw,
+                    std::vector<Violation> pre) {
+  LintReport report;
+  std::map<std::string, FileCtx> ctx;
+  std::map<std::string, std::vector<IncludeDirective>> includes;
+  for (const auto& [rel, content] : raw) {
+    FileCtx f;
+    f.lines = preprocess(content);
+    f.joined = join_code(f.lines);
+    includes.emplace(rel, extract_includes(content));
+    ctx.emplace(rel, std::move(f));
+  }
+  std::map<std::string, JoinedCode> context_joined;
+  for (const auto& [rel, content] : context_raw) {
+    context_joined.emplace(rel, join_code(preprocess(content)));
+  }
+
+  const IncludeGraph graph = build_include_graph(includes);
+
+  std::vector<Violation> all = std::move(pre);
+  std::map<std::string, std::vector<PendingSuppression>> pending_by_file;
+
+  for (const auto& [rel, f] : ctx) {
+    collect_suppressions(f.lines, rel, pending_by_file[rel], all);
+
+    ContainerRegistry reg;
+    collect_containers(f.joined, reg);
+    const JoinedCode* companion = nullptr;
+    const std::string comp = companion_of(rel);
+    if (!comp.empty()) {
+      if (const auto it = ctx.find(comp); it != ctx.end()) {
+        companion = &it->second.joined;
+      } else if (const auto jt = context_joined.find(comp);
+                 jt != context_joined.end()) {
+        companion = &jt->second;
+      }
+    }
+    if (companion != nullptr) {
+      collect_containers(*companion, reg);
+    }
+
+    const auto found = scan_file(rel, f, reg, companion);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+
+  // Architecture passes over the resolved graph.
+  std::map<std::string, std::set<std::string>> export_cache;
+  for (const auto& [rel, edges] : graph.edges) {
+    check_layering(rel, edges, ctx, all);
+    const auto it = ctx.find(rel);
+    if (it != ctx.end()) {
+      check_unused_includes(rel, it->second, edges, ctx, export_cache, all);
+    }
+  }
+  check_cycles(graph, ctx, all);
+
+  std::sort(all.begin(), all.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.column, b.rule, b.message);
+            });
+
+  // Suppression filtering: an allow on a code line covers that line; an
+  // allow on a comment-only line covers the next line.
+  for (auto& viol : all) {
+    bool suppressed = false;
+    if (viol.rule != "X001") {
+      const auto pit = pending_by_file.find(viol.file);
+      if (pit != pending_by_file.end()) {
+        for (auto& s : pit->second) {
+          const std::size_t target = s.code_on_line ? s.line : s.line + 1;
+          if (s.rule == viol.rule && target == viol.line) {
+            s.used = true;
+            suppressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!suppressed) {
+      report.violations.push_back(std::move(viol));
+    }
+  }
+  for (auto& [rel, pending] : pending_by_file) {
+    for (auto& s : pending) {
+      Suppression entry{s.rule, rel, s.line, s.reason};
+      if (s.used) {
+        report.suppressions.push_back(std::move(entry));
+      } else {
+        report.stale.push_back(std::move(entry));
+      }
+    }
+  }
+  report.files_scanned = ctx.size();
+  return report;
+}
+
 }  // namespace
 
 // --- public API --------------------------------------------------------------
@@ -764,50 +931,45 @@ std::string read_file(const std::filesystem::path& p, bool& ok) {
 const std::vector<RuleInfo>& rules() { return kRules; }
 
 LintReport run_lint(const LintOptions& options) {
-  LintReport report;
-  // Preprocess every file once; registry lookups may need companions that
-  // are themselves in the file set.
-  std::map<std::string, std::vector<SourceLine>> sources;
+  std::map<std::string, std::string> raw;
+  std::vector<Violation> pre;
   for (const auto& rel : options.files) {
     bool ok = false;
-    const auto content =
-        read_file(std::filesystem::path(options.root) / rel, ok);
+    auto content = read_file(std::filesystem::path(options.root) / rel, ok);
     if (!ok) {
-      report.violations.push_back(
-          {"X001", rel, 0, 0, "", "file could not be read"});
+      pre.push_back({"X001", rel, 0, 0, "", "file could not be read"});
       continue;
     }
-    sources.emplace(rel, preprocess(content));
+    raw.emplace(rel, std::move(content));
   }
-  for (const auto& [rel, lines] : sources) {
-    ContainerRegistry reg;
-    collect_containers(join_code(lines), reg);
-    const std::string companion = companion_of(rel);
-    if (!companion.empty()) {
-      const auto it = sources.find(companion);
-      if (it != sources.end()) {
-        collect_containers(join_code(it->second), reg);
-      } else {
-        bool ok = false;
-        const auto content =
-            read_file(std::filesystem::path(options.root) / companion, ok);
-        if (ok) {
-          collect_containers(join_code(preprocess(content)), reg);
-        }
-      }
+  // Companions of linted files that are not themselves in the set are
+  // loaded as context only.
+  std::map<std::string, std::string> context;
+  for (const auto& [rel, content] : raw) {
+    const std::string comp = companion_of(rel);
+    if (comp.empty() || raw.count(comp) > 0) {
+      continue;
     }
-    lint_one(rel, lines, reg, report);
+    bool ok = false;
+    auto text = read_file(std::filesystem::path(options.root) / comp, ok);
+    if (ok) {
+      context.emplace(comp, std::move(text));
+    }
   }
-  return report;
+  return lint_set(raw, context, std::move(pre));
 }
 
 LintReport lint_source(const std::string& rel_path, const std::string& content) {
-  LintReport report;
-  const auto lines = preprocess(content);
-  ContainerRegistry reg;
-  collect_containers(join_code(lines), reg);
-  lint_one(rel_path, lines, reg, report);
-  return report;
+  return lint_sources({{rel_path, content}});
+}
+
+LintReport lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::map<std::string, std::string> raw;
+  for (const auto& [rel, content] : sources) {
+    raw[rel] = content;
+  }
+  return lint_set(raw, {}, {});
 }
 
 std::vector<std::string> files_under(const std::string& dir,
@@ -871,6 +1033,31 @@ std::vector<std::string> files_from_compile_commands(const std::string& db_path,
     if (!companion.empty() &&
         fs::exists(fs::path(root) / companion, ec)) {
       uniq.insert(companion);
+    }
+  }
+  // Close the set over quoted project includes so header-only headers
+  // (no TU of their own) enter the cross-TU passes too.
+  std::vector<std::string> work(uniq.begin(), uniq.end());
+  while (!work.empty()) {
+    const std::string rel = work.back();
+    work.pop_back();
+    bool read_ok = false;
+    const std::string content = read_file(fs::path(root) / rel, read_ok);
+    if (!read_ok) {
+      continue;
+    }
+    for (const auto& d : extract_includes(content)) {
+      if (!d.quoted) {
+        continue;
+      }
+      const std::string target = "src/" + d.target;
+      std::error_code ec;
+      if (!fs::exists(fs::path(root) / target, ec)) {
+        continue;
+      }
+      if (uniq.insert(target).second) {
+        work.push_back(target);
+      }
     }
   }
   return {uniq.begin(), uniq.end()};

@@ -1,0 +1,158 @@
+#include "lint/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pam::lint {
+
+namespace {
+
+/// True when the callable-looking `name(` at `col` is actually a control
+/// construct or similar non-function keyword.
+bool is_control_word(const std::string& word) {
+  static const std::set<std::string> kControl = {
+      "if",     "for",      "while",   "switch", "catch",  "return",
+      "sizeof", "alignof",  "decltype", "static_assert", "noexcept",
+      "new",    "delete",   "throw",
+  };
+  return kControl.count(word) > 0;
+}
+
+}  // namespace
+
+FileMetrics measure_file(const std::string& file,
+                         const std::vector<SourceLine>& lines) {
+  FileMetrics m;
+  m.file = file;
+  m.lines = lines.size();
+  for (const auto& l : lines) {
+    if (!trimmed(l.code).empty()) ++m.code_lines;
+    if (!trimmed(l.comment).empty()) ++m.comment_lines;
+  }
+
+  // Function bodies via the joined-code view: an identifier (not a control
+  // keyword) followed by `(...)`, optional specifiers, then `{` opens a
+  // body; the body ends at its matching close brace.  Lambdas and nested
+  // local classes count toward the enclosing body's length, which is the
+  // budget-relevant reading.
+  const JoinedCode joined = join_code(lines);
+  const std::string& text = joined.text;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '(') {
+      ++i;
+      continue;
+    }
+    const std::string name = word_ending_at(text, i);
+    if (name.empty() || is_control_word(name)) {
+      ++i;
+      continue;
+    }
+    // Find the matching ')'.
+    std::size_t depth = 1;
+    std::size_t j = i + 1;
+    while (j < text.size() && depth > 0) {
+      if (text[j] == '(') ++depth;
+      if (text[j] == ')') --depth;
+      ++j;
+    }
+    if (depth != 0) break;
+    // Skip trailing specifiers up to '{', ';', or something else.
+    std::size_t k = j;
+    bool body = false;
+    while (k < text.size()) {
+      const std::size_t ns = next_nonspace(text, k);
+      if (ns == std::string::npos) break;
+      const char c = text[ns];
+      if (c == '{') {
+        body = true;
+        k = ns;
+        break;
+      }
+      if (c == ';' || c == ',' || c == ')' || c == '=' || c == '(') break;
+      // Consume one specifier word or token (const, noexcept, ->Ret, &&..)
+      if (ident_char(c)) {
+        std::size_t e = ns;
+        while (e < text.size() && ident_char(text[e])) ++e;
+        const std::string spec = text.substr(ns, e - ns);
+        static const std::set<std::string> kSpecs = {
+            "const",    "noexcept", "override", "final",
+            "volatile", "mutable",  "try",      "requires",
+        };
+        if (kSpecs.count(spec) == 0 && spec != "noexcept") break;
+        k = e;
+        continue;
+      }
+      if (c == '-' || c == '>' || c == '&' || c == ':' || c == '<') {
+        k = ns + 1;
+        continue;
+      }
+      break;
+    }
+    if (!body) {
+      i = j;
+      continue;
+    }
+    // Measure the body in physical lines.
+    std::size_t brace_depth = 1;
+    std::size_t e = k + 1;
+    while (e < text.size() && brace_depth > 0) {
+      if (text[e] == '{') ++brace_depth;
+      if (text[e] == '}') --brace_depth;
+      ++e;
+    }
+    const std::size_t first = joined.line_of(k);
+    const std::size_t last = joined.line_of(e > 0 ? e - 1 : 0);
+    const std::size_t body_lines = last >= first ? last - first + 1 : 1;
+    ++m.functions;
+    m.longest_function = std::max(m.longest_function, body_lines);
+    if (body_lines > kFunctionBudgetLines) ++m.over_budget;
+    i = e;
+  }
+  return m;
+}
+
+void write_metrics_json(const std::vector<FileMetrics>& files,
+                        std::ostream& out) {
+  std::vector<FileMetrics> sorted = files;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FileMetrics& a, const FileMetrics& b) {
+              return a.file < b.file;
+            });
+
+  std::size_t total_lines = 0;
+  std::size_t total_suppressions = 0;
+  std::size_t total_over_budget = 0;
+  for (const auto& f : sorted) {
+    total_lines += f.lines;
+    total_suppressions += f.suppressions;
+    total_over_budget += f.over_budget;
+  }
+
+  out << "{\n";
+  out << "  \"schema\": \"pam-lint-metrics/v1\",\n";
+  out << "  \"function_budget_lines\": " << kFunctionBudgetLines << ",\n";
+  out << "  \"totals\": {\n";
+  out << "    \"files\": " << sorted.size() << ",\n";
+  out << "    \"lines\": " << total_lines << ",\n";
+  out << "    \"suppressions\": " << total_suppressions << ",\n";
+  out << "    \"functions_over_budget\": " << total_over_budget << "\n";
+  out << "  },\n";
+  out << "  \"files\": [\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const FileMetrics& f = sorted[i];
+    out << "    {\"file\": \"" << f.file << "\", \"lines\": " << f.lines
+        << ", \"code_lines\": " << f.code_lines
+        << ", \"comment_lines\": " << f.comment_lines
+        << ", \"functions\": " << f.functions
+        << ", \"longest_function\": " << f.longest_function
+        << ", \"functions_over_budget\": " << f.over_budget
+        << ", \"suppressions\": " << f.suppressions
+        << ", \"fan_in\": " << f.fan_in << ", \"fan_out\": " << f.fan_out
+        << "}" << (i + 1 < sorted.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace pam::lint

@@ -1,0 +1,442 @@
+#include "lint/source_view.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pam::lint {
+
+std::vector<SourceLine> preprocess(const std::string& content) {
+  std::vector<SourceLine> lines;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  SourceLine cur;
+
+  const auto flush_line = [&] {
+    lines.push_back(cur);
+    cur = SourceLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string?  R"delim( ... )delim" — scan the delimiter.
+          if (i >= 1 && content[i - 1] == 'R' &&
+              (i < 2 || !(std::isalnum(static_cast<unsigned char>(content[i - 2])) ||
+                          content[i - 2] == '_'))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(' && delim.size() < 16) {
+              delim += content[j++];
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          cur.code += ' ';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not char literals.
+          const bool sep =
+              i >= 1 &&
+              std::isalnum(static_cast<unsigned char>(content[i - 1])) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (sep) {
+            cur.code += c;
+          } else {
+            state = State::kChar;
+            cur.code += ' ';
+          }
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        cur.code += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          cur.code += "  ";
+          ++i;
+        } else {
+          cur.comment += c;
+          cur.code += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\n' && next != '\0') {
+          // Skip the escaped character — but never a newline: a
+          // backslash-newline splice must still reach the top-level '\n'
+          // handling so physical line numbers stay aligned.
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          cur.code += ' ';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\n' && next != '\0') {
+          cur.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          cur.code += ' ';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          // Blank the terminator (it contains no newline).
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            cur.code += ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();  // last (possibly newline-less) line
+  return lines;
+}
+
+std::size_t JoinedCode::line_of(std::size_t offset) const {
+  const auto it = std::upper_bound(line_start.begin(), line_start.end(), offset);
+  return static_cast<std::size_t>(it - line_start.begin());  // 1-based
+}
+
+JoinedCode join_code(const std::vector<SourceLine>& lines) {
+  JoinedCode j;
+  for (const auto& line : lines) {
+    j.line_start.push_back(j.text.size());
+    j.text += line.code;
+    j.text += '\n';
+  }
+  return j;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<std::size_t> find_word(const std::string& line,
+                                   const std::string& word) {
+  std::vector<std::size_t> cols;
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) {
+      cols.push_back(pos);
+    }
+    pos = end;
+  }
+  return cols;
+}
+
+char prev_nonspace(const std::string& line, std::size_t col) {
+  const std::size_t p = prev_nonspace_pos(line, col);
+  return p == std::string::npos ? '\0' : line[p];
+}
+
+std::size_t prev_nonspace_pos(const std::string& line, std::size_t col) {
+  while (col > 0) {
+    --col;
+    if (line[col] != ' ' && line[col] != '\t' && line[col] != '\n' &&
+        line[col] != '\r') {
+      return col;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t next_nonspace(const std::string& line, std::size_t col) {
+  while (col < line.size()) {
+    if (line[col] != ' ' && line[col] != '\t' && line[col] != '\n' &&
+        line[col] != '\r') {
+      return col;
+    }
+    ++col;
+  }
+  return std::string::npos;
+}
+
+std::string word_ending_at(const std::string& text, std::size_t end) {
+  std::size_t b = end;
+  while (b > 0 && ident_char(text[b - 1])) {
+    --b;
+  }
+  return text.substr(b, end - b);
+}
+
+std::vector<std::size_t> find_call(const std::string& line,
+                                   const std::string& name) {
+  std::vector<std::size_t> cols;
+  for (const std::size_t col : find_word(line, name)) {
+    const std::size_t after = next_nonspace(line, col + name.size());
+    if (after == std::string::npos || line[after] != '(') {
+      continue;
+    }
+    const char before = prev_nonspace(line, col);
+    if (before == '.') {
+      continue;
+    }
+    if (before == '>' && col >= 2) {
+      // `->name(` — scan back past spaces for the '-'.
+      std::size_t b = col;
+      while (b > 0 && (line[b - 1] == ' ' || line[b - 1] == '\t')) --b;
+      if (b >= 2 && line[b - 1] == '>' && line[b - 2] == '-') {
+        continue;
+      }
+    }
+    cols.push_back(col);
+  }
+  return cols;
+}
+
+bool chain_starts_at_colon(const std::string& code, std::size_t col) {
+  std::size_t i = col;
+  while (i > 0) {
+    const char c = code[i - 1];
+    if (ident_char(c) || c == '.' || c == '[' || c == ']' || c == ' ' ||
+        c == '\t' || c == '\n' || c == '-' || c == '>' || c == '(' ||
+        c == ')') {
+      // `(`/`)` admit `(*obj).member`; `-`/`>` admit `->`.  A '(' directly
+      // starting the chain (call argument) is rejected below via ':' check.
+      if (c == '(') {
+        // Only allow '(' as part of a parenthesised object expression,
+        // i.e. when something of the chain was already consumed AND the
+        // paren is closed within the chain — approximation: reject '(' to
+        // avoid flagging `sorted(flows_)` argument positions.
+        return false;
+      }
+      --i;
+      continue;
+    }
+    if (c == ':') {
+      return !(i >= 2 && code[i - 2] == ':');
+    }
+    return false;
+  }
+  return false;
+}
+
+bool in_for_context(const std::vector<SourceLine>& lines, std::size_t n) {
+  for (std::size_t back = 0; back <= 2 && back <= n; ++back) {
+    if (!find_word(lines[n - back].code, "for").empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+bool std_qualified(const std::string& code, std::size_t col) {
+  if (col < 5 || code.compare(col - 2, 2, "::") != 0) {
+    return false;
+  }
+  const std::size_t end = col - 2;
+  return code.compare(end - 3, 3, "std") == 0 &&
+         (end == 3 || !ident_char(code[end - 4]));
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::size_t match_angle(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      // `->` and `>>` handled: '>' only closes when depth > 0.
+      if (depth > 0 && (i == 0 || text[i - 1] != '-')) {
+        --depth;
+        if (depth == 0) {
+          return i + 1;
+        }
+      }
+    } else if (c == ';') {
+      return std::string::npos;  // statement ended before close
+    }
+  }
+  return std::string::npos;
+}
+
+std::string first_template_arg(const std::string& text, std::size_t open) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t i = open; i < text.size() && i < open + 2000; ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (c == '>') {
+      if (depth > 0 && text[i - 1] != '-') {
+        --depth;
+        if (depth == 0) break;
+      }
+    } else if (c == ',' && depth == 1) {
+      break;
+    }
+    if (depth >= 1) arg += c;
+  }
+  return arg;
+}
+
+namespace {
+
+bool is_cpp_keyword_like(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "return",   "sizeof",
+      "alignof",  "alignas",  "decltype", "typeid",   "catch",    "noexcept",
+      "static_assert",        "operator", "new",      "delete",   "throw",
+      "const",    "constexpr","static",   "inline",   "extern",   "explicit",
+      "virtual",  "friend",   "typename", "template", "requires", "default",
+      "case",     "do",       "else",     "goto",     "public",   "private",
+      "protected","using",    "namespace","class",    "struct",   "enum",
+      "union",    "typedef",  "auto",     "void",     "include",  "define",
+      "ifdef",    "ifndef",   "endif",    "pragma",   "defined",  "co_return",
+      "co_await", "co_yield"};
+  return kKeywords.count(word) > 0;
+}
+
+}  // namespace
+
+std::set<std::string> exported_symbols(const JoinedCode& code) {
+  std::set<std::string> out;
+  const std::string& text = code.text;
+
+  // Depth profile: a '{' opened by a `namespace`/`extern` context is
+  // transparent (its contents stay "top level"); every other brace is
+  // opaque.  Paren depth gates out parameter lists and initialisers.
+  int opaque_depth = 0;
+  int paren_depth = 0;
+  std::vector<bool> transparent_stack;
+  std::string last_keyword;  // namespace/class/struct/enum/union since ; { }
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (ident_char(c)) {
+      std::size_t e = i;
+      while (e < text.size() && ident_char(text[e])) ++e;
+      const std::string word = text.substr(i, e - i);
+      const std::size_t after = next_nonspace(text, e);
+      const char next = after == std::string::npos ? '\0' : text[after];
+
+      if (word == "namespace" || word == "extern" || word == "class" ||
+          word == "struct" || word == "union" || word == "enum" ||
+          word == "using" || word == "typedef" || word == "define") {
+        // `enum class X`: keep "enum" (the type-introducing keyword).
+        if (!(word == "class" && last_keyword == "enum")) {
+          last_keyword = word;
+        }
+        // `#define NAME` exports NAME (object- and function-like).
+        if (word == "define" && i >= 1 && prev_nonspace(text, i) == '#' &&
+            opaque_depth == 0) {
+          std::size_t ne = after;
+          while (ne != std::string::npos && ne < text.size() &&
+                 ident_char(text[ne]))
+            ++ne;
+          if (after != std::string::npos && ne > after) {
+            out.insert(text.substr(after, ne - after));
+          }
+          last_keyword.clear();
+        }
+        i = e;
+        continue;
+      }
+
+      if (opaque_depth == 0 && paren_depth == 0 &&
+          !is_cpp_keyword_like(word)) {
+        if (last_keyword == "class" || last_keyword == "struct" ||
+            last_keyword == "union" || last_keyword == "enum") {
+          out.insert(word);        // the introduced type name
+          last_keyword.clear();
+        } else if (last_keyword == "using" && next == '=') {
+          out.insert(word);        // using X = ...
+          last_keyword.clear();
+        } else if (next == '(') {
+          out.insert(word);        // free function (or functor variable)
+        } else if (next == '=' || next == ';' || next == '{') {
+          out.insert(word);        // top-level variable / constant
+        }
+      }
+      i = e;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        ++paren_depth;
+        break;
+      case ')':
+        if (paren_depth > 0) --paren_depth;
+        break;
+      case '{': {
+        const bool transparent =
+            last_keyword == "namespace" || last_keyword == "extern";
+        transparent_stack.push_back(transparent);
+        if (!transparent) ++opaque_depth;
+        last_keyword.clear();
+        break;
+      }
+      case '}':
+        if (!transparent_stack.empty()) {
+          if (!transparent_stack.back() && opaque_depth > 0) --opaque_depth;
+          transparent_stack.pop_back();
+        }
+        last_keyword.clear();
+        break;
+      case ';':
+        last_keyword.clear();
+        break;
+      default:
+        break;
+    }
+    ++i;
+  }
+  return out;
+}
+
+bool references_symbol(const JoinedCode& code, const std::string& symbol) {
+  return !find_word(code.text, symbol).empty();
+}
+
+}  // namespace pam::lint

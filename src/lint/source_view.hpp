@@ -1,0 +1,120 @@
+// The shared token-level view of a C++ source file that every pam_lint
+// pass works on ("AST-lite"): comments and string/char literal contents
+// are blanked to spaces with columns preserved, so word-boundary matching
+// never fires inside prose, and physical line numbers survive for
+// reporting.  Extracted from the original single-file scanner when the
+// analyzer grew cross-TU passes (include graph, metrics) that need the
+// same view without dragging the rule engine in.
+
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pam::lint {
+
+/// One physical line: `code` is the original text with comments and
+/// string/char literal contents blanked to spaces (columns preserved);
+/// `comment` is the concatenated comment text of the line.
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Strips comments and literals with a small state machine (handles line/
+/// block comments, string/char literals with escapes, and raw strings).
+[[nodiscard]] std::vector<SourceLine> preprocess(const std::string& content);
+
+/// Joins the code view into one string with line-start offsets so
+/// constructs spanning lines (template argument lists, parameter lists,
+/// range-for headers) can be bracket-matched across newlines.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;  ///< offset of each line in text
+
+  /// 1-based line containing `offset`.
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+};
+
+[[nodiscard]] JoinedCode join_code(const std::vector<SourceLine>& lines);
+
+// --- token helpers -----------------------------------------------------------
+
+[[nodiscard]] bool ident_char(char c);
+
+/// Word-bounded occurrences of `word` in `line` (0-based columns).
+[[nodiscard]] std::vector<std::size_t> find_word(const std::string& line,
+                                                 const std::string& word);
+
+/// First non-space char strictly before `col`, or '\0'.  Space, tab and
+/// newline are skipped, so this works on JoinedCode text too.
+[[nodiscard]] char prev_nonspace(const std::string& line, std::size_t col);
+
+/// Index of the first non-space char at/after `col`, or npos.
+[[nodiscard]] std::size_t next_nonspace(const std::string& line,
+                                        std::size_t col);
+
+/// Index of the first non-space char strictly before `col`, or npos.
+[[nodiscard]] std::size_t prev_nonspace_pos(const std::string& line,
+                                            std::size_t col);
+
+/// The identifier ending at `end` (exclusive), or empty when the char
+/// before `end` is not an identifier char.
+[[nodiscard]] std::string word_ending_at(const std::string& text,
+                                         std::size_t end);
+
+/// Occurrences of `name` used as a call: `name (`-with-optional-space.
+/// Member access (`.name(`, `->name(`) is excluded so e.g. `.free(` or a
+/// `stats.time(...)` member never matches the C library functions.
+[[nodiscard]] std::vector<std::size_t> find_call(const std::string& line,
+                                                 const std::string& name);
+
+/// True when the expression chain ending just before `col` (identifiers,
+/// member access, indexing — e.g. `nodes_[0].`) is the target of a
+/// range-for, i.e. walks back to a single ':' (not `::`).
+[[nodiscard]] bool chain_starts_at_colon(const std::string& code,
+                                         std::size_t col);
+
+/// True when a `for` keyword appears on line `n` or the two lines above.
+[[nodiscard]] bool in_for_context(const std::vector<SourceLine>& lines,
+                                  std::size_t n);
+
+[[nodiscard]] std::string trimmed(const std::string& s);
+
+/// True when the identifier at `col` is written with an explicit `std::`
+/// qualifier (the codebase never spells it with interior spaces).
+[[nodiscard]] bool std_qualified(const std::string& code, std::size_t col);
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Matches `<...>` starting at the '<' at `open`, returns the offset one
+/// past the closing '>', or npos.  Tracks nesting; gives up after 2000
+/// chars (not a declaration we can make sense of).
+[[nodiscard]] std::size_t match_angle(const std::string& text,
+                                      std::size_t open);
+
+/// First template argument of the `<...>` list opening at `open`
+/// (bracket-aware, up to the top-level ',' or the closing '>').
+[[nodiscard]] std::string first_template_arg(const std::string& text,
+                                             std::size_t open);
+
+// --- exported-symbol extraction (rule A003) ----------------------------------
+
+/// Names a header makes visible to its includers, approximated at the
+/// namespace-transparent top level: class/struct/union/enum names,
+/// `using X =` aliases, `#define` macro names, free function names, and
+/// initialised/terminated top-level variable names.  Conservative in the
+/// "used" direction: over-extraction can only hide an unused include,
+/// never invent one.
+[[nodiscard]] std::set<std::string> exported_symbols(const JoinedCode& code);
+
+/// True when `symbol` occurs word-bounded anywhere in `code.text`,
+/// excluding the single definition/declaration sites `exported_symbols`
+/// would have harvested it from — callers pass the *includer's* view, so
+/// a plain word match is the right test.
+[[nodiscard]] bool references_symbol(const JoinedCode& code,
+                                     const std::string& symbol);
+
+}  // namespace pam::lint

@@ -1,0 +1,64 @@
+#include "lint/type_registry.hpp"
+
+namespace pam::lint {
+
+const std::vector<HeavyType>& heavy_types() {
+  static const std::vector<HeavyType> kTypes = {
+      // Project types.
+      {"Packet", false,
+       "carries the full frame buffer inline (kMaxSize = 1500 B); a copy "
+       "is a bulk memcpy per packet"},
+      {"FabricFrame", false,
+       "cross-rack frame with an owning byte vector; copies defeat the "
+       "per-shard arena recycling"},
+      {"NfState", false,
+       "name string + serialised state blob; snapshots can be many KiB"},
+      {"ScenarioSpec", false,
+       "the whole parsed scenario (nested vectors of chains/NFs/schedules)"},
+      {"ClusterReport", false,
+       "fleet-wide aggregate with per-chain and per-slot vectors"},
+      {"SimReport", false,
+       "per-run aggregate with latency reservoirs and breakdown vectors"},
+      {"MigrationPlan", false,
+       "pure-data plan with decision-trace strings; cheap to reference, "
+       "costly to duplicate"},
+      // Standard vocabulary: every owning container allocates on copy.
+      {"string", true, "owning buffer; copies allocate"},
+      {"vector", true, "owning buffer; copies allocate and memcpy"},
+      {"deque", true, "owning block map; copies allocate"},
+      {"map", true, "node-based; copies reallocate every node"},
+      {"multimap", true, "node-based; copies reallocate every node"},
+      {"set", true, "node-based; copies reallocate every node"},
+      {"multiset", true, "node-based; copies reallocate every node"},
+      {"unordered_map", true, "node-based; copies reallocate every node"},
+      {"unordered_set", true, "node-based; copies reallocate every node"},
+  };
+  return kTypes;
+}
+
+bool mentions_heavy_type(const std::string& text) {
+  for (const auto& t : heavy_types()) {
+    for (const std::size_t col : find_word(text, t.name)) {
+      if (!t.needs_std || std_qualified(text, col)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const HeavyType* heavy_type_at(const std::string& text, std::size_t col,
+                               const std::string& word) {
+  for (const auto& t : heavy_types()) {
+    if (t.name != word) {
+      continue;
+    }
+    if (t.needs_std && !std_qualified(text, col)) {
+      return nullptr;
+    }
+    return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace pam::lint

@@ -1,0 +1,41 @@
+// The heavy-type registry behind the hot-path performance rules
+// (P001 pass-heavy-by-value, P002 copy-in-range-for, P003
+// std-function-on-packet-path).  A type is "heavy" when copying one on a
+// per-packet/per-event path costs an allocation or a bulk memcpy the
+// profile would see: the 1.5 KiB inline `Packet` frame, state blobs,
+// whole-report aggregates, and every owning standard container.
+//
+// The registry is data, not code: rules iterate it, docs render it, and
+// adding a type is a one-line change (docs/STATIC_ANALYSIS.md, "heavy-type
+// registry").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/source_view.hpp"
+
+namespace pam::lint {
+
+struct HeavyType {
+  std::string name;   ///< unqualified spelling ("Packet", "string")
+  bool needs_std;     ///< must appear `std::`-qualified to match
+  std::string why;    ///< one-line cost rationale (docs + messages)
+};
+
+/// The registry, project types first, then the std vocabulary.
+[[nodiscard]] const std::vector<HeavyType>& heavy_types();
+
+/// True when `text` (a template-argument list, a signature, ...) mentions
+/// any registry type word-bounded; std types additionally require the
+/// `std::` qualifier at the site.
+[[nodiscard]] bool mentions_heavy_type(const std::string& text);
+
+/// The registry entry matched at `col` in `text` (word-bounded occurrence
+/// of its name, `std::`-qualified when the entry requires it), or nullptr.
+[[nodiscard]] const HeavyType* heavy_type_at(const std::string& text,
+                                             std::size_t col,
+                                             const std::string& word);
+
+}  // namespace pam::lint

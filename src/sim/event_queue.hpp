@@ -17,6 +17,11 @@ namespace pam {
 
 class EventQueue {
  public:
+  /// The DES kernel's one sanctioned type-erasure boundary: every event
+  /// is an erased callable, so lint rule P003 (no std::function on the
+  /// packet path) deliberately exempts src/sim — and .clang-tidy's
+  /// AllowedTypes mirrors it.  Per-packet code in packet/nf/device must
+  /// still take concrete callables or interfaces, never std::function.
   using Action = std::function<void()>;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }

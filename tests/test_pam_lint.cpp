@@ -1,18 +1,27 @@
-// Unit tests for pam_lint (src/lint/): every rule D001..D005 is exercised
-// by a fixture that violates it exactly once, and the allow() escape hatch
-// is proven to suppress, inventory, and go stale correctly (X001).
+// Unit tests for pam_lint (src/lint/): every rule A001..A003, D001..D006,
+// P001..P003 is exercised by a fixture that violates it exactly once, and
+// the allow() escape hatch is proven to suppress, inventory, and go stale
+// correctly (X001) in both the comment-line and trailing same-line forms.
 //
-// Fixtures go through lint_source(), the no-filesystem entry point.  The
-// rel_path argument matters: rule scoping (the benchreport/ steady-clock
-// allowlist, the packet/sim hot-path scope of D005) keys off it.
+// Per-file fixtures go through lint_source(), the no-filesystem entry
+// point; cross-TU fixtures (include graph, cycles, unused includes) go
+// through lint_sources().  The rel_path argument matters: rule scoping
+// (the benchreport/ steady-clock allowlist, the packet/sim hot-path scope
+// of D005, the layer DAG of A001) keys off it.
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lint/include_graph.hpp"
 #include "lint/lint.hpp"
+#include "lint/metrics.hpp"
+#include "lint/source_view.hpp"
+#include "lint/type_registry.hpp"
 
 namespace pam::lint {
 namespace {
@@ -21,14 +30,13 @@ namespace {
 
 TEST(PamLintRules, CatalogueListsAllRulesInOrder) {
   const auto& catalogue = rules();
-  ASSERT_EQ(catalogue.size(), 7u);
-  EXPECT_EQ(catalogue[0].id, "D001");
-  EXPECT_EQ(catalogue[1].id, "D002");
-  EXPECT_EQ(catalogue[2].id, "D003");
-  EXPECT_EQ(catalogue[3].id, "D004");
-  EXPECT_EQ(catalogue[4].id, "D005");
-  EXPECT_EQ(catalogue[5].id, "D006");
-  EXPECT_EQ(catalogue[6].id, "X001");
+  ASSERT_EQ(catalogue.size(), 13u);
+  const char* expected[] = {"A001", "A002", "A003", "D001", "D002",
+                            "D003", "D004", "D005", "D006", "P001",
+                            "P002", "P003", "X001"};
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    EXPECT_EQ(catalogue[i].id, expected[i]);
+  }
   for (const auto& rule : catalogue) {
     EXPECT_FALSE(rule.name.empty()) << rule.id;
     EXPECT_FALSE(rule.description.empty()) << rule.id;
@@ -354,6 +362,49 @@ TEST(PamLintSuppression, TrailingAllowOnCodeLineCoversThatLine) {
   EXPECT_TRUE(report.clean());
 }
 
+TEST(PamLintSuppression, TrailingAllowMidCommentIsRecognised) {
+  // On a code line the marker may sit anywhere in the trailing comment;
+  // prose before it does not hide the directive.
+  const std::string src =
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen_;\n"
+      "bool any() {\n"
+      "  return seen_.begin() != seen_.end();  // emptiness probe; pam-lint: allow(D003) order-free\n"
+      "}\n";
+  const LintReport report = lint_source("src/nf/fixture_midtrail.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_EQ(report.suppressions[0].rule, "D003");
+  EXPECT_EQ(report.suppressions[0].line, 4u);
+  EXPECT_EQ(report.suppressions[0].reason, "order-free");
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(PamLintSuppression, StaleTrailingAllowFailsTheGate) {
+  const std::string src =
+      "int five() { return 5; }  // pam-lint: allow(D001) nothing random here\n";
+  const LintReport report = lint_source("src/common/fixture_staletrail.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.suppressions.empty());
+  ASSERT_EQ(report.stale.size(), 1u);
+  EXPECT_EQ(report.stale[0].rule, "D001");
+  EXPECT_EQ(report.stale[0].line, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(PamLintSuppression, ProseOnCommentOnlyLineIsNotADirective) {
+  // Comment-only lines keep the start-anchor requirement, so docs that
+  // merely mention the syntax mid-sentence never parse as suppressions.
+  const std::string src =
+      "// The escape hatch is spelled pam-lint: allow(D001) with a reason.\n"
+      "int five() { return 5; }\n";
+  const LintReport report = lint_source("src/common/fixture_prose.cpp", src);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(report.suppressions.empty());
+  EXPECT_TRUE(report.stale.empty());
+  EXPECT_TRUE(report.clean());
+}
+
 TEST(PamLintSuppression, StaleAllowFailsTheGate) {
   const std::string src =
       "// pam-lint: allow(D001) nothing random actually follows\n"
@@ -402,6 +453,349 @@ TEST(PamLintSuppression, MissingReasonIsX001) {
   EXPECT_TRUE(has_x001);
   EXPECT_TRUE(has_d003);
   EXPECT_FALSE(report.clean());
+}
+
+// --- A001: layer dependencies ------------------------------------------------
+
+TEST(PamLintA001, UpwardIncludeFlaggedExactlyOnce) {
+  // packet (layer 1) reaching up into sim (layer 3) inverts the DAG.
+  const std::string src =
+      "#include \"sim/event_queue.hpp\"\n"
+      "int peek();\n";
+  const LintReport report = lint_source("src/packet/fixture_a001.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "A001");
+  EXPECT_EQ(report.violations[0].file, "src/packet/fixture_a001.cpp");
+  EXPECT_EQ(report.violations[0].line, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(PamLintA001, TransitiveClosureEdgeIsClean) {
+  // experiment -> common is not a declared direct dep but lies in the
+  // transitive closure (experiment -> control -> ... -> common).
+  const std::string src =
+      "#include \"common/rng.hpp\"\n"
+      "int seed();\n";
+  const LintReport report =
+      lint_source("src/experiment/fixture_closure.cpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintA001, ToolingIncludableOnlyFromCliMains) {
+  const std::string src =
+      "#include \"benchreport/bench_reporter.hpp\"\n"
+      "int measure();\n";
+  const LintReport lib = lint_source("src/sim/fixture_tooling.cpp", src);
+  ASSERT_EQ(lib.violations.size(), 1u);
+  EXPECT_EQ(lib.violations[0].rule, "A001");
+
+  const LintReport cli = lint_source("src/sim/fixture_main.cpp", src);
+  EXPECT_TRUE(cli.clean()) << cli.violations.size();
+}
+
+TEST(PamLintA001, SystemIncludesAndNonSrcFilesOutOfScope) {
+  const std::string src =
+      "#include <vector>\n"
+      "#include \"sim/event_queue.hpp\"\n"
+      "int helper();\n";
+  // tests/ is outside the DAG's jurisdiction entirely.
+  const LintReport report = lint_source("tests/fixture_outside.cpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+// --- A002: include cycles ----------------------------------------------------
+
+TEST(PamLintA002, HeaderCycleFlaggedOnce) {
+  // Two headers including each other; each references the other's type so
+  // A003 stays quiet and the one finding is the cycle itself.
+  const LintReport report = lint_sources({
+      {"src/chain/fixture_a.hpp",
+       "#include \"chain/fixture_b.hpp\"\n"
+       "struct FixA { FixB* peer; };\n"},
+      {"src/chain/fixture_b.hpp",
+       "#include \"chain/fixture_a.hpp\"\n"
+       "struct FixB { FixA* peer; };\n"},
+  });
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "A002");
+  EXPECT_EQ(report.violations[0].file, "src/chain/fixture_a.hpp");
+  EXPECT_NE(report.violations[0].message.find("fixture_b.hpp"),
+            std::string::npos);
+}
+
+TEST(PamLintA002, AcyclicHeadersAreClean) {
+  const LintReport report = lint_sources({
+      {"src/chain/fixture_top.hpp",
+       "#include \"chain/fixture_base.hpp\"\n"
+       "struct FixTop { FixBase base; };\n"},
+      {"src/chain/fixture_base.hpp", "struct FixBase { int x; };\n"},
+  });
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintA002, FindCycleOnSyntheticGraph) {
+  // The generic cycle finder, on a seeded graph: canonical rotation
+  // starts at the lexicographically smallest member and closes the loop.
+  const std::map<std::string, std::vector<std::string>> cyclic = {
+      {"a", {"b"}},
+      {"b", {"c"}},
+      {"c", {"b", "d"}},
+      {"d", {}},
+  };
+  const auto cycle = find_cycle(cyclic);
+  const std::vector<std::string> expected = {"b", "c", "b"};
+  EXPECT_EQ(cycle, expected);
+
+  const std::map<std::string, std::vector<std::string>> acyclic = {
+      {"a", {"b", "c"}},
+      {"b", {"c"}},
+      {"c", {}},
+  };
+  EXPECT_TRUE(find_cycle(acyclic).empty());
+}
+
+// --- A003: unused includes ---------------------------------------------------
+
+TEST(PamLintA003, UnreferencedIncludeFlaggedExactlyOnce) {
+  const LintReport report = lint_sources({
+      {"src/chain/fixture_user.cpp",
+       "#include \"common/fixture_util.hpp\"\n"
+       "int local_only() { return 5; }\n"},
+      {"src/common/fixture_util.hpp", "int fixture_helper();\n"},
+  });
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "A003");
+  EXPECT_EQ(report.violations[0].file, "src/chain/fixture_user.cpp");
+  EXPECT_EQ(report.violations[0].line, 1u);
+}
+
+TEST(PamLintA003, ReferencedIncludeIsClean) {
+  const LintReport report = lint_sources({
+      {"src/chain/fixture_user.cpp",
+       "#include \"common/fixture_util.hpp\"\n"
+       "int twice() { return fixture_helper() * 2; }\n"},
+      {"src/common/fixture_util.hpp", "int fixture_helper();\n"},
+  });
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintA003, CompanionIncludeAlwaysExempt) {
+  // A TU includes its own header even when it only adds definitions the
+  // header does not name.
+  const LintReport report = lint_sources({
+      {"src/chain/fixture_pair.cpp",
+       "#include \"chain/fixture_pair.hpp\"\n"
+       "int detail_only() { return 1; }\n"},
+      {"src/chain/fixture_pair.hpp", "int fixture_pair_api();\n"},
+  });
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintA003, TargetOutsideScannedSetSkipped) {
+  // No export info for the target: conservative silence, not a guess.
+  const std::string src =
+      "#include \"common/rng.hpp\"\n"
+      "int local_only() { return 5; }\n";
+  const LintReport report = lint_source("src/chain/fixture_noinfo.cpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+// --- P001: heavy types passed by value ---------------------------------------
+
+TEST(PamLintP001, HeavyByValueParamFlaggedExactlyOnce) {
+  const std::string src =
+      "#include \"packet/packet.hpp\"\n"
+      "void enqueue(const Packet& keep, Packet copy);\n";
+  const LintReport report = lint_source("src/nf/fixture_p001.hpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "P001");
+  EXPECT_EQ(report.violations[0].line, 2u);
+  EXPECT_NE(report.violations[0].message.find("'copy'"), std::string::npos);
+}
+
+TEST(PamLintP001, MovedSinkParameterIsExempt) {
+  // The clang-tidy-aligned exemption: by-value + std::move is a transfer,
+  // not a copy.  The move may live in the companion TU.
+  const LintReport report = lint_sources({
+      {"src/nf/fixture_sink.hpp",
+       "#include <string>\n"
+       "#include <utility>\n"
+       "struct Tag { void set(std::string name); std::string name_; };\n"},
+      {"src/nf/fixture_sink.cpp",
+       "#include \"nf/fixture_sink.hpp\"\n"
+       "void Tag::set(std::string name) { name_ = std::move(name); }\n"},
+  });
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintP001, QualifiedNameIsNotADeclaration) {
+  // `Packet::Kind k` names a nested enum, not a by-value Packet.
+  const std::string src =
+      "#include \"packet/packet.hpp\"\n"
+      "void tag(Packet::Kind kind);\n";
+  const LintReport report = lint_source("src/nf/fixture_nested.hpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintP001, OutsideHotPathOutOfScope) {
+  const std::string src =
+      "#include <string>\n"
+      "void log_name(std::string name);\n";
+  const LintReport report = lint_source("src/control/fixture_cold.hpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+// --- P002: copies in range-for -----------------------------------------------
+
+TEST(PamLintP002, ByValueHeavyLoopVariableFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <string>\n"
+      "#include <vector>\n"
+      "int total(const std::vector<std::string>& names) {\n"
+      "  int n = 0;\n"
+      "  for (std::string name : names) {\n"
+      "    n += static_cast<int>(name.size());\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  const LintReport report = lint_source("src/device/fixture_p002.cpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "P002");
+  EXPECT_EQ(report.violations[0].line, 5u);
+}
+
+TEST(PamLintP002, ConstRefBindingIsClean) {
+  const std::string src =
+      "#include <string>\n"
+      "#include <vector>\n"
+      "int total(const std::vector<std::string>& names) {\n"
+      "  int n = 0;\n"
+      "  for (const std::string& name : names) {\n"
+      "    n += static_cast<int>(name.size());\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  const LintReport report = lint_source("src/device/fixture_ref.cpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+// --- P003: std::function on packet paths -------------------------------------
+
+TEST(PamLintP003, StdFunctionOnPacketLayerFlaggedExactlyOnce) {
+  const std::string src =
+      "#include <functional>\n"
+      "struct Hook { std::function<void()> on_drop; };\n";
+  const LintReport report = lint_source("src/nf/fixture_p003.hpp", src);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, "P003");
+  EXPECT_EQ(report.violations[0].line, 2u);
+}
+
+TEST(PamLintP003, SimEventQueueBoundaryIsSanctioned) {
+  // In src/sim the event queue's Action IS a std::function — the kernel's
+  // one sanctioned type-erasure boundary; the rule stays out.
+  const std::string src =
+      "#include <functional>\n"
+      "struct Hook { std::function<void()> on_drop; };\n";
+  const LintReport report = lint_source("src/sim/fixture_action.hpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+TEST(PamLintP003, PlainFunctionWordIsClean) {
+  const std::string src =
+      "struct Doc { int function; };\n"
+      "int get_function(const Doc& d);\n";
+  const LintReport report = lint_source("src/nf/fixture_word.cpp", src);
+  EXPECT_TRUE(report.clean()) << report.violations.size();
+}
+
+// --- heavy-type registry -----------------------------------------------------
+
+TEST(PamLintTypeRegistry, ProjectAndStdTypesCarryRationales) {
+  const auto& types = heavy_types();
+  ASSERT_FALSE(types.empty());
+  bool has_packet = false;
+  bool has_string = false;
+  for (const auto& t : types) {
+    EXPECT_FALSE(t.why.empty()) << t.name;
+    if (t.name == "Packet") {
+      has_packet = true;
+      EXPECT_FALSE(t.needs_std);
+    }
+    if (t.name == "string") {
+      has_string = true;
+      EXPECT_TRUE(t.needs_std);
+    }
+  }
+  EXPECT_TRUE(has_packet);
+  EXPECT_TRUE(has_string);
+}
+
+// --- include graph & DOT emission --------------------------------------------
+
+TEST(PamLintGraph, FanInFanOutOverResolvedEdges) {
+  std::map<std::string, std::vector<IncludeDirective>> per_file;
+  per_file["src/chain/user.cpp"] = {{"common/util.hpp", 1, true},
+                                    {"vector", 2, false}};
+  per_file["src/chain/other.cpp"] = {{"common/util.hpp", 1, true}};
+  const IncludeGraph graph = build_include_graph(per_file);
+  EXPECT_EQ(graph.fan_out("src/chain/user.cpp"), 1u);  // system include dropped
+  EXPECT_EQ(graph.fan_in("src/common/util.hpp"), 2u);
+  const auto edges = graph.library_edges();
+  const auto it = edges.find({"chain", "common"});
+  ASSERT_NE(it, edges.end());
+  EXPECT_EQ(it->second, 2u);
+}
+
+TEST(PamLintGraph, DotOutputNamesEveryLibrary) {
+  std::ostringstream out;
+  write_layer_dot(out, nullptr);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph pam_layers"), std::string::npos);
+  for (const auto& layer : layer_dag()) {
+    EXPECT_NE(dot.find("\"" + layer.lib + "\""), std::string::npos)
+        << layer.lib;
+  }
+  EXPECT_NE(dot.find("(tooling)"), std::string::npos);
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(PamLintMetrics, MeasureCountsFunctionsAndBudget) {
+  std::string src =
+      "// leading comment\n"
+      "int small() { return 1; }\n"
+      "int big() {\n";
+  for (int i = 0; i < 130; ++i) {
+    src += "  (void)0;\n";
+  }
+  src += "  return 2;\n}\n";
+  const FileMetrics m = measure_file("src/common/fx.cpp", preprocess(src));
+  EXPECT_EQ(m.file, "src/common/fx.cpp");
+  EXPECT_EQ(m.functions, 2u);
+  EXPECT_GE(m.longest_function, 130u);
+  EXPECT_EQ(m.over_budget, 1u);
+  EXPECT_EQ(m.comment_lines, 1u);
+}
+
+TEST(PamLintMetrics, JsonCarriesSchemaAndPerFileShape) {
+  FileMetrics m;
+  m.file = "src/common/fx.cpp";
+  m.lines = 10;
+  m.code_lines = 7;
+  m.functions = 2;
+  m.suppressions = 1;
+  m.fan_in = 3;
+  m.fan_out = 4;
+  std::ostringstream out;
+  write_metrics_json({m}, out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"schema\": \"pam-lint-metrics/v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"function_budget_lines\": 120"), std::string::npos);
+  EXPECT_NE(doc.find("\"fan_in\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"suppressions\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"totals\""), std::string::npos);
 }
 
 // --- output formats ----------------------------------------------------------
